@@ -1,0 +1,162 @@
+// Command qdbench regenerates the tables and figures of the paper's
+// evaluation (§5) plus the ablation studies.
+//
+// Usage:
+//
+//	qdbench -exp table1            # Table 1: per-query precision & GTIR
+//	qdbench -exp table2            # Table 2: quality per feedback round
+//	qdbench -exp fig1              # Figure 1: PCA cluster scattering
+//	qdbench -exp fig4to9           # Figures 4-9: qualitative top-k listings
+//	qdbench -exp fig10 -sizes 5000,10000,15000
+//	qdbench -exp fig11 -sizes 5000,10000,15000
+//	qdbench -exp io                # §5.2.2 I/O accounting
+//	qdbench -exp ablations
+//	qdbench -exp all
+//
+// -scale quick runs a reduced corpus in seconds; -scale paper reproduces the
+// full 15,000-image study (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qdcbir/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig1|fig4to9|fig10|fig11|io|extended|clientserver|video|ablations|all")
+		scale   = flag.String("scale", "quick", "corpus scale: quick|paper")
+		seed    = flag.Int64("seed", 1, "global random seed")
+		users   = flag.Int("users", 0, "simulated users per query (0 = scale default)")
+		sizes   = flag.String("sizes", "", "comma-separated DB sizes for fig10/fig11/io")
+		queries = flag.Int("queries", 0, "simulated queries per size for fig10/fig11/io (0 = default 100)")
+		browse  = flag.Int("browse", 0, "random displays a user browses per round (0 = scale default; smaller values model impatient users and reproduce Table 2's gradual GTIR climb)")
+	)
+	flag.Parse()
+
+	cfg := experiments.QuickConfig()
+	if *scale == "paper" {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *browse > 0 {
+		cfg.BrowsePerRound = *browse
+	}
+
+	sweep := parseSizes(*sizes, *scale)
+
+	needQuality := has(*exp, "table1", "table2", "all")
+	needSystem := needQuality || has(*exp, "fig1", "fig4to9", "extended", "all")
+	needEfficiency := has(*exp, "fig10", "fig11", "io", "all")
+
+	var sys *experiments.System
+	if needSystem {
+		fmt.Fprintf(os.Stderr, "building %d-image corpus (%d categories)...\n", cfg.TotalImages, cfg.Categories)
+		sys = experiments.BuildSystem(cfg)
+	}
+
+	if needQuality {
+		fmt.Fprintf(os.Stderr, "running quality study (%d users x 11 queries)...\n", cfg.Users)
+		rep := experiments.RunQuality(sys)
+		if has(*exp, "table1", "all") {
+			rep.WriteTable1(os.Stdout)
+			fmt.Println()
+		}
+		if has(*exp, "table2", "all") {
+			rep.WriteTable2(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if has(*exp, "fig1", "all") {
+		experiments.RunFig1(sys, "car").WriteText(os.Stdout)
+		fmt.Println()
+	}
+	if has(*exp, "fig4to9", "all") {
+		experiments.RunQualitative(sys).WriteText(os.Stdout)
+	}
+	if has(*exp, "extended", "all") {
+		fmt.Fprintln(os.Stderr, "running extended baseline comparison...")
+		experiments.RunExtended(sys).WriteText(os.Stdout)
+		fmt.Println()
+	}
+	if has(*exp, "video", "all") {
+		fmt.Fprintln(os.Stderr, "running video extension experiment...")
+		vRep, err := experiments.RunVideo(cfg, 0, 0, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qdbench:", err)
+			os.Exit(1)
+		}
+		vRep.WriteText(os.Stdout)
+		fmt.Println()
+	}
+	if has(*exp, "clientserver", "all") {
+		fmt.Fprintln(os.Stderr, "running client/server cost analysis...")
+		csRep, err := experiments.RunClientServer(cfg, 20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qdbench:", err)
+			os.Exit(1)
+		}
+		csRep.WriteText(os.Stdout)
+		fmt.Println()
+	}
+	if needEfficiency {
+		fmt.Fprintf(os.Stderr, "running efficiency sweep over sizes %v...\n", sweep)
+		rep := experiments.RunEfficiency(cfg, sweep, *queries)
+		if has(*exp, "fig10", "all") {
+			rep.WriteFig10(os.Stdout)
+			fmt.Println()
+		}
+		if has(*exp, "fig11", "all") {
+			rep.WriteFig11(os.Stdout)
+			fmt.Println()
+		}
+		if has(*exp, "io", "all") {
+			rep.WriteIO(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if has(*exp, "ablations", "all") {
+		fmt.Fprintln(os.Stderr, "running ablations...")
+		acfg := cfg
+		if acfg.Users > 4 {
+			acfg.Users = 4 // ablations sweep 12 settings; cap per-setting cost
+		}
+		experiments.RunAblations(acfg).WriteText(os.Stdout)
+	}
+}
+
+func has(exp string, names ...string) bool {
+	for _, n := range names {
+		if exp == n {
+			return true
+		}
+	}
+	return false
+}
+
+func parseSizes(s, scale string) []int {
+	if s == "" {
+		if scale == "paper" {
+			return []int{5000, 10000, 15000, 20000, 30000, 50000}
+		}
+		return []int{1000, 2000, 4000}
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "qdbench: bad size %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

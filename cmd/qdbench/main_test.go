@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestHas(t *testing.T) {
+	if !has("table1", "table1", "all") {
+		t.Error("exact match failed")
+	}
+	if has("table1", "table2", "fig1") {
+		t.Error("false positive")
+	}
+	if !has("all", "table1", "all") {
+		t.Error("all not matched")
+	}
+}
+
+func TestParseSizesDefaults(t *testing.T) {
+	quick := parseSizes("", "quick")
+	if len(quick) == 0 || quick[0] != 1000 {
+		t.Errorf("quick defaults = %v", quick)
+	}
+	paper := parseSizes("", "paper")
+	if len(paper) != 6 || paper[len(paper)-1] != 50000 {
+		t.Errorf("paper defaults = %v", paper)
+	}
+}
+
+func TestParseSizesExplicit(t *testing.T) {
+	got := parseSizes("100, 200 ,300", "quick")
+	want := []int{100, 200, 300}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sizes[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+}

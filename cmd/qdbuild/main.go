@@ -1,0 +1,102 @@
+// Command qdbuild is the database builder of the prototype (§4): it
+// generates a synthetic corpus, constructs the RFS structure over it, and
+// persists both to disk for later sessions (cmd/qdquery) — the "building the
+// RFS structure and populating the image database" step.
+//
+// Usage:
+//
+//	qdbuild -out db.gob -images 15000 -categories 150
+//	qdbuild -out small.gob -images 1200 -categories 25 -capacity 24 -reps 0.2
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+)
+
+// Archive is the on-disk form: ground truth plus the RFS snapshot (which
+// carries the vectors).
+type Archive struct {
+	Infos []dataset.Info
+	RFS   *rfs.Snapshot
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "qdcbir.gob", "output file")
+		images     = flag.Int("images", 15000, "corpus size")
+		categories = flag.Int("categories", 150, "number of categories")
+		capacity   = flag.Int("capacity", 100, "R*-tree node capacity")
+		reps       = flag.Float64("reps", 0.05, "representative fraction")
+		seed       = flag.Int64("seed", 1, "random seed")
+		vectors    = flag.Bool("vectors", false, "vector mode (skip rendering)")
+		hierarchy  = flag.String("hierarchy", "str", "clustering backbone: str|insert|kmeans")
+	)
+	flag.Parse()
+
+	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(arch); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%.1f MB)\n", *out, float64(info.Size())/(1<<20))
+}
+
+// buildArchive generates the corpus, builds the RFS structure, and packages
+// both for persistence.
+func buildArchive(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, log io.Writer) (*Archive, error) {
+	spec := dataset.SmallSpec(seed, categories, images)
+	fmt.Fprintf(log, "generating %d images in %d categories...\n", spec.TotalImages(), len(spec.Categories))
+	var corpus *dataset.Corpus
+	if vectors {
+		corpus = dataset.BuildVectors(spec, 37, 0.02, seed+1)
+	} else {
+		corpus = dataset.Build(spec, dataset.Options{Seed: seed + 1})
+	}
+	if err := corpus.Validate(); err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintln(log, "building RFS structure...")
+	structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
+		RepFraction: reps,
+		Tree:        rstar.Config{MaxFill: capacity},
+		TargetFill:  capacity * 93 / 100,
+		Hierarchy:   hierarchy,
+		Seed:        seed + 2,
+	})
+	if err := structure.Validate(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(log, "tree: height %d, %d nodes, %d representatives (%.1f%% of corpus)\n",
+		structure.Tree().Height(), structure.Tree().NodeCount(), structure.RepCount(),
+		100*float64(structure.RepCount())/float64(corpus.Len()))
+	return &Archive{Infos: corpus.Infos, RFS: structure.Snapshot()}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qdbuild:", err)
+	os.Exit(1)
+}

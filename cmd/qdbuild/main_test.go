@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qdcbir/internal/rfs"
+)
+
+func TestBuildArchiveAndRoundTrip(t *testing.T) {
+	arch, err := buildArchive(1, 10, 300, 20, 0.2, false, "str", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arch.Infos) == 0 || arch.RFS == nil {
+		t.Fatal("empty archive")
+	}
+	// Encode/decode through a real file, then reconstruct the structure —
+	// the qdbuild → qdquery/qdserve handoff.
+	path := filepath.Join(t.TempDir(), "db.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(arch); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var loaded Archive
+	if err := gob.NewDecoder(g).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	structure, err := rfs.FromSnapshot(loaded.RFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if structure.Len() != len(arch.Infos) {
+		t.Errorf("loaded %d images for %d infos", structure.Len(), len(arch.Infos))
+	}
+	if structure.RepCount() == 0 {
+		t.Error("no representatives after reload")
+	}
+}
+
+func TestBuildArchiveVectorMode(t *testing.T) {
+	var log bytes.Buffer
+	arch, err := buildArchive(2, 10, 400, 20, 0.1, true, "kmeans", &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec rounding distributes images per category; the total lands close
+	// to but not exactly on the request.
+	if n := len(arch.Infos); n < 350 || n > 400 {
+		t.Errorf("infos = %d, want ~400", n)
+	}
+	if !bytes.Contains(log.Bytes(), []byte("RFS structure")) {
+		t.Error("progress log missing")
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *db
+)
+
+func smallDB(t *testing.T) *db {
+	t.Helper()
+	dbOnce.Do(func() {
+		spec := dataset.SmallSpec(1, 12, 400)
+		corpus := dataset.Build(spec, dataset.Options{Seed: 2})
+		structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
+			RepFraction: 0.2,
+			Tree:        rstar.Config{MaxFill: 20},
+			TargetFill:  16,
+			Seed:        3,
+		})
+		testDB = &db{
+			infos:  corpus.Infos,
+			rfs:    structure,
+			engine: core.NewEngine(structure, core.Config{}),
+		}
+	})
+	if testDB == nil {
+		t.Fatal("fixture failed")
+	}
+	return testDB
+}
+
+func runREPL(t *testing.T, script string) string {
+	t.Helper()
+	d := smallDB(t)
+	var out bytes.Buffer
+	repl(d, rand.New(rand.NewSource(5)), strings.NewReader(script), &out)
+	return out.String()
+}
+
+func TestREPLQuit(t *testing.T) {
+	out := runREPL(t, "q\n")
+	if !strings.Contains(out, "candidate representatives") {
+		t.Errorf("no initial display: %q", out)
+	}
+}
+
+func TestREPLReshuffleAndHelp(t *testing.T) {
+	out := runREPL(t, "r\nbogus\nqueries\nq\n")
+	if strings.Count(out, "candidate representatives") < 2 {
+		t.Error("reshuffle did not redisplay")
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Error("unknown command did not print help")
+	}
+	if !strings.Contains(out, "Laptop") {
+		t.Error("queries listing missing")
+	}
+}
+
+func TestREPLMarkFeedbackFinalize(t *testing.T) {
+	out := runREPL(t, "m 0 1 2\nf\ndone 6\n")
+	if !strings.Contains(out, "marked #0") {
+		t.Errorf("mark not acknowledged: %q", out)
+	}
+	if !strings.Contains(out, "round committed: 3 marks") {
+		t.Error("feedback not committed")
+	}
+	if !strings.Contains(out, "result groups") {
+		t.Error("no results printed")
+	}
+}
+
+func TestREPLBadPositions(t *testing.T) {
+	out := runREPL(t, "m 999 notanumber -1\nq\n")
+	if strings.Count(out, "bad position") != 3 {
+		t.Errorf("bad positions not all rejected: %q", out)
+	}
+}
+
+func TestREPLRetractAndWeights(t *testing.T) {
+	out := runREPL(t, "m 0 1\nu 0\nw color 2\nw bogus 2\nw color notanumber\nf\ndone 4\n")
+	if !strings.Contains(out, "retracted #0") {
+		t.Errorf("retract not acknowledged: %q", out)
+	}
+	if !strings.Contains(out, "color weighted x2.00") {
+		t.Error("weight not applied")
+	}
+	if !strings.Contains(out, `unknown family "bogus"`) {
+		t.Error("bad family not rejected")
+	}
+	if !strings.Contains(out, `bad multiplier`) {
+		t.Error("bad multiplier not rejected")
+	}
+	if !strings.Contains(out, "round committed: 1 marks") {
+		t.Errorf("expected 1 surviving mark: %q", out)
+	}
+	if !strings.Contains(out, "result groups") {
+		t.Error("no results")
+	}
+}
+
+func TestREPLFinalizeWithoutFeedback(t *testing.T) {
+	out := runREPL(t, "done\nq\n")
+	if !strings.Contains(out, "finalize:") {
+		t.Errorf("finalize without feedback should report error: %q", out)
+	}
+}
+
+func TestREPLAutoSession(t *testing.T) {
+	out := runREPL(t, "auto Bird\n")
+	if !strings.Contains(out, "result groups") {
+		t.Errorf("auto session produced no results: %q", out)
+	}
+	if !strings.Contains(out, "bird/") {
+		t.Error("results contain no bird images")
+	}
+	// Unknown query errors cleanly.
+	out2 := runREPL(t, "auto NoSuchThing\n")
+	if !strings.Contains(out2, "unknown query") {
+		t.Error("unknown auto query not rejected")
+	}
+}
+
+func TestOpenInMemory(t *testing.T) {
+	d, err := open("", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.infos) == 0 || d.rfs.RepCount() == 0 {
+		t.Fatal("in-memory open produced empty db")
+	}
+	if got := d.subconceptOf(-1); got != "" {
+		t.Errorf("out-of-range label = %q", got)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := open("/nonexistent/file.gob", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command qdserve exposes a built retrieval database over the HTTP/JSON API
+// of internal/server — the paper's client/server configuration (§4). Thin
+// clients drive hosted feedback sessions; smart clients download the
+// representative payload once (GET /v1/payload), run feedback locally, and
+// touch the server only for the final localized k-NN (POST /v1/query).
+//
+// Usage:
+//
+//	qdserve -db db.gob -addr :8399        # serve a qdbuild archive
+//	qdserve -images 1200 -addr :8399      # build a small corpus and serve it
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/img"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8399", "listen address")
+		path   = flag.String("db", "", "database file written by qdbuild (empty = build in-memory)")
+		images = flag.Int("images", 1200, "corpus size when building in-memory")
+		seed   = flag.Int64("seed", 1, "build seed")
+		ui     = flag.Bool("ui", false, "serve the browser front end at /ui (in-memory build only; keeps rendered images)")
+	)
+	flag.Parse()
+
+	if *ui && *path != "" {
+		fmt.Fprintln(os.Stderr, "qdserve: -ui requires an in-memory build (archives do not store rasters)")
+		os.Exit(2)
+	}
+	eng, label, rasters, err := load(*path, *images, *seed, *ui)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qdserve:", err)
+		os.Exit(1)
+	}
+	srv := server.New(eng, label)
+	if rasters != nil {
+		srv.SetImages(rasters)
+		fmt.Fprintf(os.Stderr, "web UI at http://localhost%s/ui\n", *addr)
+	}
+	fmt.Fprintf(os.Stderr, "serving %d images (%d representatives) on %s\n",
+		eng.RFS().Len(), eng.RFS().RepCount(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "qdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string, images int, seed int64, keepImages bool) (*core.Engine, server.Labeler, []*img.Image, error) {
+	if path == "" {
+		spec := dataset.SmallSpec(seed, 25, images)
+		corpus := dataset.Build(spec, dataset.Options{Seed: seed + 1, KeepImages: keepImages})
+		structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
+			RepFraction: 0.2,
+			Tree:        rstar.Config{MaxFill: 24},
+			TargetFill:  20,
+			Seed:        seed + 2,
+		})
+		return core.NewEngine(structure, core.Config{}), corpus.SubconceptOf, corpus.Images, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	var arch struct {
+		Infos []dataset.Info
+		RFS   *rfs.Snapshot
+	}
+	if err := gob.NewDecoder(f).Decode(&arch); err != nil {
+		return nil, nil, nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	structure, err := rfs.FromSnapshot(arch.RFS)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	infos := arch.Infos
+	label := func(id int) string {
+		if id < 0 || id >= len(infos) {
+			return ""
+		}
+		return infos[id].Subconcept
+	}
+	return core.NewEngine(structure, core.Config{}), label, nil, nil
+}

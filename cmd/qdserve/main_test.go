@@ -1,0 +1,44 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"qdcbir/internal/server"
+)
+
+func TestLoadInMemoryAndServe(t *testing.T) {
+	eng, label, rasters, err := load("", 400, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.RFS().Len() == 0 {
+		t.Fatal("empty engine")
+	}
+	if len(rasters) != eng.RFS().Len() {
+		t.Fatalf("%d rasters for %d images", len(rasters), eng.RFS().Len())
+	}
+	if label(0) == "" {
+		t.Error("labeler returned empty for image 0")
+	}
+	if label(-1) != "" {
+		t.Error("labeler should be empty out of range")
+	}
+	// The loaded engine is servable end to end.
+	srv := server.New(eng, label)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c, err := server.Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Images() != eng.RFS().Len() {
+		t.Errorf("client sees %d images", c.Images())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, _, err := load("/nonexistent.gob", 0, 1, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

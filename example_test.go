@@ -1,0 +1,63 @@
+package qdcbir_test
+
+import (
+	"fmt"
+	"log"
+
+	"qdcbir"
+)
+
+// Example demonstrates the minimal retrieval loop: build a system, mark a few
+// representatives relevant, and finalize. Deterministic seeds make the
+// example's behaviour stable.
+func Example() {
+	sys, err := qdcbir.Build(qdcbir.Config{
+		Seed:       1,
+		Categories: 10,
+		Images:     400,
+		VectorMode: true, // skip rendering for a fast example
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess := sys.NewSession(1)
+	cands := sess.Candidates()
+	// Mark the first two displayed representatives (a real user would pick
+	// by looking at the images).
+	if err := sess.Feedback([]int{cands[0].ID, cands[1].ID}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Finalize(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("groups:", len(res.Groups) > 0)
+	fmt.Println("images:", len(res.IDs()))
+	// Output:
+	// groups: true
+	// images: 4
+}
+
+// ExampleSystem_KNN contrasts plain single-neighborhood retrieval with the
+// session-based query decomposition flow.
+func ExampleSystem_KNN() {
+	sys, err := qdcbir.Build(qdcbir.Config{
+		Seed:       1,
+		Categories: 10,
+		Images:     400,
+		VectorMode: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	neighbors, err := sys.KNN(0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nearest is itself:", neighbors[0].ID == 0)
+	fmt.Println("results:", len(neighbors))
+	// Output:
+	// nearest is itself: true
+	// results: 3
+}

@@ -1,0 +1,94 @@
+// Quickstart: build a small synthetic image database, run one relevance-
+// feedback session for "bird" images, and print the grouped results.
+//
+// The session follows the paper's protocol end to end: browse representative
+// images from the RFS root, mark the relevant ones, let the query decompose
+// across clusters over three rounds, then finalize with localized k-NN.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qdcbir"
+)
+
+func main() {
+	sys, err := qdcbir.Build(qdcbir.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d images, RFS height %d, %d representative images\n\n",
+		sys.Len(), sys.TreeHeight(), sys.RepresentativeCount())
+
+	// Intent: bird images — eagles, owls, and sparrows look nothing alike,
+	// so their feature vectors live in three separate clusters.
+	wanted := map[string]bool{
+		"bird/eagle":   true,
+		"bird/owl":     true,
+		"bird/sparrow": true,
+	}
+
+	sess := sys.NewSession(42)
+	for round := 1; round <= 3; round++ {
+		// Browse a few displays per round (the prototype's "Random" button)
+		// and mark every bird representative we see, up to a small budget.
+		var marks []int
+		seen := map[int]bool{}
+		for display := 0; display < 12 && len(marks) < 8; display++ {
+			for _, c := range sess.Candidates() {
+				if !seen[c.ID] && wanted[c.Subconcept] && len(marks) < 8 {
+					seen[c.ID] = true
+					marks = append(marks, c.ID)
+				}
+			}
+		}
+		if err := sess.Feedback(marks); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: marked %d birds -> %d active subqueries\n",
+			round, len(marks), sess.Subqueries())
+	}
+
+	res, err := sess.Finalize(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal result: %d groups (one per discovered neighborhood)\n", len(res.Groups))
+	for i, g := range res.Groups {
+		var labels []string
+		for _, im := range g.Images {
+			labels = append(labels, short(sys.SubconceptOf(im.ID)))
+		}
+		exp := ""
+		if g.Expanded {
+			exp = " [search expanded to parent cluster]"
+		}
+		fmt.Printf("  group %d %-16s rank %.3f%s\n    %s\n",
+			i+1, short(g.Label), g.RankScore, exp, strings.Join(labels, " "))
+	}
+
+	// Contrast with the traditional single-neighborhood k-NN from one
+	// example image: it stays inside one bird cluster.
+	example := res.Groups[0].QueryImages[0]
+	knn, err := sys.KNN(example, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, s := range knn {
+		kinds[short(sys.SubconceptOf(s.ID))]++
+	}
+	fmt.Printf("\nplain kNN from one example (%s) for contrast: %v\n",
+		short(sys.SubconceptOf(example)), kinds)
+}
+
+func short(label string) string {
+	if i := strings.IndexByte(label, '/'); i >= 0 {
+		return label[i+1:]
+	}
+	return label
+}

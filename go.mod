@@ -1,0 +1,3 @@
+module qdcbir
+
+go 1.22

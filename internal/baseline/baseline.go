@@ -1,0 +1,101 @@
+// Package baseline implements the comparison retrieval techniques the paper
+// surveys (§2) and evaluates against (§5): the Multiple Viewpoints system
+// (French & Jin), Query Point Movement (MindReader-style), the MARS
+// multipoint query, a Qcluster-style disjunctive query, and plain global
+// k-NN. All baselines share one feedback protocol so the experiment harness
+// can drive them interchangeably:
+//
+//	Search(k)            — retrieve the current top-k image IDs
+//	Feedback(relevant)   — incorporate the user's relevant marks
+//
+// Every baseline follows the traditional model the paper critiques: each
+// round runs retrieval against the whole database, in contrast to QD, whose
+// feedback rounds touch only RFS representatives.
+package baseline
+
+import (
+	"container/heap"
+	"sort"
+
+	"qdcbir/internal/vec"
+)
+
+// FeedbackRetriever is the round-based protocol shared by all baselines.
+type FeedbackRetriever interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Search returns the current top-k image IDs, most similar first.
+	Search(k int) []int
+	// Feedback incorporates relevant image IDs marked by the user among any
+	// previously returned results.
+	Feedback(relevant []int)
+}
+
+// scored pairs an image ID with its distance under the active query model.
+type scored struct {
+	id   int
+	dist float64
+}
+
+// topK selects the k smallest-distance images over the corpus by evaluating
+// dist for every ID in [0, n) — the "global computation over the entire
+// database" cost profile the paper attributes to traditional relevance
+// feedback. A max-heap of size k keeps selection O(n log k).
+func topK(n, k int, dist func(id int) float64) []int {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	h := make(maxHeap, 0, k)
+	for id := 0; id < n; id++ {
+		d := dist(id)
+		if len(h) < k {
+			heap.Push(&h, scored{id: id, dist: d})
+			continue
+		}
+		if d < h[0].dist {
+			h[0] = scored{id: id, dist: d}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]scored, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]int, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+type maxHeap []scored
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// gatherPoints maps ids to their vectors.
+func gatherPoints(points []vec.Vector, ids []int) []vec.Vector {
+	out := make([]vec.Vector, 0, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < len(points) {
+			out = append(out, points[id])
+		}
+	}
+	return out
+}

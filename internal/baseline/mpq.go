@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"qdcbir/internal/kmeans"
+	"qdcbir/internal/vec"
+)
+
+// MPQ implements the MARS multipoint query (§2, [13]): the relevant images
+// are clustered, each cluster is represented by the data point nearest its
+// centroid, and the distance of a database image to the multipoint query is
+// the weighted combination of its distances to the representatives, with
+// weights proportional to cluster sizes. The effect is a single expanded
+// query contour — which still confines results to one (possibly stretched)
+// neighborhood, the limitation QD removes.
+type MPQ struct {
+	points   []vec.Vector
+	maxReps  int
+	rng      *rand.Rand
+	relevant []int
+	relSet   map[int]bool
+
+	reps       []vec.Vector
+	repWeights []float64
+}
+
+// NewMPQ builds the baseline. maxReps bounds the number of cluster
+// representatives per round (5 in common MARS configurations).
+func NewMPQ(points []vec.Vector, queryImage, maxReps int, rng *rand.Rand) *MPQ {
+	if maxReps < 1 {
+		maxReps = 5
+	}
+	return &MPQ{
+		points:     points,
+		maxReps:    maxReps,
+		rng:        rng,
+		relSet:     make(map[int]bool),
+		reps:       []vec.Vector{points[queryImage].Clone()},
+		repWeights: []float64{1},
+	}
+}
+
+// Name implements FeedbackRetriever.
+func (m *MPQ) Name() string { return "MPQ" }
+
+// Search returns the top-k images under the weighted-combination distance.
+func (m *MPQ) Search(k int) []int {
+	return topK(len(m.points), k, func(id int) float64 {
+		var d float64
+		for i, rep := range m.reps {
+			d += m.repWeights[i] * vec.L2(m.points[id], rep)
+		}
+		return d
+	})
+}
+
+// Feedback re-clusters the cumulative relevant set into representatives.
+func (m *MPQ) Feedback(relevant []int) {
+	for _, id := range relevant {
+		if id >= 0 && id < len(m.points) && !m.relSet[id] {
+			m.relSet[id] = true
+			m.relevant = append(m.relevant, id)
+		}
+	}
+	pts := gatherPoints(m.points, m.relevant)
+	if len(pts) == 0 {
+		return
+	}
+	k := m.maxReps
+	if k > len(pts) {
+		k = len(pts)
+	}
+	r := kmeans.Cluster(pts, k, kmeans.Config{MaxIter: 25}, m.rng)
+	repIdx := kmeans.NearestToCentroids(pts, r)
+	sizes := r.Sizes()
+	m.reps = m.reps[:0]
+	m.repWeights = m.repWeights[:0]
+	var total float64
+	for _, i := range repIdx {
+		c := r.Assign[i]
+		m.reps = append(m.reps, pts[i].Clone())
+		m.repWeights = append(m.repWeights, float64(sizes[c]))
+		total += float64(sizes[c])
+	}
+	for i := range m.repWeights {
+		m.repWeights[i] /= total
+	}
+}
+
+// Qcluster approximates the Qcluster technique (§2, [9]): relevant images are
+// clustered as in MPQ, but the query is *disjunctive* — an image's distance
+// is its distance to the nearest representative, so each representative keeps
+// its own contour. Qcluster retrieves well when relevant clusters are
+// adjacent, but (as the paper argues) the single ranked cut across contours
+// still degrades when the clusters are far apart with many distractors
+// in between.
+type Qcluster struct {
+	inner MPQ
+}
+
+// NewQcluster builds the baseline with the same parameters as NewMPQ.
+func NewQcluster(points []vec.Vector, queryImage, maxReps int, rng *rand.Rand) *Qcluster {
+	return &Qcluster{inner: *NewMPQ(points, queryImage, maxReps, rng)}
+}
+
+// Name implements FeedbackRetriever.
+func (q *Qcluster) Name() string { return "Qcluster" }
+
+// Search returns the top-k images under the min-over-representatives
+// disjunctive distance.
+func (q *Qcluster) Search(k int) []int {
+	return topK(len(q.inner.points), k, func(id int) float64 {
+		best := -1.0
+		for _, rep := range q.inner.reps {
+			d := vec.SqL2(q.inner.points[id], rep)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	})
+}
+
+// Feedback re-clusters the cumulative relevant set.
+func (q *Qcluster) Feedback(relevant []int) { q.inner.Feedback(relevant) }

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"fmt"
+
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/vec"
+)
+
+// Viewpoint is one of MV's query perspectives: a complete representation of
+// the database (its own vector table and optional dimension weights) plus the
+// viewpoint's current query point, which QPM-style feedback moves every
+// round.
+type Viewpoint struct {
+	Name    string
+	Vectors []vec.Vector // database representation under this viewpoint
+	Weights vec.Vector   // nil = unweighted Euclidean
+	query   vec.Vector
+}
+
+// MV implements the Multiple Viewpoints technique (§2, [5]) as the paper's
+// experiments use it (§5.2): the query is evaluated under four colour
+// channels — original, colour-negative, black-white, black-white negative —
+// and "the images returned by the four color channels [are combined] to form
+// the final result set". Each viewpoint refines its own query point from
+// relevance feedback; the combination interleaves the per-viewpoint rankings
+// so every channel contributes to the fixed-size result.
+//
+// MV can reach multiple *adjacent* clusters (images differing in one visual
+// aspect), but every viewpoint still performs single-neighborhood k-NN, so
+// semantically related clusters far apart in every representation stay out of
+// reach — the behaviour Table 1 quantifies.
+type MV struct {
+	viewpoints []*Viewpoint
+	relevant   []int
+	relSet     map[int]bool
+}
+
+// NewMVChannels builds image-mode MV from per-channel corpus representations
+// (dataset.Corpus.ChannelVectors) and the initial query image. It returns an
+// error if a channel table is missing or sized inconsistently.
+func NewMVChannels(channels map[img.Channel][]vec.Vector, queryImage int) (*MV, error) {
+	m := &MV{relSet: make(map[int]bool)}
+	for _, ch := range img.AllChannels {
+		vecs, ok := channels[ch]
+		if !ok {
+			return nil, fmt.Errorf("baseline: missing channel %v", ch)
+		}
+		if queryImage < 0 || queryImage >= len(vecs) {
+			return nil, fmt.Errorf("baseline: query image %d outside corpus of %d", queryImage, len(vecs))
+		}
+		m.viewpoints = append(m.viewpoints, &Viewpoint{
+			Name:    ch.String(),
+			Vectors: vecs,
+			query:   vecs[queryImage].Clone(),
+		})
+	}
+	return m, nil
+}
+
+// NewMVSubspaces builds vector-mode MV: when no per-channel representations
+// exist (synthetic vector corpora), the viewpoints are the three feature-
+// family subspaces plus the full space, following the subset-of-features
+// formulation of [5].
+func NewMVSubspaces(points []vec.Vector, queryImage int) *MV {
+	m := &MV{relSet: make(map[int]bool)}
+	families := []struct {
+		name string
+		mask vec.Vector
+	}{
+		{"full", nil},
+		{"color", feature.FamilyColor.Mask()},
+		{"texture", feature.FamilyTexture.Mask()},
+		{"edge", feature.FamilyEdge.Mask()},
+	}
+	dim := len(points[queryImage])
+	for _, f := range families {
+		w := f.mask
+		if w != nil && len(w) != dim {
+			// Non-37-d corpora (scalability sweeps) cannot use family masks;
+			// fall back to the full space for that viewpoint.
+			w = nil
+		}
+		m.viewpoints = append(m.viewpoints, &Viewpoint{
+			Name:    f.name,
+			Vectors: points,
+			Weights: w,
+			query:   points[queryImage].Clone(),
+		})
+	}
+	return m
+}
+
+// Name implements FeedbackRetriever.
+func (m *MV) Name() string { return "MV" }
+
+// Viewpoints exposes the viewpoint names for reports.
+func (m *MV) Viewpoints() []string {
+	out := make([]string, len(m.viewpoints))
+	for i, v := range m.viewpoints {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// Search retrieves per-viewpoint rankings and interleaves them round-robin
+// (dropping duplicates) until k images are collected.
+func (m *MV) Search(k int) []int {
+	if k <= 0 || len(m.viewpoints) == 0 {
+		return nil
+	}
+	// Each viewpoint contributes its own top-k ranking; interleaving then
+	// needs at most k from each.
+	rankings := make([][]int, len(m.viewpoints))
+	for i, v := range m.viewpoints {
+		dist := func(id int) float64 {
+			if v.Weights == nil {
+				return vec.SqL2(v.Vectors[id], v.query)
+			}
+			return vec.WeightedSqL2(v.Vectors[id], v.query, v.Weights)
+		}
+		rankings[i] = topK(len(v.Vectors), k, dist)
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for pos := 0; len(out) < k; pos++ {
+		advanced := false
+		for _, r := range rankings {
+			if pos < len(r) {
+				advanced = true
+				if !seen[r[pos]] {
+					seen[r[pos]] = true
+					out = append(out, r[pos])
+					if len(out) == k {
+						break
+					}
+				}
+			}
+		}
+		if !advanced {
+			break // every ranking exhausted
+		}
+	}
+	return out
+}
+
+// Feedback moves every viewpoint's query point to the centroid of the
+// relevant images under that viewpoint's representation.
+func (m *MV) Feedback(relevant []int) {
+	for _, id := range relevant {
+		if !m.relSet[id] {
+			m.relSet[id] = true
+			m.relevant = append(m.relevant, id)
+		}
+	}
+	if len(m.relevant) == 0 {
+		return
+	}
+	for _, v := range m.viewpoints {
+		pts := gatherPoints(v.Vectors, m.relevant)
+		if len(pts) > 0 {
+			v.query = vec.Centroid(pts)
+		}
+	}
+}

@@ -1,0 +1,679 @@
+// Package core implements the paper's primary contribution: the Query
+// Decomposition (QD) model for relevance feedback in content-based image
+// retrieval (§3).
+//
+// A Session tracks one user query. It starts with the representatives of the
+// RFS root; every feedback round maps the images the user marked relevant to
+// the child clusters they came from and splits the query into independent
+// localized subqueries — a multi-path descent of the RFS hierarchy. No k-NN
+// computation happens until Finalize, which runs one localized multipoint
+// k-NN per final subcluster (expanding to the parent node when query images
+// sit near the cluster boundary, §3.3), then merges the local results with
+// allocation proportional to each subcluster's relevant count and ranks the
+// groups by their summed similarity scores (§3.4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"qdcbir/internal/disk"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// Config holds the engine parameters.
+type Config struct {
+	// BoundaryThreshold is the §3.3 ratio above which a localized query
+	// expands to the parent node. The paper sets 0.4 for its 15,000-image
+	// corpus.
+	BoundaryThreshold float64
+	// DisplayCount is how many candidate representatives one display round
+	// shows (the prototype GUI shows 21, §4).
+	DisplayCount int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BoundaryThreshold <= 0 {
+		c.BoundaryThreshold = 0.4
+	}
+	if c.DisplayCount <= 0 {
+		c.DisplayCount = 21
+	}
+	return c
+}
+
+// Engine is the query processor over one RFS structure.
+type Engine struct {
+	rfs *rfs.Structure
+	cfg Config
+}
+
+// NewEngine returns a QD engine over the structure.
+func NewEngine(s *rfs.Structure, cfg Config) *Engine {
+	return &Engine{rfs: s, cfg: cfg.withDefaults()}
+}
+
+// RFS returns the engine's structure.
+func (e *Engine) RFS() *rfs.Structure { return e.rfs }
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Candidate is one displayable representative image together with the
+// frontier node it represents.
+type Candidate struct {
+	ID   rstar.ItemID
+	Node *rstar.Node
+}
+
+// Stats accumulates the session's simulated I/O, split the way the paper's
+// scalability argument splits work: feedback processing (runs against the
+// small representative set, client-side) versus the final localized k-NN
+// (server-side).
+type Stats struct {
+	FeedbackReads uint64 // RFS node reads during display/descent
+	FinalReads    uint64 // tree node reads during localized k-NN
+	Expansions    int    // boundary expansions performed at Finalize
+	Rounds        int    // feedback rounds processed
+}
+
+// Session is one user's relevance-feedback interaction.
+type Session struct {
+	eng *Engine
+	rng *rand.Rand
+
+	frontier []*rstar.Node
+	relevant []rstar.ItemID
+	relSet   map[rstar.ItemID]bool
+	// assign is the query panel: each relevant image's currently associated
+	// subcluster, re-localized one level per round (§3.3 "the system records
+	// each relevant image and its associated subcluster").
+	assign map[rstar.ItemID]*rstar.Node
+
+	displayed map[rstar.ItemID]*rstar.Node // last display: rep -> frontier node
+	everShown map[rstar.ItemID]bool
+	cursors   map[disk.PageID]*displayCursor
+	weights   vec.Vector // optional §6 feature-importance weighting
+	// Session-lifetime page caches: §5.2.2's cost model counts one read per
+	// distinct node — representatives marked from the same cluster share the
+	// node access, and a node stays buffered for the rest of the session.
+	feedbackIO *disk.LRUCache
+	finalIO    *disk.LRUCache
+	stats      Stats
+	finalized  bool
+}
+
+// NewSession starts a query session; the rng drives the random candidate
+// displays.
+func (e *Engine) NewSession(rng *rand.Rand) *Session {
+	return &Session{
+		eng:        e,
+		rng:        rng,
+		frontier:   []*rstar.Node{e.rfs.Root()},
+		relSet:     make(map[rstar.ItemID]bool),
+		everShown:  make(map[rstar.ItemID]bool),
+		feedbackIO: disk.NewLRUCache(1 << 16),
+		finalIO:    disk.NewLRUCache(1 << 16),
+	}
+}
+
+// Frontier returns the current subquery anchor nodes (shared slice; do not
+// modify).
+func (s *Session) Frontier() []*rstar.Node { return s.frontier }
+
+// Relevant returns all images marked relevant so far (shared; do not modify).
+func (s *Session) Relevant() []rstar.ItemID { return s.relevant }
+
+// Stats returns the session's accumulated cost statistics.
+func (s *Session) Stats() Stats {
+	st := s.stats
+	st.FeedbackReads = s.feedbackIO.Reads()
+	st.FinalReads = s.finalIO.Reads()
+	return st
+}
+
+// Candidates draws up to DisplayCount representatives across the frontier,
+// sampling each node proportionally to its representative count (so large
+// clusters contribute more, mirroring the prototype's random browsing). The
+// returned slice records which frontier node each candidate represents;
+// Feedback only accepts images that have been displayed.
+func (s *Session) Candidates() []Candidate {
+	limit := s.eng.cfg.DisplayCount
+	type pool struct {
+		node *rstar.Node
+		reps []rstar.ItemID
+	}
+	var pools []pool
+	total := 0
+	for _, n := range s.frontier {
+		reps := s.eng.rfs.Reps(n, s.feedbackIO)
+		if len(reps) == 0 {
+			continue
+		}
+		pools = append(pools, pool{node: n, reps: reps})
+		total += len(reps)
+	}
+	if total == 0 {
+		return nil
+	}
+	if s.displayed == nil {
+		s.displayed = make(map[rstar.ItemID]*rstar.Node)
+	}
+	var out []Candidate
+	if total <= limit {
+		for _, p := range pools {
+			for _, id := range p.reps {
+				out = append(out, Candidate{ID: id, Node: p.node})
+			}
+		}
+	} else {
+		// Proportional allocation with at least one slot per pool, then a
+		// random draw without replacement inside each pool.
+		remaining := limit
+		for i, p := range pools {
+			share := int(math.Round(float64(limit) * float64(len(p.reps)) / float64(total)))
+			if share < 1 {
+				share = 1
+			}
+			if i == len(pools)-1 {
+				share = remaining
+			}
+			if share > len(p.reps) {
+				share = len(p.reps)
+			}
+			if share > remaining {
+				share = remaining
+			}
+			for _, id := range s.take(p.node.ID(), p.reps, share) {
+				out = append(out, Candidate{ID: id, Node: p.node})
+			}
+			remaining -= share
+			if remaining <= 0 {
+				break
+			}
+		}
+	}
+	for _, c := range out {
+		s.displayed[c.ID] = c.Node
+		s.everShown[c.ID] = true
+	}
+	return out
+}
+
+// displayCursor pages through one node's representatives in a shuffled order
+// without repetition, reshuffling once exhausted — the effective behaviour of
+// a user repeatedly pressing the GUI's "Random" button until they have seen
+// the candidate pool (§4). With-replacement sampling would leave rarely-drawn
+// representatives unseen no matter how long the user browses.
+type displayCursor struct {
+	order []rstar.ItemID
+	pos   int
+}
+
+// take returns the next n representatives under the cursor.
+func (s *Session) take(nodeID disk.PageID, reps []rstar.ItemID, n int) []rstar.ItemID {
+	if s.cursors == nil {
+		s.cursors = make(map[disk.PageID]*displayCursor)
+	}
+	cur, ok := s.cursors[nodeID]
+	if !ok || len(cur.order) != len(reps) {
+		cur = &displayCursor{order: append([]rstar.ItemID(nil), reps...)}
+		s.rng.Shuffle(len(cur.order), func(i, j int) { cur.order[i], cur.order[j] = cur.order[j], cur.order[i] })
+		s.cursors[nodeID] = cur
+	}
+	out := make([]rstar.ItemID, 0, n)
+	for len(out) < n {
+		if cur.pos >= len(cur.order) {
+			s.rng.Shuffle(len(cur.order), func(i, j int) { cur.order[i], cur.order[j] = cur.order[j], cur.order[i] })
+			cur.pos = 0
+		}
+		out = append(out, cur.order[cur.pos])
+		cur.pos++
+		if len(out) >= len(cur.order) {
+			break // pool smaller than the request: one full pass is enough
+		}
+	}
+	return out
+}
+
+// ErrFinalized is returned when a session is used after Finalize.
+var ErrFinalized = errors.New("core: session already finalized")
+
+// Feedback processes one round of user relevance feedback: the marked images
+// must have appeared in a previous Candidates call.
+//
+// The session mirrors the prototype's ImageGrouper protocol (§4): relevant
+// images persist in the query panel, and every round the system re-localizes
+// each one — the subquery anchored at an image's current subcluster descends
+// one level toward the image's leaf (§3.2, "the system records each relevant
+// image and its associated subcluster"). New marks join the panel at the
+// child of the cluster that displayed them. The frontier — the set of active
+// localized subqueries — is the set of distinct subclusters currently
+// assigned to relevant images, so the query splits exactly when relevant
+// images diverge into different clusters and discards branches in which the
+// user never marked anything.
+func (s *Session) Feedback(marked []rstar.ItemID) error {
+	if s.finalized {
+		return ErrFinalized
+	}
+	s.stats.Rounds++
+	if s.assign == nil {
+		s.assign = make(map[rstar.ItemID]*rstar.Node)
+	}
+	// New marks enter the panel at the displaying cluster's child containing
+	// them. Determining the child reads the node's entry table — one page
+	// access (§5.2.2).
+	for _, id := range marked {
+		node, ok := s.displayed[id]
+		if !ok {
+			return fmt.Errorf("core: image %d was not displayed", id)
+		}
+		if !s.relSet[id] {
+			s.relSet[id] = true
+			s.relevant = append(s.relevant, id)
+		}
+		s.feedbackIO.Access(node.ID())
+		child := s.eng.rfs.ChildContaining(node, id)
+		if child == nil {
+			child = node // displaying node is a leaf: maximally localized
+		}
+		// A re-mark from a shallower display must not regress a deeper
+		// assignment.
+		if cur, ok := s.assign[id]; !ok || s.eng.rfs.SubtreeSize(child) < s.eng.rfs.SubtreeSize(cur) {
+			s.assign[id] = child
+		}
+	}
+	// Re-localize the whole panel: every relevant image's subquery descends
+	// one level toward its leaf.
+	for _, id := range s.relevant {
+		n := s.assign[id]
+		if n == nil || n.IsLeaf() {
+			continue
+		}
+		s.feedbackIO.Access(n.ID())
+		if child := s.eng.rfs.ChildContaining(n, id); child != nil {
+			s.assign[id] = child
+		}
+	}
+	s.rebuildFrontier()
+	return nil
+}
+
+// SetFeatureWeights installs a per-dimension importance weighting (e.g.
+// emphasizing the colour family) applied by the final localized k-NN — the
+// user-defined feature-importance extension of §6. Pass nil to restore plain
+// Euclidean scoring. Weights must be non-negative and match the corpus
+// dimensionality; invalid weights are rejected.
+func (s *Session) SetFeatureWeights(w vec.Vector) error {
+	if w == nil {
+		s.weights = nil
+		return nil
+	}
+	if len(w) != len(s.eng.rfs.Point(0)) {
+		return fmt.Errorf("core: weight dim %d != corpus dim %d", len(w), len(s.eng.rfs.Point(0)))
+	}
+	for i, x := range w {
+		if x < 0 {
+			return fmt.Errorf("core: negative weight at dim %d", i)
+		}
+	}
+	s.weights = w.Clone()
+	return nil
+}
+
+// Retract removes previously marked images from the query panel (the
+// ImageGrouper interface lets users drag images back out). Subqueries kept
+// alive only by retracted marks are discarded; retracting everything returns
+// the session to browsing the root.
+func (s *Session) Retract(ids []rstar.ItemID) {
+	if s.finalized {
+		return
+	}
+	drop := make(map[rstar.ItemID]bool, len(ids))
+	for _, id := range ids {
+		if s.relSet[id] {
+			drop[id] = true
+			delete(s.relSet, id)
+			delete(s.assign, id)
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := s.relevant[:0]
+	for _, id := range s.relevant {
+		if !drop[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.relevant = kept
+	s.rebuildFrontier()
+}
+
+// rebuildFrontier derives the active subqueries from the panel assignments.
+func (s *Session) rebuildFrontier() {
+	if len(s.assign) == 0 {
+		// Empty panel (nothing marked, or everything retracted): browse the
+		// whole database again.
+		s.frontier = []*rstar.Node{s.eng.rfs.Root()}
+		return
+	}
+	next := make(map[disk.PageID]*rstar.Node, len(s.assign))
+	for _, n := range s.assign {
+		next[n.ID()] = n
+	}
+	s.frontier = s.frontier[:0]
+	for _, n := range next {
+		s.frontier = append(s.frontier, n)
+	}
+	// Deterministic order for reproducible displays.
+	sort.Slice(s.frontier, func(i, j int) bool { return s.frontier[i].ID() < s.frontier[j].ID() })
+}
+
+// ScoredImage is one result image with its similarity score (Euclidean
+// distance to the local query centroid; smaller is more similar).
+type ScoredImage struct {
+	ID    rstar.ItemID
+	Score float64
+}
+
+// Group is the result of one localized subquery.
+type Group struct {
+	// Node is the subcluster the subquery was anchored at (before boundary
+	// expansion).
+	Node *rstar.Node
+	// SearchNode is the node actually searched after §3.3 expansion.
+	SearchNode *rstar.Node
+	// QueryIDs are the relevant images that formed the local multipoint
+	// query.
+	QueryIDs []rstar.ItemID
+	// Images are the group's results, most similar first.
+	Images []ScoredImage
+	// RankScore is the sum of the group's similarity scores (§3.4).
+	RankScore float64
+}
+
+// Result is a finalized query: per-subcluster groups ordered by RankScore.
+type Result struct {
+	Groups []Group
+}
+
+// Flat returns all result images in a single list ranked by individual
+// similarity score — the presentation alternative §3.4 mentions.
+func (r *Result) Flat() []ScoredImage {
+	var out []ScoredImage
+	for _, g := range r.Groups {
+		out = append(out, g.Images...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDs returns the result image IDs in group order (groups by rank, images by
+// score within each group) — the paper's grouped presentation flattened.
+func (r *Result) IDs() []int {
+	var out []int
+	for _, g := range r.Groups {
+		for _, im := range g.Images {
+			out = append(out, int(im.ID))
+		}
+	}
+	return out
+}
+
+// Finalize runs the final localized multipoint k-NN subqueries (§3.3) and
+// merges their results (§3.4), returning k images in total. The session can
+// still report Stats afterwards but accepts no further feedback.
+func (s *Session) Finalize(k int) (*Result, error) {
+	if s.finalized {
+		return nil, ErrFinalized
+	}
+	s.finalized = true
+	if k <= 0 {
+		return nil, fmt.Errorf("core: invalid k=%d", k)
+	}
+	if len(s.relevant) == 0 {
+		return nil, errors.New("core: no relevant feedback given")
+	}
+	return finalizeGroups(s.eng, s.relevant, s.assign, k, s.weights, s.finalIO, &s.stats)
+}
+
+// QueryByExamples runs the final localized query processing directly from a
+// set of example (relevant) images, grouping them by their leaf subclusters —
+// the server half of the paper's client/server split (§4): the client runs
+// relevance feedback against its representative payload and submits only the
+// final query images here. acc may be nil. The returned stats cover only this
+// call.
+func (e *Engine) QueryByExamples(relevant []rstar.ItemID, k int, weights vec.Vector, acc disk.Accounter) (*Result, Stats, error) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("core: invalid k=%d", k)
+	}
+	if len(relevant) == 0 {
+		return nil, stats, errors.New("core: no example images given")
+	}
+	if weights != nil {
+		if len(weights) != len(e.rfs.Point(0)) {
+			return nil, stats, fmt.Errorf("core: weight dim %d != corpus dim %d", len(weights), len(e.rfs.Point(0)))
+		}
+		for i, w := range weights {
+			if w < 0 {
+				return nil, stats, fmt.Errorf("core: negative weight at dim %d", i)
+			}
+		}
+	}
+	assign := make(map[rstar.ItemID]*rstar.Node, len(relevant))
+	var ids []rstar.ItemID
+	seen := make(map[rstar.ItemID]bool, len(relevant))
+	for _, id := range relevant {
+		if seen[id] {
+			continue
+		}
+		leaf := e.rfs.LeafOf(id)
+		if leaf == nil {
+			return nil, stats, fmt.Errorf("core: unknown image %d", id)
+		}
+		seen[id] = true
+		assign[id] = leaf
+		ids = append(ids, id)
+	}
+	if acc == nil {
+		acc = disk.NewLRUCache(1 << 16)
+	}
+	before := acc.Reads()
+	res, err := finalizeGroups(e, ids, assign, k, weights, acc, &stats)
+	stats.FinalReads = acc.Reads() - before
+	return res, stats, err
+}
+
+// finalizeGroups is the shared final-round machinery behind Session.Finalize
+// and Engine.QueryByExamples.
+func finalizeGroups(eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats) (*Result, error) {
+	// Group the query panel by assigned subcluster: "a localized multipoint
+	// query is computed for each subset of relevant images belonging to a
+	// given subcluster" (§3.3).
+	type local struct {
+		node *rstar.Node
+		ids  []rstar.ItemID
+	}
+	byNode := make(map[disk.PageID]*local)
+	var order []disk.PageID // deterministic group processing order
+	for _, id := range relevant {
+		n := assign[id]
+		if n == nil {
+			continue
+		}
+		l, ok := byNode[n.ID()]
+		if !ok {
+			l = &local{node: n}
+			byNode[n.ID()] = l
+			order = append(order, n.ID())
+		}
+		l.ids = append(l.ids, id)
+	}
+	if len(byNode) == 0 {
+		return nil, errors.New("core: no relevant image lies under the current frontier")
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		a, b := byNode[order[i]], byNode[order[j]]
+		if len(a.ids) != len(b.ids) {
+			return len(a.ids) > len(b.ids)
+		}
+		return order[i] < order[j]
+	})
+	// More subqueries than result slots: keep only the k most relevant.
+	if len(order) > k {
+		order = order[:k]
+	}
+
+	// Resolve each subquery's search area first (§3.3 boundary test: expand
+	// while any local query image sits near its node's boundary), since the
+	// search area caps how many images the subquery can supply.
+	type prepared struct {
+		l        *local
+		search   *rstar.Node
+		centroid vec.Vector
+		cap      int
+	}
+	preps := make(map[disk.PageID]*prepared, len(order))
+	for _, nodeID := range order {
+		l := byNode[nodeID]
+		qpts := make([]vec.Vector, len(l.ids))
+		for i, id := range l.ids {
+			qpts[i] = eng.rfs.Point(id)
+		}
+		search := eng.rfs.ExpandForQuery(l.node, qpts, eng.cfg.BoundaryThreshold)
+		if search != l.node {
+			stats.Expansions++
+		}
+		preps[nodeID] = &prepared{
+			l:        l,
+			search:   search,
+			centroid: vec.Centroid(qpts),
+			cap:      eng.rfs.SubtreeSize(search),
+		}
+	}
+
+	// Allocate k across subqueries proportionally to their relevant counts
+	// (§3.4), each capped by its searchable subtree, with leftovers
+	// round-robined to groups that still have capacity.
+	totalRel := 0
+	for _, nodeID := range order {
+		totalRel += len(byNode[nodeID].ids)
+	}
+	alloc := make(map[disk.PageID]int, len(order))
+	assigned := 0
+	for _, nodeID := range order {
+		p := preps[nodeID]
+		share := int(math.Floor(float64(k) * float64(len(p.l.ids)) / float64(totalRel)))
+		if share < 1 {
+			share = 1
+		}
+		if share > p.cap {
+			share = p.cap
+		}
+		alloc[nodeID] = share
+		assigned += share
+	}
+	for moved := true; moved && assigned < k; {
+		moved = false
+		for _, nodeID := range order {
+			if assigned >= k {
+				break
+			}
+			if alloc[nodeID] < preps[nodeID].cap {
+				alloc[nodeID]++
+				assigned++
+				moved = true
+			}
+		}
+	}
+	for i := 0; assigned > k; i = (i + 1) % len(order) {
+		id := order[len(order)-1-i%len(order)]
+		if alloc[id] > 1 {
+			alloc[id]--
+			assigned--
+		}
+	}
+
+	// Run the localized subqueries. Expanded search areas can overlap, so an
+	// image already claimed by an earlier group is skipped (each subquery
+	// requests enough extra neighbours to fill its allocation with unseen
+	// images); a top-up pass redistributes any remaining shortfall.
+	res := &Result{}
+	seen := make(map[rstar.ItemID]bool, k)
+	groups := make(map[disk.PageID]*Group, len(order))
+	for _, nodeID := range order {
+		p := preps[nodeID]
+		g := &Group{Node: p.l.node, SearchNode: p.search, QueryIDs: p.l.ids}
+		neighbors := localKNN(eng, weights, finalIO, p.search, p.centroid, alloc[nodeID]+len(seen))
+		for _, n := range neighbors {
+			if len(g.Images) >= alloc[nodeID] {
+				break
+			}
+			if seen[n.ID] {
+				continue
+			}
+			seen[n.ID] = true
+			g.Images = append(g.Images, ScoredImage{ID: n.ID, Score: n.Dist})
+			g.RankScore += n.Dist
+		}
+		groups[nodeID] = g
+	}
+	for deficit := k - len(seen); deficit > 0; {
+		progressed := false
+		for _, nodeID := range order {
+			if deficit <= 0 {
+				break
+			}
+			p, g := preps[nodeID], groups[nodeID]
+			if len(g.Images) >= p.cap {
+				continue
+			}
+			want := len(g.Images) + deficit + len(seen)
+			for _, n := range localKNN(eng, weights, finalIO, p.search, p.centroid, want) {
+				if deficit <= 0 {
+					break
+				}
+				if seen[n.ID] {
+					continue
+				}
+				seen[n.ID] = true
+				g.Images = append(g.Images, ScoredImage{ID: n.ID, Score: n.Dist})
+				g.RankScore += n.Dist
+				deficit--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // every search area exhausted; fewer than k images exist
+		}
+	}
+	for _, nodeID := range order {
+		res.Groups = append(res.Groups, *groups[nodeID])
+	}
+	// §3.4: groups presented in ranking-score order (ascending summed
+	// distance: a group whose members lie closer to its query ranks first).
+	sort.SliceStable(res.Groups, func(i, j int) bool { return res.Groups[i].RankScore < res.Groups[j].RankScore })
+	return res, nil
+}
+
+// localKNN runs one localized subquery search, honouring an optional
+// feature-importance weighting.
+func localKNN(eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int) []rstar.Neighbor {
+	if weights != nil {
+		return eng.rfs.Tree().KNNWeightedFrom(n, q, weights, k, acc)
+	}
+	return eng.rfs.Tree().KNNFrom(n, q, k, acc)
+}

@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/vec"
+)
+
+// Info is the ground-truth record of one corpus image. Category and
+// Subconcept play the role of the paper's expert-assigned Corel labels.
+type Info struct {
+	ID         int
+	Category   string
+	Subconcept string // canonical "category/subconcept" key
+}
+
+// Corpus is a built image database: normalized 37-d feature vectors plus
+// ground truth, and optionally the rendered images and per-channel vectors
+// for the Multiple Viewpoints baseline.
+type Corpus struct {
+	Infos   []Info
+	Vectors []vec.Vector // normalized features, indexed by image ID
+
+	// ChannelVectors holds, per MV colour channel, the normalized features
+	// of the whole corpus viewed through that channel. Nil unless the corpus
+	// was built with Options.WithChannels (image mode only).
+	ChannelVectors map[img.Channel][]vec.Vector
+
+	// Images holds the rendered rasters when Options.KeepImages is set.
+	Images []*img.Image
+
+	// Extractor normalizes future raw extractions against this corpus.
+	Extractor *feature.Extractor
+
+	bySubconcept map[string][]int
+	byCategory   map[string][]int
+}
+
+// Options configures Build.
+type Options struct {
+	// Seed drives per-image render jitter.
+	Seed int64
+	// KeepImages retains rendered rasters on the corpus (memory for a full
+	// 15k corpus: ~100 MB; off by default).
+	KeepImages bool
+	// WithChannels also extracts features under the three non-original MV
+	// channels, quadrupling extraction work. Required by the image-mode MV
+	// baseline.
+	WithChannels bool
+}
+
+// Build renders the spec and extracts normalized features for every image.
+func Build(spec Spec, opts Options) *Corpus {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Corpus{
+		bySubconcept: make(map[string][]int),
+		byCategory:   make(map[string][]int),
+	}
+	var raws []vec.Vector
+	channelRaws := make(map[img.Channel][]vec.Vector)
+
+	id := 0
+	for _, cat := range spec.Categories {
+		for _, sub := range cat.Subconcepts {
+			key := Key(cat.Name, sub.Name)
+			for i := 0; i < sub.Count; i++ {
+				im := Render(sub.Appearance, rng)
+				raws = append(raws, feature.Extract(im))
+				if opts.WithChannels {
+					for _, ch := range img.AllChannels[1:] {
+						channelRaws[ch] = append(channelRaws[ch], feature.ExtractChannel(im, ch))
+					}
+				}
+				c.Infos = append(c.Infos, Info{ID: id, Category: cat.Name, Subconcept: key})
+				c.bySubconcept[key] = append(c.bySubconcept[key], id)
+				c.byCategory[cat.Name] = append(c.byCategory[cat.Name], id)
+				if opts.KeepImages {
+					c.Images = append(c.Images, im)
+				}
+				id++
+			}
+		}
+	}
+	if len(raws) == 0 {
+		panic("dataset: spec generates no images")
+	}
+	c.Extractor = feature.NewExtractor(raws)
+	c.Vectors = make([]vec.Vector, len(raws))
+	for i, r := range raws {
+		c.Vectors[i] = c.Extractor.Normalize(r)
+	}
+	if opts.WithChannels {
+		c.ChannelVectors = map[img.Channel][]vec.Vector{img.ChannelOriginal: c.Vectors}
+		for _, ch := range img.AllChannels[1:] {
+			// Each channel gets its own normalizer: a viewpoint is a full
+			// feature representation of the database (French & Jin).
+			ex := feature.NewExtractor(channelRaws[ch])
+			vs := make([]vec.Vector, len(channelRaws[ch]))
+			for i, r := range channelRaws[ch] {
+				vs[i] = ex.Normalize(r)
+			}
+			c.ChannelVectors[ch] = vs
+		}
+	}
+	return c
+}
+
+// BuildVectors synthesizes a vector-mode corpus: each subconcept is a
+// Gaussian blob in the unit hypercube of the given dimensionality. Ground
+// truth bookkeeping is identical to image mode, so every engine and baseline
+// runs unchanged; only the feature pipeline is bypassed. Used by the
+// Fig 10/11 database-size sweeps.
+func BuildVectors(spec Spec, dim int, spread float64, seed int64) *Corpus {
+	if dim <= 0 {
+		panic(fmt.Sprintf("dataset: invalid dim %d", dim))
+	}
+	if spread <= 0 {
+		spread = 0.02
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{
+		bySubconcept: make(map[string][]int),
+		byCategory:   make(map[string][]int),
+	}
+	id := 0
+	for _, cat := range spec.Categories {
+		for _, sub := range cat.Subconcepts {
+			key := Key(cat.Name, sub.Name)
+			center := make(vec.Vector, dim)
+			for j := range center {
+				center[j] = rng.Float64()
+			}
+			for i := 0; i < sub.Count; i++ {
+				p := center.Clone()
+				for j := range p {
+					p[j] += rng.NormFloat64() * spread
+				}
+				c.Vectors = append(c.Vectors, p)
+				c.Infos = append(c.Infos, Info{ID: id, Category: cat.Name, Subconcept: key})
+				c.bySubconcept[key] = append(c.bySubconcept[key], id)
+				c.byCategory[cat.Name] = append(c.byCategory[cat.Name], id)
+				id++
+			}
+		}
+	}
+	if len(c.Vectors) == 0 {
+		panic("dataset: spec generates no images")
+	}
+	return c
+}
+
+// Reassemble reconstructs a corpus from persisted parts: ground-truth infos,
+// the vector table (usually recovered from an RFS snapshot), and optional
+// per-channel vectors. It validates the result before returning.
+func Reassemble(infos []Info, vectors []vec.Vector, channels map[img.Channel][]vec.Vector) (*Corpus, error) {
+	c := &Corpus{
+		Infos:          infos,
+		Vectors:        vectors,
+		ChannelVectors: channels,
+		bySubconcept:   make(map[string][]int),
+		byCategory:     make(map[string][]int),
+	}
+	for _, info := range infos {
+		c.bySubconcept[info.Subconcept] = append(c.bySubconcept[info.Subconcept], info.ID)
+		c.byCategory[info.Category] = append(c.byCategory[info.Category], info.ID)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Len returns the number of images in the corpus.
+func (c *Corpus) Len() int { return len(c.Infos) }
+
+// SubconceptOf returns the subconcept key of an image, or "" for an unknown
+// ID.
+func (c *Corpus) SubconceptOf(id int) string {
+	if id < 0 || id >= len(c.Infos) {
+		return ""
+	}
+	return c.Infos[id].Subconcept
+}
+
+// CategoryOf returns the category of an image, or "" for an unknown ID.
+func (c *Corpus) CategoryOf(id int) string {
+	if id < 0 || id >= len(c.Infos) {
+		return ""
+	}
+	return c.Infos[id].Category
+}
+
+// SubconceptIDs returns the image IDs of one subconcept (shared slice; do not
+// modify).
+func (c *Corpus) SubconceptIDs(key string) []int { return c.bySubconcept[key] }
+
+// CategoryIDs returns the image IDs of one category (shared slice; do not
+// modify).
+func (c *Corpus) CategoryIDs(name string) []int { return c.byCategory[name] }
+
+// Subconcepts returns all subconcept keys present in the corpus.
+func (c *Corpus) Subconcepts() []string {
+	out := make([]string, 0, len(c.bySubconcept))
+	for k := range c.bySubconcept {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RelevantSet returns the ground-truth image set of a query: the union of its
+// target subconcepts.
+func (c *Corpus) RelevantSet(q Query) map[int]bool {
+	rel := make(map[int]bool)
+	for _, t := range q.Targets {
+		for _, id := range c.bySubconcept[t] {
+			rel[id] = true
+		}
+	}
+	return rel
+}
+
+// GroundTruthSize returns |RelevantSet(q)|. The paper retrieves exactly this
+// many images per query, which makes precision equal recall.
+func (c *Corpus) GroundTruthSize(q Query) int {
+	n := 0
+	for _, t := range q.Targets {
+		n += len(c.bySubconcept[t])
+	}
+	return n
+}
+
+// Validate checks internal consistency (index maps vs infos, vector count,
+// contiguous IDs) and returns the first problem found.
+func (c *Corpus) Validate() error {
+	if len(c.Vectors) != len(c.Infos) {
+		return fmt.Errorf("dataset: %d vectors for %d infos", len(c.Vectors), len(c.Infos))
+	}
+	for i, info := range c.Infos {
+		if info.ID != i {
+			return fmt.Errorf("dataset: info %d has ID %d", i, info.ID)
+		}
+		found := false
+		for _, id := range c.bySubconcept[info.Subconcept] {
+			if id == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dataset: image %d missing from subconcept index %q", i, info.Subconcept)
+		}
+	}
+	var indexed int
+	for _, ids := range c.bySubconcept {
+		indexed += len(ids)
+	}
+	if indexed != len(c.Infos) {
+		return fmt.Errorf("dataset: subconcept index holds %d entries for %d images", indexed, len(c.Infos))
+	}
+	return nil
+}

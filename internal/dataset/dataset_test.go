@@ -1,0 +1,381 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/kmeans"
+	"qdcbir/internal/vec"
+)
+
+func TestPaperQueriesShape(t *testing.T) {
+	qs := PaperQueries()
+	if len(qs) != 11 {
+		t.Fatalf("%d queries, Table 1 lists 11", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Targets) < 2 {
+			t.Errorf("query %q has %d targets; every Table-1 query has ≥2 subconcepts", q.Name, len(q.Targets))
+		}
+		for _, tgt := range q.Targets {
+			if !strings.Contains(tgt, "/") {
+				t.Errorf("target %q not in category/subconcept form", tgt)
+			}
+		}
+	}
+	// The three computer queries are nested general → specific.
+	byName := map[string]Query{}
+	for _, q := range qs {
+		byName[q.Name] = q
+	}
+	comp := byName["Computer"].Targets
+	pc := byName["Personal computer"].Targets
+	lap := byName["Laptop"].Targets
+	if !(len(comp) > len(pc) && len(pc) > len(lap)) {
+		t.Errorf("computer query nesting broken: %d/%d/%d", len(comp), len(pc), len(lap))
+	}
+	set := func(ts []string) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range ts {
+			m[s] = true
+		}
+		return m
+	}
+	compSet, pcSet := set(comp), set(pc)
+	for _, s := range lap {
+		if !pcSet[s] || !compSet[s] {
+			t.Errorf("laptop target %q not nested in broader queries", s)
+		}
+	}
+}
+
+func TestPaperSpecScale(t *testing.T) {
+	s := PaperSpec(1)
+	if got := len(s.Categories); got < 140 || got > 160 {
+		t.Errorf("%d categories, paper uses ~150", got)
+	}
+	total := s.TotalImages()
+	if total < 13000 || total > 16000 {
+		t.Errorf("%d total images, paper uses 15,000", total)
+	}
+}
+
+func TestSpecDeterminism(t *testing.T) {
+	a := SmallSpec(7, 20, 400)
+	b := SmallSpec(7, 20, 400)
+	if len(a.Categories) != len(b.Categories) {
+		t.Fatal("category counts differ")
+	}
+	for i := range a.Categories {
+		if a.Categories[i].Name != b.Categories[i].Name {
+			t.Fatalf("category %d name differs", i)
+		}
+		for j := range a.Categories[i].Subconcepts {
+			sa, sb := a.Categories[i].Subconcepts[j], b.Categories[i].Subconcepts[j]
+			if sa.Appearance != sb.Appearance {
+				t.Fatalf("appearance for %s/%s differs across same-seed specs",
+					a.Categories[i].Name, sa.Name)
+			}
+		}
+	}
+	c := SmallSpec(8, 20, 400)
+	different := false
+	for i := range a.Categories {
+		for j := range a.Categories[i].Subconcepts {
+			// Filler categories may have differing subconcept counts across
+			// seeds, which itself proves seed sensitivity.
+			if j >= len(c.Categories[i].Subconcepts) {
+				different = true
+				continue
+			}
+			if a.Categories[i].Subconcepts[j].Appearance != c.Categories[i].Subconcepts[j].Appearance {
+				different = true
+			}
+		}
+	}
+	if !different {
+		t.Error("different seeds produced identical appearances")
+	}
+}
+
+func TestSmallSpecClamps(t *testing.T) {
+	s := SmallSpec(1, 2, 1) // below minimums
+	if len(s.Categories) < 9 {
+		t.Errorf("categories clamped to %d, need at least the 9 query categories", len(s.Categories))
+	}
+	if s.TotalImages() < len(s.Categories) {
+		t.Errorf("total %d below one per category", s.TotalImages())
+	}
+}
+
+func TestRenderDeterministicPerSeed(t *testing.T) {
+	a := randomAppearance(rand.New(rand.NewSource(3)))
+	im1 := Render(a, rand.New(rand.NewSource(9)))
+	im2 := Render(a, rand.New(rand.NewSource(9)))
+	for i := range im1.Pix {
+		if im1.Pix[i] != im2.Pix[i] {
+			t.Fatal("same-seed renders differ")
+		}
+	}
+	im3 := Render(a, rand.New(rand.NewSource(10)))
+	same := true
+	for i := range im1.Pix {
+		if im1.Pix[i] != im3.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different-seed renders identical (no jitter)")
+	}
+}
+
+func TestHSVToRGBRoundTrip(t *testing.T) {
+	cases := []struct {
+		h, s, v float64
+		want    img.RGB
+	}{
+		{0, 1, 1, img.RGB{R: 255, G: 0, B: 0}},
+		{120, 1, 1, img.RGB{R: 0, G: 255, B: 0}},
+		{240, 1, 1, img.RGB{R: 0, G: 0, B: 255}},
+		{0, 0, 1, img.RGB{R: 255, G: 255, B: 255}},
+		{0, 0, 0, img.RGB{R: 0, G: 0, B: 0}},
+	}
+	for _, c := range cases {
+		if got := hsvToRGB(c.h, c.s, c.v); got != c.want {
+			t.Errorf("hsvToRGB(%v,%v,%v) = %v want %v", c.h, c.s, c.v, got, c.want)
+		}
+	}
+	// Negative hue wraps.
+	if got := hsvToRGB(-360, 1, 1); got != (img.RGB{R: 255, G: 0, B: 0}) {
+		t.Errorf("wrapped hue = %v", got)
+	}
+}
+
+func buildSmall(t *testing.T, opts Options) *Corpus {
+	t.Helper()
+	spec := SmallSpec(5, 12, 360)
+	c := Build(spec, opts)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return c
+}
+
+func TestBuildBasics(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 1})
+	if c.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	if len(c.Vectors) != c.Len() {
+		t.Fatalf("%d vectors for %d images", len(c.Vectors), c.Len())
+	}
+	for i, v := range c.Vectors {
+		if len(v) != feature.Dim {
+			t.Fatalf("vector %d has dim %d", i, len(v))
+		}
+	}
+	if c.Images != nil {
+		t.Error("images kept without KeepImages")
+	}
+	if c.ChannelVectors != nil {
+		t.Error("channel vectors built without WithChannels")
+	}
+	// Ground-truth accessors agree.
+	for _, info := range c.Infos[:20] {
+		if c.SubconceptOf(info.ID) != info.Subconcept {
+			t.Errorf("SubconceptOf(%d) = %q", info.ID, c.SubconceptOf(info.ID))
+		}
+		if c.CategoryOf(info.ID) != info.Category {
+			t.Errorf("CategoryOf(%d) = %q", info.ID, c.CategoryOf(info.ID))
+		}
+	}
+	if c.SubconceptOf(-1) != "" || c.SubconceptOf(c.Len()) != "" {
+		t.Error("out-of-range lookups should return empty")
+	}
+}
+
+func TestBuildKeepImagesAndChannels(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 2, KeepImages: true, WithChannels: true})
+	if len(c.Images) != c.Len() {
+		t.Fatalf("%d images kept for %d entries", len(c.Images), c.Len())
+	}
+	if len(c.ChannelVectors) != 4 {
+		t.Fatalf("%d channels", len(c.ChannelVectors))
+	}
+	for ch, vs := range c.ChannelVectors {
+		if len(vs) != c.Len() {
+			t.Errorf("channel %v has %d vectors", ch, len(vs))
+		}
+	}
+	// Original channel aliases the main vectors.
+	if &c.ChannelVectors[img.ChannelOriginal][0][0] != &c.Vectors[0][0] {
+		t.Error("original channel should reuse main vectors")
+	}
+	// Non-original channels are genuinely different representations.
+	d := vec.L2(c.ChannelVectors[img.ChannelNegative][0], c.Vectors[0])
+	if d == 0 {
+		t.Error("negative-channel vector identical to original")
+	}
+}
+
+// Central geometry property: images of one subconcept cluster tightly, while
+// different subconcepts of the same category form separated clusters.
+func TestSubconceptClusterGeometry(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 3})
+	birds := []string{Key("bird", "eagle"), Key("bird", "owl"), Key("bird", "sparrow")}
+	centroids := make(map[string]vec.Vector)
+	var interOK, checks int
+	for _, key := range birds {
+		ids := c.SubconceptIDs(key)
+		if len(ids) < 5 {
+			t.Fatalf("subconcept %s has only %d images", key, len(ids))
+		}
+		var vs []vec.Vector
+		for _, id := range ids {
+			vs = append(vs, c.Vectors[id])
+		}
+		centroids[key] = vec.Centroid(vs)
+		// Mean intra-cluster distance.
+		var intra float64
+		for _, v := range vs {
+			intra += vec.L2(v, centroids[key])
+		}
+		intra /= float64(len(vs))
+		// Compare against the distance to the other bird subconcepts.
+		for _, other := range birds {
+			if other == key || centroids[other] == nil {
+				continue
+			}
+			checks++
+			if vec.L2(centroids[key], centroids[other]) > 2*intra {
+				interOK++
+			}
+		}
+	}
+	if checks > 0 && interOK < checks {
+		t.Errorf("only %d/%d subconcept pairs separated by >2x intra spread", interOK, checks)
+	}
+}
+
+// k-means on one category's images should recover the subconcept partition —
+// the Figure-1 phenomenon that drives the whole paper.
+func TestKMeansRecoversSubconcepts(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 4})
+	ids := c.CategoryIDs("car")
+	var pts []vec.Vector
+	var labels []string
+	for _, id := range ids {
+		pts = append(pts, c.Vectors[id])
+		labels = append(labels, c.SubconceptOf(id))
+	}
+	distinct := map[string]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	r := kmeans.Cluster(pts, len(distinct), kmeans.Config{MaxIter: 100}, rand.New(rand.NewSource(5)))
+	// Purity: each cluster is dominated by a single subconcept.
+	var pure, total int
+	for cl := 0; cl < r.K; cl++ {
+		counts := map[string]int{}
+		members := r.Members(cl)
+		for _, m := range members {
+			counts[labels[m]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		pure += best
+		total += len(members)
+	}
+	if total == 0 {
+		t.Fatal("no car images")
+	}
+	if purity := float64(pure) / float64(total); purity < 0.85 {
+		t.Errorf("cluster purity %.2f < 0.85 — subconcepts not separable", purity)
+	}
+}
+
+func TestRelevantSetAndGroundTruthSize(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 6})
+	q := Query{Name: "Bird", Targets: []string{Key("bird", "eagle"), Key("bird", "owl"), Key("bird", "sparrow")}}
+	rel := c.RelevantSet(q)
+	if len(rel) != c.GroundTruthSize(q) {
+		t.Errorf("RelevantSet %d != GroundTruthSize %d", len(rel), c.GroundTruthSize(q))
+	}
+	for id := range rel {
+		if c.CategoryOf(id) != "bird" {
+			t.Errorf("relevant image %d is %q", id, c.CategoryOf(id))
+		}
+	}
+	// All bird subconcept IDs are included.
+	for _, tgt := range q.Targets {
+		for _, id := range c.SubconceptIDs(tgt) {
+			if !rel[id] {
+				t.Errorf("id %d of %s missing from relevant set", id, tgt)
+			}
+		}
+	}
+}
+
+func TestBuildVectors(t *testing.T) {
+	spec := SmallSpec(7, 15, 600)
+	c := BuildVectors(spec, 37, 0.02, 11)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.Len() != spec.TotalImages() {
+		t.Fatalf("Len %d != spec total %d", c.Len(), spec.TotalImages())
+	}
+	for _, v := range c.Vectors {
+		if len(v) != 37 {
+			t.Fatalf("vector dim %d", len(v))
+		}
+	}
+	// Blob geometry: a subconcept's points hug their centroid.
+	for _, key := range c.Subconcepts()[:3] {
+		ids := c.SubconceptIDs(key)
+		var vs []vec.Vector
+		for _, id := range ids {
+			vs = append(vs, c.Vectors[id])
+		}
+		if len(vs) < 2 {
+			continue
+		}
+		ctr := vec.Centroid(vs)
+		for _, v := range vs {
+			if vec.L2(v, ctr) > 1.0 {
+				t.Errorf("subconcept %s point %v far from centroid", key, vec.L2(v, ctr))
+			}
+		}
+	}
+}
+
+func TestBuildVectorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim<=0")
+		}
+	}()
+	BuildVectors(SmallSpec(1, 10, 100), 0, 0.02, 1)
+}
+
+func TestSubconceptsListComplete(t *testing.T) {
+	c := buildSmall(t, Options{Seed: 8})
+	subs := c.Subconcepts()
+	seen := map[string]bool{}
+	for _, s := range subs {
+		seen[s] = true
+	}
+	for _, info := range c.Infos {
+		if !seen[info.Subconcept] {
+			t.Fatalf("subconcept %q missing from listing", info.Subconcept)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package dataset builds the synthetic stand-in for the paper's 15,000-image
+// Corel corpus (§5.1). Each of roughly 150 categories is split into one or
+// more subconcepts; every subconcept has a distinct procedural appearance
+// (palette, shapes, texture), so after feature extraction one semantic
+// category occupies several well-separated clusters in the 37-d feature
+// space — exactly the geometry that motivates query decomposition.
+//
+// The package offers two corpus modes:
+//
+//   - Build renders real raster images per subconcept and runs the full
+//     feature pipeline (used for the quality experiments, Tables 1-2 and
+//     Figs 4-9).
+//   - BuildVectors synthesizes feature vectors directly from a Gaussian
+//     mixture (used for the Fig 10/11 scalability sweeps, where rendering
+//     50,000 images would only measure the renderer).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qdcbir/internal/img"
+)
+
+// ShapeKind selects the foreground geometry of an appearance.
+type ShapeKind int
+
+// The shape vocabulary of the procedural renderer.
+const (
+	ShapeNone ShapeKind = iota
+	ShapeRect
+	ShapeEllipse
+	ShapeTriangle
+	ShapeLines
+	numShapeKinds
+)
+
+// Appearance parameterizes how one subconcept renders. Two subconcepts with
+// different appearances land in different feature-space clusters; renders of
+// the same appearance differ only by jitter and stay close together.
+type Appearance struct {
+	Base1, Base2   img.RGB // background gradient endpoints
+	Shape          ShapeKind
+	ShapeColor     img.RGB
+	ShapeCount     int
+	StripePeriod   float64 // 0 disables stripes
+	StripeAngle    float64
+	StripeColor    img.RGB
+	StripeStrength float64
+	CheckerCell    int // 0 disables checkering
+	CheckerColor   img.RGB
+	NoiseSigma     float64 // per-render pixel noise
+	ColorJitter    float64 // per-render palette jitter (8-bit units)
+	GeomJitter     float64 // per-render shape position/size jitter (fraction)
+}
+
+// SubconceptSpec is one visually-coherent subset of a category.
+type SubconceptSpec struct {
+	Name       string
+	Count      int
+	Appearance Appearance
+}
+
+// CategorySpec is one semantic category ("car", "bird", ...).
+type CategorySpec struct {
+	Name        string
+	Subconcepts []SubconceptSpec
+}
+
+// Query is one evaluation query: a semantic concept whose ground truth is the
+// union of the listed subconcepts (keys are "category/subconcept").
+type Query struct {
+	Name    string
+	Targets []string
+}
+
+// Key returns the canonical "category/subconcept" key.
+func Key(category, subconcept string) string { return category + "/" + subconcept }
+
+// randomAppearance draws a well-spread appearance. Subconcept appearances are
+// sampled from wide parameter ranges so distinct subconcepts are very likely
+// to separate in feature space.
+func randomAppearance(rng *rand.Rand) Appearance {
+	hue := rng.Float64() * 360
+	base1 := hsvToRGB(hue, 0.4+rng.Float64()*0.6, 0.35+rng.Float64()*0.6)
+	base2 := hsvToRGB(math.Mod(hue+20+rng.Float64()*60, 360), 0.3+rng.Float64()*0.6, 0.3+rng.Float64()*0.6)
+	a := Appearance{
+		Base1:       base1,
+		Base2:       base2,
+		Shape:       ShapeKind(rng.Intn(int(numShapeKinds))),
+		ShapeColor:  hsvToRGB(math.Mod(hue+120+rng.Float64()*120, 360), 0.5+rng.Float64()*0.5, 0.4+rng.Float64()*0.6),
+		ShapeCount:  1 + rng.Intn(4),
+		NoiseSigma:  3 + rng.Float64()*5,
+		ColorJitter: 8 + rng.Float64()*10,
+		GeomJitter:  0.05 + rng.Float64()*0.1,
+	}
+	switch rng.Intn(3) {
+	case 0: // striped texture
+		a.StripePeriod = 3 + rng.Float64()*12
+		a.StripeAngle = rng.Float64() * math.Pi
+		a.StripeColor = hsvToRGB(rng.Float64()*360, 0.3+rng.Float64()*0.5, 0.5+rng.Float64()*0.5)
+		a.StripeStrength = 0.25 + rng.Float64()*0.5
+	case 1: // checkered texture
+		a.CheckerCell = 2 + rng.Intn(8)
+		a.CheckerColor = hsvToRGB(rng.Float64()*360, 0.3+rng.Float64()*0.5, 0.4+rng.Float64()*0.5)
+	}
+	return a
+}
+
+// hsvToRGB converts an HSV triple (H in degrees) to an 8-bit RGB pixel.
+func hsvToRGB(h, s, v float64) img.RGB {
+	h = math.Mod(h, 360)
+	if h < 0 {
+		h += 360
+	}
+	c := v * s
+	x := c * (1 - math.Abs(math.Mod(h/60, 2)-1))
+	m := v - c
+	var r, g, b float64
+	switch {
+	case h < 60:
+		r, g, b = c, x, 0
+	case h < 120:
+		r, g, b = x, c, 0
+	case h < 180:
+		r, g, b = 0, c, x
+	case h < 240:
+		r, g, b = 0, x, c
+	case h < 300:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	return img.RGB{
+		R: img.Clamp8((r + m) * 255),
+		G: img.Clamp8((g + m) * 255),
+		B: img.Clamp8((b + m) * 255),
+	}
+}
+
+// queryCategoryLayout names the Table-1 categories and their subconcepts.
+var queryCategoryLayout = []struct {
+	category    string
+	subconcepts []string
+}{
+	{"person", []string{"hair-model", "fitness", "kongfu"}},
+	{"airplane", []string{"single", "multiple"}},
+	{"bird", []string{"eagle", "owl", "sparrow"}},
+	{"car", []string{"modern-sedan", "antique-car", "steamed-car"}},
+	{"horse", []string{"polo", "wild-horse", "race"}},
+	{"mountain", []string{"snow", "with-water"}},
+	{"rose", []string{"yellow", "red"}},
+	{"watersports", []string{"surfing", "sailing"}},
+	{"computer", []string{"server", "desktop", "laptop-clear", "laptop-complex"}},
+}
+
+// PaperQueries returns the 11 evaluation queries of Table 1. The three
+// computer queries share the computer category at decreasing generality,
+// matching the paper's general-vs-specific design.
+func PaperQueries() []Query {
+	q := []Query{
+		{Name: "A person", Targets: keys("person", "hair-model", "fitness", "kongfu")},
+		{Name: "Airplane", Targets: keys("airplane", "single", "multiple")},
+		{Name: "Bird", Targets: keys("bird", "eagle", "owl", "sparrow")},
+		{Name: "Car", Targets: keys("car", "modern-sedan", "antique-car", "steamed-car")},
+		{Name: "Horse", Targets: keys("horse", "polo", "wild-horse", "race")},
+		{Name: "Mountain view", Targets: keys("mountain", "snow", "with-water")},
+		{Name: "Rose", Targets: keys("rose", "yellow", "red")},
+		{Name: "Water Sports", Targets: keys("watersports", "surfing", "sailing")},
+		{Name: "Computer", Targets: keys("computer", "server", "desktop", "laptop-clear", "laptop-complex")},
+		{Name: "Personal computer", Targets: keys("computer", "desktop", "laptop-clear", "laptop-complex")},
+		{Name: "Laptop", Targets: keys("computer", "laptop-clear", "laptop-complex")},
+	}
+	return q
+}
+
+func keys(category string, subs ...string) []string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = Key(category, s)
+	}
+	return out
+}
+
+// Spec describes a whole corpus layout.
+type Spec struct {
+	Categories []CategorySpec
+	// Seed drives appearance sampling so a Spec is fully reproducible.
+	Seed int64
+}
+
+// PaperSpec returns the full-scale layout: the 9 Table-1 categories plus
+// filler categories, ~150 categories and ~15,000 images total, ~100 images
+// per category as in §5.1.
+func PaperSpec(seed int64) Spec { return buildSpec(seed, 150, 15000) }
+
+// SmallSpec returns a reduced layout for tests and examples: the same query
+// categories but fewer fillers and fewer images per subconcept.
+func SmallSpec(seed int64, categories, totalImages int) Spec {
+	return buildSpec(seed, categories, totalImages)
+}
+
+func buildSpec(seed int64, categories, totalImages int) Spec {
+	if categories < len(queryCategoryLayout) {
+		categories = len(queryCategoryLayout)
+	}
+	if totalImages < categories {
+		totalImages = categories
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perCategory := totalImages / categories
+
+	var specs []CategorySpec
+	for _, qc := range queryCategoryLayout {
+		cs := CategorySpec{Name: qc.category}
+		per := perCategory / len(qc.subconcepts)
+		if per < 1 {
+			per = 1
+		}
+		for _, sub := range qc.subconcepts {
+			cs.Subconcepts = append(cs.Subconcepts, SubconceptSpec{
+				Name:       sub,
+				Count:      per,
+				Appearance: randomAppearance(rng),
+			})
+		}
+		specs = append(specs, cs)
+	}
+	// Filler categories: 1-2 subconcepts each, random appearances. They play
+	// the role of the Corel categories unrelated to any test query — the
+	// "irrelevant images scattered in-between the clusters" of Figure 1.
+	for i := len(queryCategoryLayout); i < categories; i++ {
+		nSub := 1 + rng.Intn(2)
+		cs := CategorySpec{Name: fmt.Sprintf("filler-%03d", i)}
+		per := perCategory / nSub
+		if per < 1 {
+			per = 1
+		}
+		for s := 0; s < nSub; s++ {
+			cs.Subconcepts = append(cs.Subconcepts, SubconceptSpec{
+				Name:       fmt.Sprintf("variant-%d", s),
+				Count:      per,
+				Appearance: randomAppearance(rng),
+			})
+		}
+		specs = append(specs, cs)
+	}
+	return Spec{Categories: specs, Seed: seed}
+}
+
+// TotalImages returns the number of images the spec will generate.
+func (s Spec) TotalImages() int {
+	var n int
+	for _, c := range s.Categories {
+		for _, sub := range c.Subconcepts {
+			n += sub.Count
+		}
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+// Package disk simulates the paged storage layer underneath the RFS
+// structure so the system can reproduce the paper's I/O-cost analysis
+// (§5.2.2: relevance feedback touches one tree node per marked representative;
+// each localized k-NN usually costs a single node access).
+//
+// Tree nodes register as pages; every traversal that "reads" a node reports
+// it through an Accounter. The default Counter tallies raw accesses; the LRU
+// cache variant models a buffer pool, so experiments can report both cold and
+// warm I/O counts.
+package disk
+
+import "container/list"
+
+// PageID identifies one page (one tree node) in the simulated store.
+type PageID uint64
+
+// Accounter observes page reads. Implementations must be cheap: the R*-tree
+// calls Access on every node it touches.
+type Accounter interface {
+	// Access records a read of the given page and reports whether it was
+	// served from cache (true) or required a simulated disk read (false).
+	Access(PageID) bool
+	// Reads returns the cumulative number of simulated disk reads.
+	Reads() uint64
+	// Accesses returns the cumulative number of page accesses (hits+misses).
+	Accesses() uint64
+	// Reset zeroes all counters (and any cache state).
+	Reset()
+}
+
+// Counter is the cache-less Accounter: every access is a disk read.
+// The zero value is ready to use.
+type Counter struct {
+	reads uint64
+}
+
+// Access records one disk read.
+func (c *Counter) Access(PageID) bool {
+	c.reads++
+	return false
+}
+
+// Reads returns the number of recorded reads.
+func (c *Counter) Reads() uint64 { return c.reads }
+
+// Accesses equals Reads for the cache-less counter.
+func (c *Counter) Accesses() uint64 { return c.reads }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.reads = 0 }
+
+// LRUCache is an Accounter backed by an LRU page cache of fixed capacity.
+type LRUCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are PageID
+	index    map[PageID]*list.Element
+	reads    uint64
+	accesses uint64
+}
+
+// NewLRUCache returns an LRU-backed accounter holding up to capacity pages.
+// A capacity of 0 degenerates to the cache-less Counter behaviour.
+func NewLRUCache(capacity int) *LRUCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRUCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// Access looks the page up in the cache, faulting it in on a miss and
+// evicting the least recently used page if the cache is full.
+func (c *LRUCache) Access(p PageID) bool {
+	c.accesses++
+	if el, ok := c.index[p]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	c.reads++
+	if c.capacity == 0 {
+		return false
+	}
+	if c.order.Len() >= c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(PageID))
+	}
+	c.index[p] = c.order.PushFront(p)
+	return false
+}
+
+// Reads returns the number of cache misses (simulated disk reads).
+func (c *LRUCache) Reads() uint64 { return c.reads }
+
+// Accesses returns hits plus misses.
+func (c *LRUCache) Accesses() uint64 { return c.accesses }
+
+// HitRate returns the fraction of accesses served from cache, or 0 when no
+// accesses have occurred.
+func (c *LRUCache) HitRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.accesses-c.reads) / float64(c.accesses)
+}
+
+// Reset clears counters and evicts every cached page.
+func (c *LRUCache) Reset() {
+	c.reads, c.accesses = 0, 0
+	c.order.Init()
+	c.index = make(map[PageID]*list.Element, c.capacity)
+}
+
+// Nop is an Accounter that records nothing; used where I/O accounting is
+// irrelevant (e.g. unit tests of unrelated behaviour).
+type Nop struct{}
+
+// Access does nothing and reports a cache hit so callers never count it.
+func (Nop) Access(PageID) bool { return true }
+
+// Reads always returns 0.
+func (Nop) Reads() uint64 { return 0 }
+
+// Accesses always returns 0.
+func (Nop) Accesses() uint64 { return 0 }
+
+// Reset does nothing.
+func (Nop) Reset() {}

@@ -1,0 +1,136 @@
+package disk
+
+import "testing"
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Reads() != 0 || c.Accesses() != 0 {
+		t.Fatal("zero value not zeroed")
+	}
+	for i := 0; i < 5; i++ {
+		if hit := c.Access(PageID(i % 2)); hit {
+			t.Error("Counter reported a cache hit")
+		}
+	}
+	if c.Reads() != 5 || c.Accesses() != 5 {
+		t.Errorf("reads=%d accesses=%d", c.Reads(), c.Accesses())
+	}
+	c.Reset()
+	if c.Reads() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLRUCacheHitsAndMisses(t *testing.T) {
+	c := NewLRUCache(2)
+	if hit := c.Access(1); hit {
+		t.Error("first access hit")
+	}
+	if hit := c.Access(1); !hit {
+		t.Error("second access missed")
+	}
+	c.Access(2) // miss, cache = {1,2}
+	c.Access(3) // miss, evicts 1, cache = {2,3}
+	if hit := c.Access(1); hit {
+		t.Error("evicted page still cached")
+	}
+	if c.Reads() != 4 {
+		t.Errorf("reads = %d, want 4", c.Reads())
+	}
+	if c.Accesses() != 5 {
+		t.Errorf("accesses = %d, want 5", c.Accesses())
+	}
+	if got := c.HitRate(); got != 0.2 {
+		t.Errorf("hit rate = %v, want 0.2", got)
+	}
+}
+
+func TestLRUEvictionOrderIsRecency(t *testing.T) {
+	c := NewLRUCache(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 1 becomes most recent; 2 is LRU
+	c.Access(3) // must evict 2, not 1
+	if hit := c.Access(1); !hit {
+		t.Error("recently used page evicted")
+	}
+	if hit := c.Access(2); hit {
+		t.Error("LRU page not evicted")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRUCache(0)
+	for i := 0; i < 3; i++ {
+		if hit := c.Access(7); hit {
+			t.Error("zero-capacity cache hit")
+		}
+	}
+	if c.Reads() != 3 {
+		t.Errorf("reads = %d", c.Reads())
+	}
+	// Negative capacity clamps to zero rather than panicking.
+	n := NewLRUCache(-5)
+	if hit := n.Access(1); hit {
+		t.Error("negative-capacity cache hit")
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	c := NewLRUCache(4)
+	c.Access(1)
+	c.Access(2)
+	c.Reset()
+	if c.Reads() != 0 || c.Accesses() != 0 {
+		t.Error("counters survived Reset")
+	}
+	if hit := c.Access(1); hit {
+		t.Error("cache contents survived Reset")
+	}
+}
+
+func TestLRUHitRateEmptyIsZero(t *testing.T) {
+	if NewLRUCache(2).HitRate() != 0 {
+		t.Error("empty hit rate nonzero")
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	if !n.Access(1) {
+		t.Error("Nop.Access should report hit")
+	}
+	if n.Reads() != 0 || n.Accesses() != 0 {
+		t.Error("Nop counted something")
+	}
+	n.Reset() // must not panic
+}
+
+func TestAccounterInterfaceSatisfaction(t *testing.T) {
+	var _ Accounter = (*Counter)(nil)
+	var _ Accounter = (*LRUCache)(nil)
+	var _ Accounter = Nop{}
+}
+
+func TestLRULargeWorkloadConsistency(t *testing.T) {
+	c := NewLRUCache(16)
+	// Cyclic access over 32 pages with capacity 16: every access misses.
+	for round := 0; round < 4; round++ {
+		for p := 0; p < 32; p++ {
+			c.Access(PageID(p))
+		}
+	}
+	if c.Reads() != c.Accesses() {
+		t.Errorf("cyclic thrash should never hit: reads=%d accesses=%d", c.Reads(), c.Accesses())
+	}
+	// Hot loop over 8 pages fits: only the first touch of each page misses.
+	c.Reset()
+	for round := 0; round < 10; round++ {
+		for p := 0; p < 8; p++ {
+			c.Access(PageID(p))
+		}
+	}
+	if c.Reads() != 8 {
+		t.Errorf("hot loop reads = %d, want 8", c.Reads())
+	}
+}

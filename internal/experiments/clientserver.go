@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/server"
+	"qdcbir/internal/user"
+)
+
+// ClientServerReport quantifies the §4 deployment claim: the one-time client
+// payload is a small fraction of the database, client-local feedback costs
+// the server nothing, and each query costs the server a single localized
+// request.
+type ClientServerReport struct {
+	Cfg Config
+
+	Images        int
+	PayloadReps   int
+	PayloadBytes  int // JSON-encoded payload size (what a client downloads once)
+	DatabaseBytes int // JSON size of all corpus vectors (what shipping the DB would cost)
+
+	Sessions        int
+	ThinRequests    float64 // mean HTTP requests per thin-client session
+	SmartRequests   float64 // mean HTTP requests per client-side session (excluding the one-time payload)
+	MeanServerReads float64 // mean server node reads per smart-client query
+}
+
+// RunClientServer builds a system, measures the payload, and simulates both
+// deployment modes' per-session server traffic.
+func RunClientServer(cfg Config, sessions int) (*ClientServerReport, error) {
+	cfg = cfg.withDefaults()
+	if sessions <= 0 {
+		sessions = 20
+	}
+	sys := BuildSystem(cfg)
+	rep := &ClientServerReport{Cfg: cfg, Images: sys.Corpus.Len(), Sessions: sessions}
+
+	// Payload vs database size (JSON, the wire format).
+	eng := sys.Engine
+	payload, err := server.BuildPayload(eng, sys.Corpus.SubconceptOf)
+	if err != nil {
+		return nil, err
+	}
+	pj, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	rep.PayloadReps = payload.RepCount()
+	rep.PayloadBytes = len(pj)
+	dj, err := json.Marshal(sys.Corpus.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	rep.DatabaseBytes = len(dj)
+
+	// Thin client: every display, feedback round, and finalize is a server
+	// request. Smart client: only the final query is.
+	subs := sys.Corpus.Subconcepts()
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	var thinTotal, smartTotal, reads float64
+	completed := 0
+	for i := 0; i < sessions; i++ {
+		target := subs[rng.Intn(len(subs))]
+		sim := user.New([]string{target}, sys.Corpus.SubconceptOf, rng)
+		sess := eng.NewSession(rng)
+		thin := 1.0 // session creation
+		ok := true
+		for round := 0; round < cfg.Rounds; round++ {
+			var shown []int
+			for d := 0; d < cfg.BrowsePerRound; d++ {
+				thin++ // each display fetch is a request for a thin client
+				for _, c := range sess.Candidates() {
+					shown = append(shown, int(c.ID))
+				}
+			}
+			sim.MaxPerRound = cfg.MarksPerRound
+			var marks []rstar.ItemID
+			for _, id := range sim.SelectDiverse(shown) {
+				marks = append(marks, rstar.ItemID(id))
+			}
+			thin++ // feedback POST
+			if err := sess.Feedback(marks); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok || len(sess.Relevant()) == 0 {
+			continue
+		}
+		thin++ // finalize POST
+		if _, err := sess.Finalize(30); err != nil {
+			continue
+		}
+		// The smart client performs the same work locally; its only request
+		// is the stateless query.
+		_, stats, err := eng.QueryByExamples(sess.Relevant(), 30, nil, nil)
+		if err != nil {
+			continue
+		}
+		thinTotal += thin
+		smartTotal++
+		reads += float64(stats.FinalReads)
+		completed++
+	}
+	if completed > 0 {
+		rep.ThinRequests = thinTotal / float64(completed)
+		rep.SmartRequests = smartTotal / float64(completed)
+		rep.MeanServerReads = reads / float64(completed)
+	}
+	rep.Sessions = completed
+	return rep, nil
+}
+
+// WriteText renders the deployment comparison.
+func (r *ClientServerReport) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Client/server deployment (§4): payload and per-session server traffic")
+	fmt.Fprintln(w, strings.Repeat("-", 68))
+	fmt.Fprintf(w, "database: %d images (%.1f MB as vectors over the wire)\n",
+		r.Images, float64(r.DatabaseBytes)/(1<<20))
+	fmt.Fprintf(w, "client payload: %d representatives, %.1f KB (%.1f%% of the database bytes)\n",
+		r.PayloadReps, float64(r.PayloadBytes)/(1<<10),
+		100*float64(r.PayloadBytes)/float64(r.DatabaseBytes))
+	fmt.Fprintf(w, "mean server requests per session (%d sessions):\n", r.Sessions)
+	fmt.Fprintf(w, "  thin client (server-hosted feedback): %.1f\n", r.ThinRequests)
+	fmt.Fprintf(w, "  smart client (local feedback):        %.1f (plus the one-time payload)\n", r.SmartRequests)
+	fmt.Fprintf(w, "mean server node reads per smart-client query: %.1f\n", r.MeanServerReads)
+	fmt.Fprintln(w, "(paper: feedback \"may run in the user computer ... highly scalable\")")
+}

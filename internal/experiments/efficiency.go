@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"qdcbir/internal/baseline"
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/disk"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/user"
+)
+
+// SizePoint is one database-size measurement for Figures 10 and 11.
+type SizePoint struct {
+	Size int
+
+	// Figure 10: mean overall query processing time (initial display + all
+	// feedback rounds + final localized k-NN) per simulated query.
+	OverallTime time.Duration
+	// Figure 11: mean single-iteration (one feedback round) processing time.
+	IterationTime time.Duration
+
+	// §5.2.2 I/O accounting, mean per query.
+	FeedbackReads float64 // node reads during feedback processing
+	FinalReads    float64 // node reads during localized k-NN
+
+	// Comparison: mean per-round cost of traditional relevance feedback (one
+	// global k-NN through the index per round, QPM-refined).
+	GlobalKNNRoundTime  time.Duration
+	GlobalKNNRoundReads float64
+
+	BuildTime time.Duration // RFS construction cost at this size
+	TreeNodes int           // pages in the tree
+}
+
+// EfficiencyReport aggregates the scalability sweep.
+type EfficiencyReport struct {
+	Cfg     Config
+	Queries int
+	Points  []SizePoint
+}
+
+// RunEfficiency reproduces Figures 10 and 11: vector-mode corpora of the
+// given sizes, `queries` randomly generated simulated queries each, with the
+// paper's protocol of two feedback rounds plus initial query processing and
+// the final localized k-NN computation (§5.2.2). It also prices traditional
+// global-k-NN feedback on the same corpora for the §1.2 comparison.
+func RunEfficiency(cfg Config, sizes []int, queries int) *EfficiencyReport {
+	cfg = cfg.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{5000, 10000, 15000}
+	}
+	if queries <= 0 {
+		queries = 100
+	}
+	rep := &EfficiencyReport{Cfg: cfg, Queries: queries}
+
+	for _, size := range sizes {
+		var pt SizePoint
+		pt.Size = size
+
+		buildStart := time.Now()
+		sys := BuildVectorSystem(cfg, size)
+		pt.BuildTime = time.Since(buildStart)
+		pt.TreeNodes = sys.RFS.Tree().NodeCount()
+
+		subs := sys.Corpus.Subconcepts()
+		rng := rand.New(rand.NewSource(cfg.Seed * int64(size+1)))
+
+		var overall, iteration time.Duration
+		var iterations int
+		var fbReads, finReads, gReads uint64
+		var gTime time.Duration
+		var gRounds int
+		completed := 0
+
+		for qi := 0; qi < queries; qi++ {
+			// Random initial query: a random subconcept is the intent.
+			q := dataset.Query{Name: "sim", Targets: []string{subs[rng.Intn(len(subs))]}}
+			sim := user.New(q.Targets, sys.Corpus.SubconceptOf, rng)
+
+			sessStart := time.Now()
+			sess := sys.Engine.NewSession(rng)
+			ok := true
+			for round := 0; round < 2; round++ { // paper: two feedback rounds
+				iterStart := time.Now()
+				var marks []rstar.ItemID
+				for d := 0; d < cfg.BrowsePerRound && len(marks) < cfg.MarksPerRound; d++ {
+					cands := sess.Candidates()
+					ids := make([]int, len(cands))
+					for i, c := range cands {
+						ids[i] = int(c.ID)
+					}
+					sim.MaxPerRound = cfg.MarksPerRound - len(marks)
+					for _, id := range sim.Select(ids) {
+						marks = append(marks, rstar.ItemID(id))
+					}
+				}
+				if err := sess.Feedback(marks); err != nil {
+					ok = false
+					break
+				}
+				iteration += time.Since(iterStart)
+				iterations++
+			}
+			if !ok || len(sess.Relevant()) == 0 {
+				continue
+			}
+			if _, err := sess.Finalize(50); err != nil {
+				continue
+			}
+			overall += time.Since(sessStart)
+			st := sess.Stats()
+			fbReads += st.FeedbackReads
+			finReads += st.FinalReads
+			completed++
+
+			// Traditional relevance feedback on the same intent: one global
+			// k-NN through the index per round.
+			var acc disk.Counter
+			tk := baseline.NewTreeKNN(sys.RFS.Tree(), sys.Corpus.Vectors,
+				sys.Corpus.SubconceptIDs(q.Targets[0])[0], &acc)
+			gsim := user.New(q.Targets, sys.Corpus.SubconceptOf, rng)
+			for round := 0; round < 2; round++ {
+				rs := time.Now()
+				ids := tk.Search(50)
+				gTime += time.Since(rs)
+				gRounds++
+				gsim.MaxPerRound = cfg.MarksPerRound
+				tk.Feedback(gsim.Select(ids))
+			}
+			gReads += acc.Reads()
+		}
+
+		if completed > 0 {
+			pt.OverallTime = overall / time.Duration(completed)
+			pt.FeedbackReads = float64(fbReads) / float64(completed)
+			pt.FinalReads = float64(finReads) / float64(completed)
+		}
+		if iterations > 0 {
+			pt.IterationTime = iteration / time.Duration(iterations)
+		}
+		if gRounds > 0 {
+			pt.GlobalKNNRoundTime = gTime / time.Duration(gRounds)
+			pt.GlobalKNNRoundReads = float64(gReads) / float64(gRounds)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep
+}
+
+// WriteFig10 renders the overall-time series.
+func (r *EfficiencyReport) WriteFig10(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10. Overall query processing time vs database size (%d simulated queries/size)\n", r.Queries)
+	fmt.Fprintf(w, "%10s | %14s | %12s\n", "DB size", "overall/query", "build time")
+	fmt.Fprintln(w, strings.Repeat("-", 44))
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10d | %14s | %12s\n", p.Size, round(p.OverallTime), round(p.BuildTime))
+	}
+	fmt.Fprintln(w, "(paper: time grows linearly with database size)")
+}
+
+// WriteFig11 renders the per-iteration series plus the global-kNN contrast.
+func (r *EfficiencyReport) WriteFig11(w io.Writer) {
+	fmt.Fprintf(w, "Figure 11. Average iteration (feedback round) time vs database size\n")
+	fmt.Fprintf(w, "%10s | %14s | %22s | %8s\n", "DB size", "QD iteration", "global-kNN round (trad.)", "speedup")
+	fmt.Fprintln(w, strings.Repeat("-", 66))
+	for _, p := range r.Points {
+		speed := "-"
+		if p.IterationTime > 0 {
+			speed = fmt.Sprintf("%.1fx", float64(p.GlobalKNNRoundTime)/float64(p.IterationTime))
+		}
+		fmt.Fprintf(w, "%10d | %14s | %22s | %8s\n",
+			p.Size, round(p.IterationTime), round(p.GlobalKNNRoundTime), speed)
+	}
+	fmt.Fprintln(w, "(paper: iteration time grows linearly and stays a tiny fraction of overall time)")
+}
+
+// WriteIO renders the §5.2.2 I/O accounting.
+func (r *EfficiencyReport) WriteIO(w io.Writer) {
+	fmt.Fprintln(w, "I/O accounting (§5.2.2): mean simulated node reads per query")
+	fmt.Fprintf(w, "%10s | %10s | %14s | %14s | %16s\n",
+		"DB size", "tree pages", "QD feedback", "QD final kNN", "global kNN/round")
+	fmt.Fprintln(w, strings.Repeat("-", 76))
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10d | %10d | %14.1f | %14.1f | %16.1f\n",
+			p.Size, p.TreeNodes, p.FeedbackReads, p.FinalReads, p.GlobalKNNRoundReads)
+	}
+	fmt.Fprintln(w, "(paper: feedback touches ~1 node per marked representative; localized kNN usually 1 node)")
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

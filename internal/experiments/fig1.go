@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/kmeans"
+	"qdcbir/internal/pca"
+	"qdcbir/internal/vec"
+)
+
+// Fig1Report reproduces the Figure-1 demonstration: one semantic category
+// whose subconcepts form distinct, well-separated clusters after projecting
+// the 37-d feature space onto 3 principal components — with irrelevant images
+// scattered in between.
+type Fig1Report struct {
+	Category    string
+	Subconcepts []string
+	// ClusterCenters are the 3-d projected centroids per subconcept.
+	ClusterCenters []vec.Vector
+	// Separation is min inter-centroid distance / max mean intra-cluster
+	// spread; > 1 means the clusters are visually distinct as in Figure 1.
+	Separation float64
+	// KMeansPurity is the purity of an unsupervised k-means with k =
+	// #subconcepts over the projected category points — how recoverable the
+	// clusters are without labels.
+	KMeansPurity float64
+	// Explained is the variance fraction captured by the 3 components.
+	Explained float64
+}
+
+// RunFig1 projects the given category (default "car", the paper's sedan
+// example) to 3-d and measures cluster structure.
+func RunFig1(sys *System, category string) *Fig1Report {
+	if category == "" {
+		category = "car"
+	}
+	corpus := sys.Corpus
+	ids := corpus.CategoryIDs(category)
+	if len(ids) == 0 {
+		return &Fig1Report{Category: category}
+	}
+	// Fit PCA on the whole corpus (the paper projects the database and then
+	// looks at one category's images in the projection).
+	p := pca.Fit(corpus.Vectors, 3)
+	var explained float64
+	for _, e := range p.ExplainedVariance() {
+		explained += e
+	}
+
+	// Group the category's projected points by subconcept.
+	bySub := map[string][]vec.Vector{}
+	var subOrder []string
+	var pts []vec.Vector
+	var labels []string
+	for _, id := range ids {
+		proj := p.Project(corpus.Vectors[id])
+		sub := corpus.SubconceptOf(id)
+		if _, ok := bySub[sub]; !ok {
+			subOrder = append(subOrder, sub)
+		}
+		bySub[sub] = append(bySub[sub], proj)
+		pts = append(pts, proj)
+		labels = append(labels, sub)
+	}
+
+	rep := &Fig1Report{Category: category, Subconcepts: subOrder, Explained: explained}
+	var centers []vec.Vector
+	var maxIntra float64
+	for _, sub := range subOrder {
+		vs := bySub[sub]
+		c := vec.Centroid(vs)
+		centers = append(centers, c)
+		var intra float64
+		for _, v := range vs {
+			intra += vec.L2(v, c)
+		}
+		intra /= float64(len(vs))
+		if intra > maxIntra {
+			maxIntra = intra
+		}
+	}
+	rep.ClusterCenters = centers
+	minInter := -1.0
+	for i := 0; i < len(centers); i++ {
+		for j := i + 1; j < len(centers); j++ {
+			d := vec.L2(centers[i], centers[j])
+			if minInter < 0 || d < minInter {
+				minInter = d
+			}
+		}
+	}
+	if maxIntra > 0 && minInter > 0 {
+		rep.Separation = minInter / maxIntra
+	}
+
+	// Unsupervised recoverability.
+	if len(subOrder) >= 2 {
+		r := kmeans.Cluster(pts, len(subOrder), kmeans.Config{MaxIter: 100}, rand.New(rand.NewSource(sys.Cfg.Seed)))
+		var pure int
+		for c := 0; c < r.K; c++ {
+			counts := map[string]int{}
+			for _, m := range r.Members(c) {
+				counts[labels[m]]++
+			}
+			best := 0
+			for _, n := range counts {
+				if n > best {
+					best = n
+				}
+			}
+			pure += best
+		}
+		rep.KMeansPurity = float64(pure) / float64(len(pts))
+	}
+	return rep
+}
+
+// WriteText renders the report.
+func (r *Fig1Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1. PCA projection (37-d -> 3-d) of category %q\n", r.Category)
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	if len(r.Subconcepts) == 0 {
+		fmt.Fprintln(w, "category not present in corpus")
+		return
+	}
+	fmt.Fprintf(w, "subconcept clusters found: %d\n", len(r.Subconcepts))
+	for i, s := range r.Subconcepts {
+		fmt.Fprintf(w, "  %-28s centroid (%.2f, %.2f, %.2f)\n",
+			s, r.ClusterCenters[i][0], r.ClusterCenters[i][1], r.ClusterCenters[i][2])
+	}
+	fmt.Fprintf(w, "separation (min inter-centroid / max intra spread): %.2f  (>1 = visually distinct)\n", r.Separation)
+	fmt.Fprintf(w, "unsupervised k-means purity in 3-d projection:      %.2f\n", r.KMeansPurity)
+	fmt.Fprintf(w, "variance explained by 3 components:                 %.0f%%\n", r.Explained*100)
+	fmt.Fprintln(w, "(paper: four distinct \"white sedan\" view clusters, distractors scattered between)")
+}
+
+// Queries returns the Table-1 queries, re-exported so cmd/qdbench need not
+// import the dataset package directly.
+func Queries() []dataset.Query { return dataset.PaperQueries() }

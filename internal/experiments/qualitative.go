@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"qdcbir/internal/baseline"
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/metrics"
+)
+
+// Retrieval is one technique's top-k listing for one query.
+type Retrieval struct {
+	Technique string
+	Labels    []string // subconcept of each returned image, rank order
+	Covered   []string // distinct target subconcepts present
+	Precision float64
+}
+
+// QualitativeCase reproduces one of the paper's Figures 4–9: the top-k images
+// of MV and QD for a query, reported as ground-truth labels (our corpus has
+// no JPEGs to print; the label sequence is what the figures demonstrate —
+// which neighborhoods each technique reached).
+type QualitativeCase struct {
+	Query dataset.Query
+	K     int
+	MV    Retrieval
+	QD    Retrieval
+}
+
+// QualitativeReport covers the three computer queries at the paper's ks.
+type QualitativeReport struct {
+	Cases []QualitativeCase
+}
+
+// RunQualitative reproduces Figures 4–9: "Laptop" (top 8, Figs 4/5),
+// "Personal computer" (top 16, Figs 6/7), and "Computer" (top 24, Figs 8/9),
+// for MV and QD.
+func RunQualitative(sys *System) *QualitativeReport {
+	specs := []struct {
+		name string
+		k    int
+	}{
+		{"Laptop", 8},
+		{"Personal computer", 16},
+		{"Computer", 24},
+	}
+	byName := map[string]dataset.Query{}
+	for _, q := range dataset.PaperQueries() {
+		byName[q.Name] = q
+	}
+	rep := &QualitativeReport{}
+	for i, spec := range specs {
+		q := byName[spec.name]
+		seed := sys.Cfg.Seed*100 + int64(i)
+		c := QualitativeCase{Query: q, K: spec.k}
+		rel := sys.Corpus.RelevantSet(q)
+
+		// --- QD ---
+		qres := runQDSession(sys, q, rand.New(rand.NewSource(seed)))
+		if qres.err == nil {
+			flat := qres.result.Flat()
+			ids := make([]int, 0, spec.k)
+			for _, im := range flat {
+				if len(ids) == spec.k {
+					break
+				}
+				ids = append(ids, int(im.ID))
+			}
+			c.QD = describeRetrieval("QD", sys, q, ids, rel)
+		} else {
+			c.QD = Retrieval{Technique: "QD"}
+		}
+
+		// --- MV ---
+		sim := simFor(sys, q, seed+1)
+		initial := pickInitialImage(sys.Corpus, q, rand.New(rand.NewSource(seed+2)))
+		mv, err := baseline.NewMVChannels(sys.Corpus.ChannelVectors, initial)
+		if err != nil {
+			mv = baseline.NewMVSubspaces(sys.Corpus.Vectors, initial)
+		}
+		var ids []int
+		for r := 0; r < sys.Cfg.Rounds; r++ {
+			ids = mv.Search(spec.k)
+			if r < sys.Cfg.Rounds-1 {
+				sim.MaxPerRound = sys.Cfg.MarksPerRound
+				mv.Feedback(sim.Select(ids))
+			}
+		}
+		c.MV = describeRetrieval("MV", sys, q, ids, rel)
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep
+}
+
+func describeRetrieval(tech string, sys *System, q dataset.Query, ids []int, rel map[int]bool) Retrieval {
+	r := Retrieval{Technique: tech}
+	for _, id := range ids {
+		r.Labels = append(r.Labels, sys.Corpus.SubconceptOf(id))
+	}
+	r.Covered = metrics.CoveredSubconcepts(ids, q.Targets, sys.Corpus.SubconceptOf)
+	r.Precision = metrics.Precision(ids, rel)
+	return r
+}
+
+// WriteText renders the listings in the spirit of Figures 4–9.
+func (r *QualitativeReport) WriteText(w io.Writer) {
+	figs := map[string]string{
+		"Laptop":            "Figs 4/5 (top 8, \"portable computer\")",
+		"Personal computer": "Figs 6/7 (top 16)",
+		"Computer":          "Figs 8/9 (top 24)",
+	}
+	for _, c := range r.Cases {
+		fmt.Fprintf(w, "%s — query %q, k=%d\n", figs[c.Query.Name], c.Query.Name, c.K)
+		fmt.Fprintln(w, strings.Repeat("-", 72))
+		for _, ret := range []Retrieval{c.MV, c.QD} {
+			fmt.Fprintf(w, "%-3s precision %.2f, covers %d/%d target subconcepts: %s\n",
+				ret.Technique, ret.Precision, len(ret.Covered), len(c.Query.Targets),
+				strings.Join(ret.Covered, ", "))
+			fmt.Fprintf(w, "    ranked labels: %s\n", strings.Join(shorten(ret.Labels), " "))
+		}
+		fmt.Fprintln(w, "(paper: MV covers a single neighborhood; QD covers every relevant subconcept)")
+		fmt.Fprintln(w)
+	}
+}
+
+// shorten compacts labels for listings: target-style labels keep their
+// subconcept, filler distractors keep their category, unknowns become "?".
+func shorten(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		idx := strings.IndexByte(l, '/')
+		switch {
+		case l == "":
+			out[i] = "?"
+		case strings.HasPrefix(l, "filler-") && idx >= 0:
+			out[i] = l[:idx]
+		case idx >= 0:
+			out[i] = l[idx+1:]
+		default:
+			out[i] = l
+		}
+	}
+	return out
+}

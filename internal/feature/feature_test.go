@@ -1,0 +1,330 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/img"
+	"qdcbir/internal/vec"
+)
+
+func flat(c img.RGB, w, h int) *img.Image {
+	im := img.New(w, h)
+	im.Fill(c)
+	return im
+}
+
+func TestDimLayout(t *testing.T) {
+	if Dim != 37 {
+		t.Fatalf("Dim = %d, paper specifies 37", Dim)
+	}
+	if ColorOffset != 0 || TextureOffset != 9 || EdgeOffset != 19 {
+		t.Fatalf("offsets wrong: %d %d %d", ColorOffset, TextureOffset, EdgeOffset)
+	}
+	lo, hi := FamilyEdge.Range()
+	if lo != 19 || hi != 37 {
+		t.Errorf("edge range = [%d,%d)", lo, hi)
+	}
+}
+
+func TestExtractDimensionality(t *testing.T) {
+	v := Extract(flat(img.RGB{R: 10, G: 200, B: 30}, 32, 32))
+	if len(v) != Dim {
+		t.Fatalf("Extract returned %d dims", len(v))
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("dim %d is %v", i, x)
+		}
+	}
+}
+
+func TestFlatImageFeatures(t *testing.T) {
+	v := Extract(flat(img.RGB{R: 255, G: 0, B: 0}, 32, 32))
+	// Pure red: H = 0/360 -> mean 0; S mean 1; V mean 1; all stddev/skew 0.
+	if v[0] != 0 {
+		t.Errorf("hue mean = %v", v[0])
+	}
+	if v[3] != 1 {
+		t.Errorf("sat mean = %v", v[3])
+	}
+	if v[6] != 1 {
+		t.Errorf("val mean = %v", v[6])
+	}
+	for _, i := range []int{1, 2, 4, 5, 7, 8} {
+		if v[i] != 0 {
+			t.Errorf("moment dim %d = %v, want 0 on flat image", i, v[i])
+		}
+	}
+	// Flat image has no texture detail and no edges.
+	for i := TextureOffset; i < TextureOffset+9; i++ {
+		if v[i] != 0 {
+			t.Errorf("detail energy dim %d = %v", i, v[i])
+		}
+	}
+	for i := EdgeOffset; i < EdgeOffset+EdgeDims; i++ {
+		if v[i] != 0 {
+			t.Errorf("edge dim %d = %v on flat image", i, v[i])
+		}
+	}
+	// The LL approximation energy reflects overall brightness and is nonzero.
+	if v[TextureOffset+9] <= 0 {
+		t.Errorf("approximation energy = %v", v[TextureOffset+9])
+	}
+}
+
+func TestColorMomentsSeparateHues(t *testing.T) {
+	red := Extract(flat(img.RGB{R: 255, G: 0, B: 0}, 16, 16))
+	green := Extract(flat(img.RGB{R: 0, G: 255, B: 0}, 16, 16))
+	blue := Extract(flat(img.RGB{R: 0, G: 0, B: 255}, 16, 16))
+	if red[0] >= green[0] || green[0] >= blue[0] {
+		t.Errorf("hue means not ordered: r=%v g=%v b=%v", red[0], green[0], blue[0])
+	}
+}
+
+func TestTextureRespondsToStripes(t *testing.T) {
+	plain := flat(img.RGB{R: 128, G: 128, B: 128}, 64, 64)
+	striped := plain.Clone()
+	striped.Stripes(img.RGB{R: 255, G: 255, B: 255}, 4, 0, 1)
+	vp := Extract(plain)
+	vs := Extract(striped)
+	var ep, es float64
+	for i := TextureOffset; i < TextureOffset+9; i++ {
+		ep += vp[i]
+		es += vs[i]
+	}
+	if es <= ep {
+		t.Errorf("striped detail energy %v not above plain %v", es, ep)
+	}
+}
+
+func TestEdgeFeaturesRespondToShapes(t *testing.T) {
+	plain := flat(img.RGB{R: 40, G: 40, B: 40}, 64, 64)
+	shaped := plain.Clone()
+	shaped.FillRect(16, 16, 48, 48, img.RGB{R: 220, G: 220, B: 220})
+	vp := Extract(plain)
+	vs := Extract(shaped)
+	if vs[EdgeOffset+12] <= vp[EdgeOffset+12] {
+		t.Errorf("edge density %v not above flat %v", vs[EdgeOffset+12], vp[EdgeOffset+12])
+	}
+	// A rectangle's edges are horizontal/vertical: bins near 0 and pi/2
+	// should dominate the histogram.
+	hist := vs[EdgeOffset : EdgeOffset+12]
+	hv := hist[0] + hist[5] + hist[6] + hist[11] // bins around 0 and pi/2
+	var rest float64
+	for i, v := range hist {
+		if i != 0 && i != 5 && i != 6 && i != 11 {
+			rest += v
+		}
+	}
+	if hv <= rest {
+		t.Errorf("axis-aligned bins %v not dominant over %v", hv, rest)
+	}
+}
+
+func TestEdgeOrientationDistinguishesDiagonal(t *testing.T) {
+	horiz := flat(img.RGB{R: 30, G: 30, B: 30}, 64, 64)
+	horiz.FillRect(0, 30, 64, 34, img.RGB{R: 230, G: 230, B: 230})
+	diag := flat(img.RGB{R: 30, G: 30, B: 30}, 64, 64)
+	diag.FillTriangle(0, 0, 63, 63, 0, 63, img.RGB{R: 230, G: 230, B: 230})
+	vh := Extract(horiz)
+	vd := Extract(diag)
+	d := vec.L2(vh[EdgeOffset:EdgeOffset+12], vd[EdgeOffset:EdgeOffset+12])
+	if d < 0.1 {
+		t.Errorf("orientation histograms too close: %v", d)
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	im := flat(img.RGB{R: 20, G: 20, B: 20}, 48, 48)
+	im.FillEllipse(24, 24, 14, 9, img.RGB{R: 240, G: 240, B: 240})
+	v := Extract(im)
+	var sum float64
+	for i := EdgeOffset; i < EdgeOffset+12; i++ {
+		if v[i] < 0 {
+			t.Errorf("negative histogram bin %d: %v", i, v[i])
+		}
+		sum += v[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	if v[EdgeOffset+16] < 0 || v[EdgeOffset+16] > 1 {
+		t.Errorf("entropy out of range: %v", v[EdgeOffset+16])
+	}
+	if v[EdgeOffset+17] < 0 || v[EdgeOffset+17] > 1 {
+		t.Errorf("eccentricity out of range: %v", v[EdgeOffset+17])
+	}
+}
+
+func TestExtractChannelOriginalMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	im := img.New(32, 32)
+	im.FillVGradient(img.RGB{R: 200, G: 30, B: 30}, img.RGB{R: 30, G: 30, B: 200})
+	im.Speckle(rng, 8)
+	a := Extract(im)
+	b := ExtractChannel(im, img.ChannelOriginal)
+	if !a.Equal(b) {
+		t.Error("ExtractChannel(original) differs from Extract")
+	}
+}
+
+func TestChannelsProduceDistinctVectors(t *testing.T) {
+	im := img.New(32, 32)
+	im.FillVGradient(img.RGB{R: 250, G: 60, B: 20}, img.RGB{R: 20, G: 60, B: 250})
+	im.FillEllipse(16, 16, 8, 8, img.RGB{R: 10, G: 220, B: 10})
+	orig := ExtractChannel(im, img.ChannelOriginal)
+	neg := ExtractChannel(im, img.ChannelNegative)
+	gray := ExtractChannel(im, img.ChannelGray)
+	if vec.L2(orig, neg) == 0 {
+		t.Error("negative channel identical to original")
+	}
+	if vec.L2(orig, gray) == 0 {
+		t.Error("gray channel identical to original")
+	}
+	// Gray images have zero saturation moments.
+	if gray[3] != 0 {
+		t.Errorf("gray channel saturation mean = %v", gray[3])
+	}
+}
+
+func TestSameAppearanceClusters(t *testing.T) {
+	// Two renders of the same appearance with jitter must be far closer than
+	// two different appearances — the property the whole corpus design needs.
+	rng := rand.New(rand.NewSource(9))
+	render := func(base img.RGB, stripePeriod float64) *img.Image {
+		im := img.New(48, 48)
+		im.FillVGradient(base, img.Jitter(rng, base, 15))
+		im.Stripes(img.RGB{R: 255, G: 255, B: 255}, stripePeriod, 0.6, 0.4)
+		im.Speckle(rng, 4)
+		return im
+	}
+	a1 := Extract(render(img.RGB{R: 200, G: 40, B: 40}, 6))
+	a2 := Extract(render(img.RGB{R: 200, G: 40, B: 40}, 6))
+	b := Extract(render(img.RGB{R: 40, G: 40, B: 220}, 14))
+	intra := vec.L2(a1, a2)
+	inter := vec.L2(a1, b)
+	if intra >= inter {
+		t.Errorf("intra-appearance distance %v >= inter-appearance %v", intra, inter)
+	}
+}
+
+func TestExtractRegion(t *testing.T) {
+	// Left half red-flat, right half checkered blue: region extraction must
+	// see only its half.
+	im := img.New(64, 64)
+	im.FillRect(0, 0, 32, 64, img.RGB{R: 220, G: 30, B: 30})
+	im.FillRect(32, 0, 64, 64, img.RGB{R: 30, G: 30, B: 220})
+	im.Checker(img.RGB{R: 255, G: 255, B: 255}, 4, 0.8)
+
+	left := ExtractRegion(im, 0, 0, 32, 64)
+	right := ExtractRegion(im, 32, 0, 64, 64)
+	whole := Extract(im)
+	if vec.L2(left, right) == 0 {
+		t.Fatal("left and right regions identical")
+	}
+	// The whole-image vector differs from both halves.
+	if vec.L2(whole, left) == 0 || vec.L2(whole, right) == 0 {
+		t.Error("whole image equals a half region")
+	}
+	// A full-frame region equals plain extraction.
+	if !Extract(im).Equal(ExtractRegion(im, 0, 0, 64, 64)) {
+		t.Error("full-frame region differs from Extract")
+	}
+	// Hue check: the left region's mean hue is red-ish (near 0 or ~1 after
+	// scaling), the right's is blue-ish (~240/360).
+	if right[0] < left[0] {
+		t.Errorf("hue means: left %v right %v; expected blue > red", left[0], right[0])
+	}
+}
+
+func TestExtractorNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var raws []vec.Vector
+	for i := 0; i < 40; i++ {
+		im := img.New(32, 32)
+		im.FillVGradient(
+			img.RGB{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))},
+			img.RGB{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))})
+		if i%2 == 0 {
+			im.Checker(img.RGB{R: 255, G: 255, B: 255}, 4, 0.7)
+		}
+		raws = append(raws, Extract(im))
+	}
+	ex := NewExtractor(raws)
+	for _, r := range raws {
+		n := ex.Normalize(r)
+		if len(n) != Dim {
+			t.Fatalf("normalized dim = %d", len(n))
+		}
+		for i, x := range n {
+			if x < -1e-9 || x > 1+1e-9 {
+				t.Errorf("normalized dim %d out of [0,1]: %v", i, x)
+			}
+		}
+	}
+}
+
+func TestFamilyMask(t *testing.T) {
+	m := FamilyTexture.Mask()
+	if len(m) != Dim {
+		t.Fatalf("mask dim = %d", len(m))
+	}
+	var ones int
+	for i, x := range m {
+		if x == 1 {
+			ones++
+			if i < TextureOffset || i >= TextureOffset+TextureDims {
+				t.Errorf("mask bit %d outside texture range", i)
+			}
+		} else if x != 0 {
+			t.Errorf("mask value %v at %d", x, i)
+		}
+	}
+	if ones != TextureDims {
+		t.Errorf("mask has %d ones", ones)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyColor.String() != "color" || FamilyTexture.String() != "texture" || FamilyEdge.String() != "edge" {
+		t.Error("family names wrong")
+	}
+}
+
+func TestSmallImageNoPanic(t *testing.T) {
+	// Degenerate sizes must not panic even when the wavelet cannot recurse.
+	for _, wh := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 2}} {
+		v := Extract(flat(img.RGB{R: 99, G: 99, B: 99}, wh[0], wh[1]))
+		if len(v) != Dim {
+			t.Fatalf("size %v: dim %d", wh, len(v))
+		}
+		for i, x := range v {
+			if math.IsNaN(x) {
+				t.Errorf("size %v dim %d NaN", wh, i)
+			}
+		}
+	}
+}
+
+func TestHaarStepEnergyConservationOnConstant(t *testing.T) {
+	// On a constant plane, all detail bands must be exactly zero and LL must
+	// reproduce the constant.
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = 42
+	}
+	ll, hl, lh, hh, nw, nh := haarStep(p, 4, 4)
+	if nw != 2 || nh != 2 {
+		t.Fatalf("subband size %dx%d", nw, nh)
+	}
+	for i := range ll {
+		if ll[i] != 42 {
+			t.Errorf("LL[%d] = %v", i, ll[i])
+		}
+		if hl[i] != 0 || lh[i] != 0 || hh[i] != 0 {
+			t.Errorf("detail bands nonzero at %d", i)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file contains the procedural drawing primitives the dataset generator
+// uses to render subconcept appearances: background washes, simple filled
+// shapes, stripe/checker textures, and pixel noise. The goal is not pretty
+// pictures but controllable colour, texture, and edge statistics, so that the
+// 37-d feature extractor separates different appearances into different
+// feature-space clusters — the geometry the paper's experiments depend on.
+
+// Clamp8 converts a float to a uint8, clamping to [0, 255].
+func Clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b RGB, t float64) RGB {
+	return RGB{
+		R: Clamp8(float64(a.R) + t*(float64(b.R)-float64(a.R))),
+		G: Clamp8(float64(a.G) + t*(float64(b.G)-float64(a.G))),
+		B: Clamp8(float64(a.B) + t*(float64(b.B)-float64(a.B))),
+	}
+}
+
+// FillVGradient paints a vertical gradient from top colour to bottom colour.
+func (im *Image) FillVGradient(top, bottom RGB) {
+	for y := 0; y < im.H; y++ {
+		t := 0.0
+		if im.H > 1 {
+			t = float64(y) / float64(im.H-1)
+		}
+		c := Lerp(top, bottom, t)
+		for x := 0; x < im.W; x++ {
+			im.Set(x, y, c)
+		}
+	}
+}
+
+// FillRect fills the axis-aligned rectangle [x0,x1) x [y0,y1), clipped to the
+// image bounds.
+func (im *Image) FillRect(x0, y0, x1, y1 int, c RGB) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			im.Set(x, y, c)
+		}
+	}
+}
+
+// FillEllipse fills the ellipse centred at (cx, cy) with radii (rx, ry),
+// clipped to the image bounds.
+func (im *Image) FillEllipse(cx, cy, rx, ry float64, c RGB) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	x0 := int(math.Floor(cx - rx))
+	x1 := int(math.Ceil(cx + rx))
+	y0 := int(math.Floor(cy - ry))
+	y1 := int(math.Ceil(cy + ry))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if !im.In(x, y) {
+				continue
+			}
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				im.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// FillTriangle fills the triangle with the given vertices using a scanline
+// point-in-triangle test, clipped to the image bounds.
+func (im *Image) FillTriangle(x1, y1, x2, y2, x3, y3 float64, c RGB) {
+	minX := int(math.Floor(math.Min(x1, math.Min(x2, x3))))
+	maxX := int(math.Ceil(math.Max(x1, math.Max(x2, x3))))
+	minY := int(math.Floor(math.Min(y1, math.Min(y2, y3))))
+	maxY := int(math.Ceil(math.Max(y1, math.Max(y2, y3))))
+	sign := func(ax, ay, bx, by, px, py float64) float64 {
+		return (px-bx)*(ay-by) - (ax-bx)*(py-by)
+	}
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			if !im.In(x, y) {
+				continue
+			}
+			px, py := float64(x)+0.5, float64(y)+0.5
+			d1 := sign(x1, y1, x2, y2, px, py)
+			d2 := sign(x2, y2, x3, y3, px, py)
+			d3 := sign(x3, y3, x1, y1, px, py)
+			neg := d1 < 0 || d2 < 0 || d3 < 0
+			pos := d1 > 0 || d2 > 0 || d3 > 0
+			if !(neg && pos) {
+				im.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// DrawLine draws a 1-pixel line from (x0, y0) to (x1, y1) with Bresenham's
+// algorithm, clipped to the image bounds.
+func (im *Image) DrawLine(x0, y0, x1, y1 int, c RGB) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if im.In(x0, y0) {
+			im.Set(x0, y0, c)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Stripes overlays diagonal stripes of the given colour, period (pixels), and
+// angle (radians). strength in [0, 1] blends the stripe colour over what is
+// already there. Controls the texture-energy features.
+func (im *Image) Stripes(c RGB, period float64, angle, strength float64) {
+	if period <= 0 {
+		return
+	}
+	cosA, sinA := math.Cos(angle), math.Sin(angle)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			u := float64(x)*cosA + float64(y)*sinA
+			phase := math.Mod(u, period)
+			if phase < 0 {
+				phase += period
+			}
+			if phase < period/2 {
+				im.Set(x, y, Lerp(im.At(x, y), c, strength))
+			}
+		}
+	}
+}
+
+// Checker overlays a checkerboard of the given cell size, blending c over
+// alternating cells with the given strength. Produces high-frequency texture
+// plus dense edges.
+func (im *Image) Checker(c RGB, cell int, strength float64) {
+	if cell <= 0 {
+		return
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if (x/cell+y/cell)%2 == 0 {
+				im.Set(x, y, Lerp(im.At(x, y), c, strength))
+			}
+		}
+	}
+}
+
+// Speckle perturbs every pixel with zero-mean Gaussian noise of the given
+// standard deviation (in 8-bit units). It models sensor/appearance jitter so
+// two renders of the same subconcept are near but not identical in feature
+// space.
+func (im *Image) Speckle(rng *rand.Rand, sigma float64) {
+	if sigma <= 0 {
+		return
+	}
+	for i, p := range im.Pix {
+		im.Pix[i] = RGB{
+			R: Clamp8(float64(p.R) + rng.NormFloat64()*sigma),
+			G: Clamp8(float64(p.G) + rng.NormFloat64()*sigma),
+			B: Clamp8(float64(p.B) + rng.NormFloat64()*sigma),
+		}
+	}
+}
+
+// Jitter returns c with each channel perturbed by uniform noise in
+// [-amount, +amount]. Used to vary palettes inside a subconcept.
+func Jitter(rng *rand.Rand, c RGB, amount float64) RGB {
+	j := func(v uint8) uint8 {
+		return Clamp8(float64(v) + (rng.Float64()*2-1)*amount)
+	}
+	return RGB{R: j(c.R), G: j(c.G), B: j(c.B)}
+}

@@ -1,0 +1,213 @@
+// Package img provides the raster-image substrate for the synthetic CBIR
+// corpus: an 8-bit RGB image type, colour-space conversions, procedural
+// drawing primitives used by the dataset generator, and the four colour
+// channels (original, colour-negative, grey, grey-negative) required by the
+// Multiple Viewpoints baseline.
+//
+// Images are deliberately tiny structs over a flat pixel slice so that a
+// 15,000-image corpus (the paper's scale) fits comfortably in memory and
+// feature extraction stays fast enough for benchmark sweeps.
+package img
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// RGB is an 8-bit-per-channel pixel.
+type RGB struct{ R, G, B uint8 }
+
+// Image is a W x H raster of RGB pixels stored row-major.
+type Image struct {
+	W, H int
+	Pix  []RGB
+}
+
+// New allocates a black W x H image. It panics on non-positive dimensions.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// At returns the pixel at (x, y). Out-of-bounds access panics via the slice.
+func (im *Image) At(x, y int) RGB { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, c RGB) { im.Pix[y*im.W+x] = c }
+
+// In reports whether (x, y) lies inside the image bounds.
+func (im *Image) In(x, y int) bool { return x >= 0 && x < im.W && y >= 0 && y < im.H }
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := New(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// Fill paints every pixel with c.
+func (im *Image) Fill(c RGB) {
+	for i := range im.Pix {
+		im.Pix[i] = c
+	}
+}
+
+// Crop returns a copy of the subregion [x0,x1) x [y0,y1), clamped to the
+// image bounds. It panics if the clamped region is empty. The paper's §6
+// contour extension uses this to restrict feature extraction to the object
+// of interest.
+func (im *Image) Crop(x0, y0, x1, y1 int) *Image {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	if x1 <= x0 || y1 <= y0 {
+		panic(fmt.Sprintf("img: empty crop [%d,%d)x[%d,%d)", x0, x1, y0, y1))
+	}
+	out := New(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		copy(out.Pix[(y-y0)*out.W:(y-y0+1)*out.W], im.Pix[y*im.W+x0:y*im.W+x1])
+	}
+	return out
+}
+
+// Gray returns the per-pixel luma (Rec. 601) as float64 values in [0, 255],
+// row-major. This is the input to the wavelet-texture and edge extractors.
+func (im *Image) Gray() []float64 {
+	g := make([]float64, len(im.Pix))
+	for i, p := range im.Pix {
+		g[i] = 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+	}
+	return g
+}
+
+// ToNRGBA converts the image to a standard-library image for encoding (PNG
+// serving in the web UI, §6's "image search engine for the Web").
+func (im *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p := im.At(x, y)
+			out.SetNRGBA(x, y, color.NRGBA{R: p.R, G: p.G, B: p.B, A: 255})
+		}
+	}
+	return out
+}
+
+// HSV holds a pixel in hue-saturation-value space with H in [0, 360),
+// S and V in [0, 1].
+type HSV struct{ H, S, V float64 }
+
+// ToHSV converts an RGB pixel to HSV.
+func ToHSV(c RGB) HSV {
+	r := float64(c.R) / 255
+	g := float64(c.G) / 255
+	b := float64(c.B) / 255
+	max := r
+	if g > max {
+		max = g
+	}
+	if b > max {
+		max = b
+	}
+	min := r
+	if g < min {
+		min = g
+	}
+	if b < min {
+		min = b
+	}
+	d := max - min
+	var h float64
+	switch {
+	case d == 0:
+		h = 0
+	case max == r:
+		h = 60 * ((g - b) / d)
+	case max == g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	var s float64
+	if max > 0 {
+		s = d / max
+	}
+	return HSV{H: h, S: s, V: max}
+}
+
+// Channel identifies one of the Multiple Viewpoints query channels from the
+// paper's experimental setup (§5.2: "the four color channels").
+type Channel int
+
+// The four MV channels.
+const (
+	ChannelOriginal Channel = iota
+	ChannelNegative
+	ChannelGray
+	ChannelGrayNegative
+)
+
+// AllChannels lists the four MV channels in paper order.
+var AllChannels = []Channel{ChannelOriginal, ChannelNegative, ChannelGray, ChannelGrayNegative}
+
+// String names the channel for reports.
+func (c Channel) String() string {
+	switch c {
+	case ChannelOriginal:
+		return "original"
+	case ChannelNegative:
+		return "color-negative"
+	case ChannelGray:
+		return "black-white"
+	case ChannelGrayNegative:
+		return "black-white-negative"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Transform returns the image viewed through the given channel. The original
+// channel returns a clone so callers may mutate results freely.
+func Transform(im *Image, ch Channel) *Image {
+	out := New(im.W, im.H)
+	for i, p := range im.Pix {
+		switch ch {
+		case ChannelOriginal:
+			out.Pix[i] = p
+		case ChannelNegative:
+			out.Pix[i] = RGB{255 - p.R, 255 - p.G, 255 - p.B}
+		case ChannelGray:
+			y := luma8(p)
+			out.Pix[i] = RGB{y, y, y}
+		case ChannelGrayNegative:
+			y := 255 - luma8(p)
+			out.Pix[i] = RGB{y, y, y}
+		default:
+			panic(fmt.Sprintf("img: unknown channel %d", int(ch)))
+		}
+	}
+	return out
+}
+
+func luma8(p RGB) uint8 {
+	y := 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+	if y > 255 {
+		y = 255
+	}
+	return uint8(y + 0.5)
+}

@@ -1,0 +1,402 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	im := New(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("bad image: %dx%d, %d pixels", im.W, im.H, len(im.Pix))
+	}
+	c := RGB{10, 20, 30}
+	im.Set(3, 2, c)
+	if im.At(3, 2) != c {
+		t.Errorf("At = %v", im.At(3, 2))
+	}
+	if im.At(0, 0) != (RGB{}) {
+		t.Errorf("zero pixel = %v", im.At(0, 0))
+	}
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestIn(t *testing.T) {
+	im := New(2, 2)
+	cases := []struct {
+		x, y int
+		want bool
+	}{
+		{0, 0, true}, {1, 1, true}, {-1, 0, false}, {0, -1, false}, {2, 0, false}, {0, 2, false},
+	}
+	for _, c := range cases {
+		if got := im.In(c.x, c.y); got != c.want {
+			t.Errorf("In(%d,%d) = %v want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	im := New(2, 2)
+	im.Fill(RGB{5, 5, 5})
+	c := im.Clone()
+	c.Set(0, 0, RGB{9, 9, 9})
+	if im.At(0, 0) != (RGB{5, 5, 5}) {
+		t.Error("Clone shares pixels")
+	}
+}
+
+func TestCrop(t *testing.T) {
+	im := New(6, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 6; x++ {
+			im.Set(x, y, RGB{R: uint8(x), G: uint8(y)})
+		}
+	}
+	c := im.Crop(1, 1, 4, 3)
+	if c.W != 3 || c.H != 2 {
+		t.Fatalf("crop size %dx%d", c.W, c.H)
+	}
+	if c.At(0, 0) != (RGB{R: 1, G: 1}) || c.At(2, 1) != (RGB{R: 3, G: 2}) {
+		t.Errorf("crop contents wrong: %v %v", c.At(0, 0), c.At(2, 1))
+	}
+	// Crop is a copy.
+	c.Set(0, 0, RGB{R: 99})
+	if im.At(1, 1) == (RGB{R: 99}) {
+		t.Error("crop aliases source")
+	}
+	// Out-of-bounds coordinates clamp.
+	full := im.Crop(-10, -10, 100, 100)
+	if full.W != 6 || full.H != 4 {
+		t.Errorf("clamped crop %dx%d", full.W, full.H)
+	}
+}
+
+func TestCropEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty crop did not panic")
+		}
+	}()
+	New(4, 4).Crop(2, 2, 2, 4)
+}
+
+func TestToNRGBA(t *testing.T) {
+	im := New(3, 2)
+	im.Set(1, 0, RGB{R: 10, G: 20, B: 30})
+	std := im.ToNRGBA()
+	if std.Bounds().Dx() != 3 || std.Bounds().Dy() != 2 {
+		t.Fatalf("bounds %v", std.Bounds())
+	}
+	r, g, b, a := std.At(1, 0).RGBA()
+	if r>>8 != 10 || g>>8 != 20 || b>>8 != 30 || a>>8 != 255 {
+		t.Errorf("pixel = %d,%d,%d,%d", r>>8, g>>8, b>>8, a>>8)
+	}
+	r0, g0, b0, a0 := std.At(0, 0).RGBA()
+	if r0 != 0 || g0 != 0 || b0 != 0 || a0>>8 != 255 {
+		t.Errorf("zero pixel = %d,%d,%d,%d", r0, g0, b0, a0>>8)
+	}
+}
+
+func TestGray(t *testing.T) {
+	im := New(1, 3)
+	im.Set(0, 0, RGB{255, 255, 255})
+	im.Set(0, 1, RGB{0, 0, 0})
+	im.Set(0, 2, RGB{255, 0, 0})
+	g := im.Gray()
+	if math.Abs(g[0]-255) > 1e-9 {
+		t.Errorf("white luma = %v", g[0])
+	}
+	if g[1] != 0 {
+		t.Errorf("black luma = %v", g[1])
+	}
+	if math.Abs(g[2]-0.299*255) > 1e-9 {
+		t.Errorf("red luma = %v", g[2])
+	}
+}
+
+func TestToHSVKnownColors(t *testing.T) {
+	cases := []struct {
+		in      RGB
+		h, s, v float64
+	}{
+		{RGB{255, 0, 0}, 0, 1, 1},
+		{RGB{0, 255, 0}, 120, 1, 1},
+		{RGB{0, 0, 255}, 240, 1, 1},
+		{RGB{255, 255, 255}, 0, 0, 1},
+		{RGB{0, 0, 0}, 0, 0, 0},
+		{RGB{128, 128, 128}, 0, 0, 128.0 / 255},
+	}
+	for _, c := range cases {
+		got := ToHSV(c.in)
+		if math.Abs(got.H-c.h) > 1e-9 || math.Abs(got.S-c.s) > 1e-9 || math.Abs(got.V-c.v) > 1e-9 {
+			t.Errorf("ToHSV(%v) = %+v, want {%v %v %v}", c.in, got, c.h, c.s, c.v)
+		}
+	}
+}
+
+func TestToHSVHueRange(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		h := ToHSV(RGB{r, g, b})
+		return h.H >= 0 && h.H < 360 && h.S >= 0 && h.S <= 1 && h.V >= 0 && h.V <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelTransforms(t *testing.T) {
+	im := New(1, 1)
+	im.Set(0, 0, RGB{200, 100, 50})
+
+	orig := Transform(im, ChannelOriginal)
+	if orig.At(0, 0) != im.At(0, 0) {
+		t.Error("original channel changed pixel")
+	}
+	orig.Set(0, 0, RGB{})
+	if im.At(0, 0) == (RGB{}) {
+		t.Error("original channel aliases source")
+	}
+
+	neg := Transform(im, ChannelNegative)
+	if neg.At(0, 0) != (RGB{55, 155, 205}) {
+		t.Errorf("negative = %v", neg.At(0, 0))
+	}
+
+	gray := Transform(im, ChannelGray)
+	p := gray.At(0, 0)
+	if p.R != p.G || p.G != p.B {
+		t.Errorf("gray not achromatic: %v", p)
+	}
+
+	gn := Transform(im, ChannelGrayNegative)
+	q := gn.At(0, 0)
+	if q.R != 255-p.R {
+		t.Errorf("gray-negative %v vs gray %v", q, p)
+	}
+}
+
+func TestChannelNegativeIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	im := New(8, 8)
+	for i := range im.Pix {
+		im.Pix[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+	}
+	back := Transform(Transform(im, ChannelNegative), ChannelNegative)
+	for i := range im.Pix {
+		if back.Pix[i] != im.Pix[i] {
+			t.Fatalf("negative twice != identity at %d: %v vs %v", i, back.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	names := map[Channel]string{
+		ChannelOriginal:     "original",
+		ChannelNegative:     "color-negative",
+		ChannelGray:         "black-white",
+		ChannelGrayNegative: "black-white-negative",
+	}
+	for ch, want := range names {
+		if got := ch.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", int(ch), got, want)
+		}
+	}
+	if got := Channel(99).String(); got != "Channel(99)" {
+		t.Errorf("unknown channel = %q", got)
+	}
+	if len(AllChannels) != 4 {
+		t.Errorf("AllChannels has %d entries", len(AllChannels))
+	}
+}
+
+func TestFillRectClipping(t *testing.T) {
+	im := New(4, 4)
+	c := RGB{1, 2, 3}
+	im.FillRect(-5, -5, 100, 2, c) // overflows on three sides
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := y < 2
+			if got := im.At(x, y) == c; got != want {
+				t.Errorf("pixel (%d,%d) filled=%v want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestFillEllipseCoverage(t *testing.T) {
+	im := New(20, 20)
+	c := RGB{9, 9, 9}
+	im.FillEllipse(10, 10, 5, 5, c)
+	if im.At(10, 10) != c {
+		t.Error("centre not filled")
+	}
+	if im.At(0, 0) == c {
+		t.Error("far corner filled")
+	}
+	if im.At(14, 10) != c {
+		t.Error("point on radius not filled")
+	}
+	// Degenerate radii are a no-op.
+	im2 := New(4, 4)
+	im2.FillEllipse(2, 2, 0, 3, c)
+	for _, p := range im2.Pix {
+		if p == c {
+			t.Fatal("degenerate ellipse painted pixels")
+		}
+	}
+}
+
+func TestFillTriangle(t *testing.T) {
+	im := New(10, 10)
+	c := RGB{7, 7, 7}
+	im.FillTriangle(0, 0, 9, 0, 0, 9, c)
+	if im.At(1, 1) != c {
+		t.Error("interior pixel not filled")
+	}
+	if im.At(9, 9) == c {
+		t.Error("opposite corner filled")
+	}
+}
+
+func TestDrawLine(t *testing.T) {
+	im := New(5, 5)
+	c := RGB{3, 3, 3}
+	im.DrawLine(0, 0, 4, 4, c)
+	for i := 0; i < 5; i++ {
+		if im.At(i, i) != c {
+			t.Errorf("diagonal pixel (%d,%d) missing", i, i)
+		}
+	}
+	// Line partially outside is clipped, not a panic.
+	im.DrawLine(-3, 2, 8, 2, c)
+	if im.At(2, 2) != c {
+		t.Error("clipped horizontal line missing")
+	}
+}
+
+func TestStripesAndCheckerChangePixels(t *testing.T) {
+	im := New(16, 16)
+	im.Fill(RGB{100, 100, 100})
+	im.Stripes(RGB{200, 0, 0}, 4, 0.5, 1.0)
+	var changed int
+	for _, p := range im.Pix {
+		if p != (RGB{100, 100, 100}) {
+			changed++
+		}
+	}
+	if changed == 0 || changed == len(im.Pix) {
+		t.Errorf("stripes changed %d of %d pixels; want strictly between", changed, len(im.Pix))
+	}
+
+	im2 := New(16, 16)
+	im2.Fill(RGB{100, 100, 100})
+	im2.Checker(RGB{0, 0, 200}, 4, 1.0)
+	if im2.At(0, 0) != (RGB{0, 0, 200}) {
+		t.Errorf("checker cell (0,0) = %v", im2.At(0, 0))
+	}
+	if im2.At(4, 0) != (RGB{100, 100, 100}) {
+		t.Errorf("checker cell (4,0) = %v", im2.At(4, 0))
+	}
+	// Zero-strength overlays are no-ops on colour.
+	im3 := New(8, 8)
+	im3.Fill(RGB{50, 50, 50})
+	im3.Stripes(RGB{255, 255, 255}, 3, 0, 0)
+	for _, p := range im3.Pix {
+		if p != (RGB{50, 50, 50}) {
+			t.Fatal("zero-strength stripes mutated image")
+		}
+	}
+}
+
+func TestSpeckleStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	im := New(64, 64)
+	im.Fill(RGB{128, 128, 128})
+	im.Speckle(rng, 10)
+	var sum, sumSq float64
+	for _, p := range im.Pix {
+		v := float64(p.R)
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(im.Pix))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-128) > 2 {
+		t.Errorf("speckle mean drifted: %v", mean)
+	}
+	if std < 5 || std > 15 {
+		t.Errorf("speckle std = %v, want near 10", std)
+	}
+	// Zero sigma is a no-op.
+	im2 := New(4, 4)
+	im2.Fill(RGB{7, 7, 7})
+	im2.Speckle(rng, 0)
+	for _, p := range im2.Pix {
+		if p != (RGB{7, 7, 7}) {
+			t.Fatal("zero-sigma speckle mutated image")
+		}
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := RGB{0, 10, 20}, RGB{100, 110, 120}
+	if Lerp(a, b, 0) != a {
+		t.Error("Lerp t=0")
+	}
+	if Lerp(a, b, 1) != b {
+		t.Error("Lerp t=1")
+	}
+	mid := Lerp(a, b, 0.5)
+	if mid.R != 50 || mid.G != 60 || mid.B != 70 {
+		t.Errorf("Lerp midpoint = %v", mid)
+	}
+}
+
+func TestClamp8(t *testing.T) {
+	if Clamp8(-3) != 0 || Clamp8(300) != 255 || Clamp8(127.6) != 128 {
+		t.Errorf("Clamp8 wrong: %d %d %d", Clamp8(-3), Clamp8(300), Clamp8(127.6))
+	}
+}
+
+func TestJitterStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := RGB{250, 5, 128}
+	for i := 0; i < 100; i++ {
+		c := Jitter(rng, base, 20)
+		// Clamp8 guarantees validity; check the perturbation is bounded.
+		if d := int(c.B) - 128; d > 21 || d < -21 {
+			t.Fatalf("jitter exceeded bound: %v", c)
+		}
+	}
+}
+
+func TestFillVGradient(t *testing.T) {
+	im := New(3, 5)
+	top, bottom := RGB{0, 0, 0}, RGB{200, 200, 200}
+	im.FillVGradient(top, bottom)
+	if im.At(0, 0) != top {
+		t.Errorf("top row = %v", im.At(0, 0))
+	}
+	if im.At(0, 4) != bottom {
+		t.Errorf("bottom row = %v", im.At(0, 4))
+	}
+	if im.At(0, 2).R <= im.At(0, 0).R || im.At(0, 2).R >= im.At(0, 4).R {
+		t.Errorf("gradient not monotone: %v", im.At(0, 2))
+	}
+	// All pixels in a row are equal.
+	if im.At(0, 2) != im.At(2, 2) {
+		t.Error("row not constant")
+	}
+}

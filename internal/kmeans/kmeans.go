@@ -1,0 +1,225 @@
+// Package kmeans implements unsupervised k-means clustering with k-means++
+// seeding, Lloyd iterations, and empty-cluster reseeding.
+//
+// The paper uses "an unsupervised k-mean clustering algorithm" (§3.1) twice:
+// to split each RFS leaf into subclusters before representative selection,
+// and again at every internal node over the aggregated child representatives.
+// The MARS-style multipoint-query baseline also clusters the relevant images
+// from user feedback. Both callers inject a *rand.Rand so results are
+// reproducible.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qdcbir/internal/vec"
+)
+
+// Config controls a clustering run. The zero value is completed with sane
+// defaults by Cluster.
+type Config struct {
+	// MaxIter bounds the Lloyd iterations. Default 50.
+	MaxIter int
+	// Tol stops iteration early when no centroid moves more than Tol
+	// (Euclidean). Default 1e-6.
+	Tol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// Result is the output of a clustering run.
+type Result struct {
+	K         int          // actual number of clusters produced (≤ requested k)
+	Centroids []vec.Vector // len K
+	Assign    []int        // Assign[i] is the cluster of points[i], in [0, K)
+	Inertia   float64      // sum of squared distances to assigned centroids
+	Iters     int          // Lloyd iterations performed
+}
+
+// Members returns the indices of the points assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var m []int
+	for i, a := range r.Assign {
+		if a == c {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// Sizes returns the number of points in each cluster.
+func (r *Result) Sizes() []int {
+	s := make([]int, r.K)
+	for _, a := range r.Assign {
+		s[a]++
+	}
+	return s
+}
+
+// Cluster partitions points into at most k clusters. If k >= len(points) each
+// point becomes its own cluster. It panics on k < 1 or an empty point set.
+func Cluster(points []vec.Vector, k int, cfg Config, rng *rand.Rand) *Result {
+	if k < 1 {
+		panic(fmt.Sprintf("kmeans: invalid k=%d", k))
+	}
+	if len(points) == 0 {
+		panic("kmeans: empty point set")
+	}
+	cfg = cfg.withDefaults()
+
+	if k >= len(points) {
+		// Degenerate case: every point is its own centroid.
+		r := &Result{K: len(points), Assign: make([]int, len(points))}
+		for i, p := range points {
+			r.Centroids = append(r.Centroids, p.Clone())
+			r.Assign[i] = i
+		}
+		return r
+	}
+
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+
+	var iters int
+	for iters = 1; iters <= cfg.MaxIter; iters++ {
+		// Assignment step.
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				if d := vec.SqL2(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		dim := len(points[0])
+		sums := make([]vec.Vector, k)
+		for c := range sums {
+			sums[c] = make(vec.Vector, dim)
+			counts[c] = 0
+		}
+		for i, p := range points {
+			sums[assign[i]].AddInPlace(p)
+			counts[assign[i]]++
+		}
+		var maxMove float64
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// current centroid to break the degeneracy.
+				centroids[c] = farthestPoint(points, centroids, assign).Clone()
+				maxMove = math.Inf(1)
+				continue
+			}
+			sums[c].ScaleInPlace(1 / float64(counts[c]))
+			move := vec.L2(centroids[c], sums[c])
+			if move > maxMove {
+				maxMove = move
+			}
+			centroids[c] = sums[c]
+		}
+		if maxMove <= cfg.Tol {
+			break
+		}
+	}
+	if iters > cfg.MaxIter {
+		iters = cfg.MaxIter
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += vec.SqL2(p, centroids[assign[i]])
+	}
+	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia, Iters: iters}
+}
+
+// seedPlusPlus performs k-means++ initialization: the first centroid is
+// uniform-random, subsequent centroids are drawn with probability
+// proportional to squared distance from the nearest chosen centroid.
+func seedPlusPlus(points []vec.Vector, k int, rng *rand.Rand) []vec.Vector {
+	centroids := make([]vec.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = vec.SqL2(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total == 0 {
+			// All remaining points coincide with a centroid; pick uniformly.
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := points[next].Clone()
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := vec.SqL2(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// farthestPoint returns the point with the largest distance to its assigned
+// centroid; used to reseed empty clusters.
+func farthestPoint(points []vec.Vector, centroids []vec.Vector, assign []int) vec.Vector {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		if d := vec.SqL2(p, centroids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return points[best]
+}
+
+// NearestToCentroids returns, for each centroid, the index of the member
+// point closest to it (the paper's representative-image rule: "the images
+// nearest these k-mean-cluster centers are selected as the representative
+// images"). Clusters with no members yield no entry.
+func NearestToCentroids(points []vec.Vector, r *Result) []int {
+	best := make([]int, r.K)
+	bestD := make([]float64, r.K)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		c := r.Assign[i]
+		if d := vec.SqL2(p, r.Centroids[c]); d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+	out := best[:0]
+	for _, i := range best {
+		if i >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package kmtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		p := make(vec.Vector, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 5
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func blobs(rng *rand.Rand, nBlobs, per, dim int) []vec.Vector {
+	var pts []vec.Vector
+	for b := 0; b < nBlobs; b++ {
+		center := make(vec.Vector, dim)
+		for j := range center {
+			center[j] = float64(b * 40)
+		}
+		for i := 0; i < per; i++ {
+			p := center.Clone()
+			for j := range p {
+				p[j] += rng.NormFloat64()
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestTargetDepth(t *testing.T) {
+	cases := []struct {
+		n, leaf, fanout, want int
+	}{
+		{10, 16, 4, 0},
+		{16, 16, 4, 0},
+		{17, 16, 4, 1},
+		{64, 16, 4, 1},
+		{65, 16, 4, 2},
+		{256, 16, 4, 2},
+		{1, 100, 100, 0},
+	}
+	for _, c := range cases {
+		if got := targetDepth(c.n, c.leaf, c.fanout); got != c.want {
+			t.Errorf("targetDepth(%d,%d,%d) = %d want %d", c.n, c.leaf, c.fanout, got, c.want)
+		}
+	}
+}
+
+func TestBuildProducesValidTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 10, 50, 300, 1500} {
+		pts := randomPoints(rng, n, 5)
+		snap := Build(pts, Config{LeafCap: 16, Fanout: 8, Seed: 2})
+		tree, err := rstar.FromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("n=%d: tree has %d items", n, tree.Len())
+		}
+		// All IDs present exactly once.
+		seen := map[rstar.ItemID]bool{}
+		for _, it := range tree.ItemsOf() {
+			if seen[it.ID] {
+				t.Fatalf("n=%d: duplicate %d", n, it.ID)
+			}
+			seen[it.ID] = true
+		}
+		// k-NN works and finds each point at distance 0.
+		for probe := 0; probe < n; probe += 97 {
+			got := tree.KNN(pts[probe], 1, nil)
+			if len(got) != 1 || got[0].Dist != 0 {
+				t.Fatalf("n=%d: self-query for %d failed: %+v", n, probe, got)
+			}
+		}
+	}
+}
+
+func TestBuildEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil, Config{})
+}
+
+func TestLeafCapacityRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 500, 4)
+	snap := Build(pts, Config{LeafCap: 12, Fanout: 6, Seed: 4})
+	var walk func(n *rstar.NodeSnapshot, depth int, depths map[int]bool)
+	depths := map[int]bool{}
+	walk = func(n *rstar.NodeSnapshot, depth int, depths map[int]bool) {
+		if n.Leaf {
+			if len(n.Items) > 12 {
+				t.Errorf("leaf with %d items", len(n.Items))
+			}
+			depths[depth] = true
+			return
+		}
+		if len(n.Children) > 12 { // MaxFill = max(LeafCap, Fanout)
+			t.Errorf("node with %d children", len(n.Children))
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1, depths)
+		}
+	}
+	walk(snap.Root, 0, depths)
+	if len(depths) != 1 {
+		t.Errorf("leaves at %d distinct depths", len(depths))
+	}
+}
+
+// Semantic grouping: well-separated blobs should land in distinct subtrees,
+// i.e. some leaf exists containing only one blob's points.
+func TestClusterCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := blobs(rng, 6, 30, 4)
+	snap := Build(pts, Config{LeafCap: 32, Fanout: 8, Seed: 6})
+	pure, total := 0, 0
+	var walk func(n *rstar.NodeSnapshot)
+	walk = func(n *rstar.NodeSnapshot) {
+		if n.Leaf {
+			total++
+			blobsIn := map[int]bool{}
+			for _, it := range n.Items {
+				blobsIn[int(it.ID)/30] = true
+			}
+			if len(blobsIn) == 1 {
+				pure++
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(snap.Root)
+	if total == 0 {
+		t.Fatal("no leaves")
+	}
+	if frac := float64(pure) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of %d leaves are blob-pure", frac*100, total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 200, 3)
+	a := Build(pts, Config{LeafCap: 16, Fanout: 4, Seed: 8})
+	b := Build(pts, Config{LeafCap: 16, Fanout: 4, Seed: 8})
+	var collect func(n *rstar.NodeSnapshot, out *[]int)
+	collect = func(n *rstar.NodeSnapshot, out *[]int) {
+		if n.Leaf {
+			ids := make([]int, len(n.Items))
+			for i, it := range n.Items {
+				ids[i] = int(it.ID)
+			}
+			sort.Ints(ids)
+			*out = append(*out, ids...)
+			*out = append(*out, -1) // leaf separator
+			return
+		}
+		for _, c := range n.Children {
+			collect(c, out)
+		}
+	}
+	var x, y []int
+	collect(a.Root, &x)
+	collect(b.Root, &y)
+	if len(x) != len(y) {
+		t.Fatal("structures differ in size")
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

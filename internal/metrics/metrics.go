@@ -1,0 +1,117 @@
+// Package metrics computes the retrieval-quality measures reported in the
+// paper's evaluation (§5.2.1): precision, recall, and the Ground Truth
+// Inclusion Ratio (GTIR) — the fraction of a query's target subconcepts that
+// appear at least once among the retrieved images.
+package metrics
+
+// Precision returns |retrieved ∩ relevant| / |retrieved|, or 0 for an empty
+// retrieval. IDs are opaque integers (rstar.ItemID values in practice).
+func Precision(retrieved []int, relevant map[int]bool) float64 {
+	if len(retrieved) == 0 {
+		return 0
+	}
+	return float64(hitCount(retrieved, relevant)) / float64(len(retrieved))
+}
+
+// Recall returns |retrieved ∩ relevant| / |relevant|, or 0 when the relevant
+// set is empty. The paper retrieves exactly |ground truth| images, making
+// precision and recall numerically equal (§5.2.1); tests assert that identity.
+func Recall(retrieved []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	return float64(hitCount(retrieved, relevant)) / float64(len(relevant))
+}
+
+func hitCount(retrieved []int, relevant map[int]bool) int {
+	seen := make(map[int]bool, len(retrieved))
+	hits := 0
+	for _, id := range retrieved {
+		if seen[id] {
+			continue // count each image once even if listed twice
+		}
+		seen[id] = true
+		if relevant[id] {
+			hits++
+		}
+	}
+	return hits
+}
+
+// GTIR returns the ground-truth inclusion ratio: the number of distinct
+// target subconcepts represented in the retrieval divided by the total number
+// of target subconcepts. subconceptOf maps an image ID to its subconcept
+// label ("" or a non-target label contributes nothing).
+func GTIR(retrieved []int, targets []string, subconceptOf func(int) string) float64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for _, s := range targets {
+		targetSet[s] = true
+	}
+	covered := make(map[string]bool)
+	for _, id := range retrieved {
+		if s := subconceptOf(id); targetSet[s] {
+			covered[s] = true
+		}
+	}
+	return float64(len(covered)) / float64(len(targets))
+}
+
+// CoveredSubconcepts returns the distinct target subconcepts present in the
+// retrieval, in target order. Qualitative reports (Figs 4-9) print these.
+func CoveredSubconcepts(retrieved []int, targets []string, subconceptOf func(int) string) []string {
+	targetSet := make(map[string]bool, len(targets))
+	for _, s := range targets {
+		targetSet[s] = true
+	}
+	covered := make(map[string]bool)
+	for _, id := range retrieved {
+		if s := subconceptOf(id); targetSet[s] {
+			covered[s] = true
+		}
+	}
+	var out []string
+	for _, s := range targets {
+		if covered[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AveragePrecision returns the mean of precision-at-i over the ranks i where
+// a relevant image appears — the standard AP measure, useful for finer-grained
+// comparisons than the paper's single precision number.
+func AveragePrecision(ranked []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	var hits int
+	var sum float64
+	seen := make(map[int]bool, len(ranked))
+	for i, id := range ranked {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if relevant[id] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

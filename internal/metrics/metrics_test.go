@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func rel(ids ...int) map[int]bool {
+	m := make(map[int]bool)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestPrecision(t *testing.T) {
+	cases := []struct {
+		name      string
+		retrieved []int
+		relevant  map[int]bool
+		want      float64
+	}{
+		{"all relevant", []int{1, 2, 3}, rel(1, 2, 3), 1},
+		{"half", []int{1, 2, 3, 4}, rel(1, 2), 0.5},
+		{"none", []int{5, 6}, rel(1, 2), 0},
+		{"empty retrieval", nil, rel(1), 0},
+		{"duplicates counted once", []int{1, 1, 2}, rel(1), 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := Precision(c.retrieved, c.relevant); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Precision = %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if got := Recall([]int{1, 2}, rel(1, 2, 3, 4)); got != 0.5 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := Recall([]int{1}, nil); got != 0 {
+		t.Errorf("Recall empty relevant = %v", got)
+	}
+}
+
+// The paper's identity: when |retrieved| == |relevant|, precision == recall.
+func TestPrecisionEqualsRecallAtGroundTruthSize(t *testing.T) {
+	relevant := rel(1, 2, 3, 4, 5)
+	retrieved := []int{1, 2, 9, 8, 5} // same size as relevant
+	p := Precision(retrieved, relevant)
+	r := Recall(retrieved, relevant)
+	if p != r {
+		t.Errorf("precision %v != recall %v at equal sizes", p, r)
+	}
+}
+
+func subMap(m map[int]string) func(int) string {
+	return func(id int) string { return m[id] }
+}
+
+func TestGTIR(t *testing.T) {
+	sub := subMap(map[int]string{1: "eagle", 2: "owl", 3: "sparrow", 4: "car", 5: "eagle"})
+	targets := []string{"eagle", "owl", "sparrow"}
+	cases := []struct {
+		name      string
+		retrieved []int
+		want      float64
+	}{
+		{"all covered", []int{1, 2, 3}, 1},
+		{"one of three", []int{1, 5, 4}, 1.0 / 3.0},
+		{"none", []int{4}, 0},
+		{"empty", nil, 0},
+		{"duplicate subconcept counts once", []int{1, 5}, 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := GTIR(c.retrieved, targets, sub); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: GTIR = %v want %v", c.name, got, c.want)
+		}
+	}
+	if got := GTIR([]int{1}, nil, sub); got != 0 {
+		t.Errorf("GTIR with no targets = %v", got)
+	}
+}
+
+func TestCoveredSubconcepts(t *testing.T) {
+	sub := subMap(map[int]string{1: "eagle", 2: "owl", 3: "other"})
+	got := CoveredSubconcepts([]int{3, 2, 1, 1}, []string{"eagle", "sparrow", "owl"}, sub)
+	// Order follows the target list, not retrieval order.
+	if len(got) != 2 || got[0] != "eagle" || got[1] != "owl" {
+		t.Errorf("CoveredSubconcepts = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	relevant := rel(1, 2)
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	got := AveragePrecision([]int{1, 9, 2, 8}, relevant)
+	want := (1.0 + 2.0/3.0) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v want %v", got, want)
+	}
+	if AveragePrecision([]int{1}, nil) != 0 {
+		t.Error("AP with empty relevant should be 0")
+	}
+	// Perfect ranking has AP 1.
+	if got := AveragePrecision([]int{1, 2}, relevant); got != 1 {
+		t.Errorf("perfect AP = %v", got)
+	}
+	// Missing relevant images lower AP below 1.
+	if got := AveragePrecision([]int{1}, relevant); got != 0.5 {
+		t.Errorf("partial AP = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}

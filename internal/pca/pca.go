@@ -1,0 +1,183 @@
+// Package pca implements principal component analysis via a cyclic Jacobi
+// eigensolver on the covariance matrix.
+//
+// The paper uses PCA to project its 37-dimensional feature space onto three
+// orthogonal axes and exhibit the four distinct "white sedan" clusters of
+// Figure 1. The fig1 experiment reproduces that demonstration with this
+// package.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qdcbir/internal/vec"
+)
+
+// PCA holds a fitted principal-component basis.
+type PCA struct {
+	Mean       vec.Vector   // mean of the fitting data
+	Components []vec.Vector // orthonormal rows, ordered by descending eigenvalue
+	Eigen      []float64    // eigenvalues (variances along each component)
+	Total      float64      // total variance (trace of the covariance matrix)
+}
+
+// Fit computes the top-k principal components of the data. It panics on an
+// empty input or k < 1; k is clamped to the data dimensionality.
+func Fit(data []vec.Vector, k int) *PCA {
+	if len(data) == 0 {
+		panic("pca: empty data")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("pca: invalid k=%d", k))
+	}
+	dim := len(data[0])
+	if k > dim {
+		k = dim
+	}
+	mean := vec.Centroid(data)
+
+	// Covariance matrix (population).
+	cov := vec.NewMatrix(dim, dim)
+	for _, p := range data {
+		d := vec.Sub(p, mean)
+		for i := 0; i < dim; i++ {
+			row := cov.Row(i)
+			di := d[i]
+			for j := i; j < dim; j++ {
+				row[j] += di * d[j]
+			}
+		}
+	}
+	inv := 1 / float64(len(data))
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			v := cov.At(i, j) * inv
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+
+	values, vectors := jacobiEigen(cov)
+
+	// Order by descending eigenvalue.
+	idx := make([]int, dim)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+
+	p := &PCA{Mean: mean}
+	for i := 0; i < dim; i++ {
+		p.Total += cov.At(i, i)
+	}
+	for r := 0; r < k; r++ {
+		col := idx[r]
+		comp := make(vec.Vector, dim)
+		for i := 0; i < dim; i++ {
+			comp[i] = vectors.At(i, col)
+		}
+		p.Components = append(p.Components, comp)
+		p.Eigen = append(p.Eigen, values[col])
+	}
+	return p
+}
+
+// Project maps a point into the component space.
+func (p *PCA) Project(x vec.Vector) vec.Vector {
+	d := vec.Sub(x, p.Mean)
+	out := make(vec.Vector, len(p.Components))
+	for i, c := range p.Components {
+		out[i] = vec.Dot(d, c)
+	}
+	return out
+}
+
+// ProjectAll maps every point into the component space.
+func (p *PCA) ProjectAll(xs []vec.Vector) []vec.Vector {
+	out := make([]vec.Vector, len(xs))
+	for i, x := range xs {
+		out[i] = p.Project(x)
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total data variance captured by
+// each retained component (the total is the covariance trace recorded at fit
+// time, so the fractions are meaningful even when k < dim).
+func (p *PCA) ExplainedVariance() []float64 {
+	out := make([]float64, len(p.Eigen))
+	if p.Total == 0 {
+		return out
+	}
+	for i, e := range p.Eigen {
+		out[i] = e / p.Total
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi method,
+// returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen(a *vec.Matrix) ([]float64, *vec.Matrix) {
+	n := a.Rows
+	// Work on a copy; accumulate rotations in v.
+	m := vec.NewMatrix(n, n)
+	copy(m.Data, a.Data)
+	v := vec.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				for i := 0; i < n; i++ {
+					mip, miq := m.At(i, p), m.At(i, q)
+					m.Set(i, p, c*mip-s*miq)
+					m.Set(i, q, s*mip+c*miq)
+				}
+				for i := 0; i < n; i++ {
+					mpi, mqi := m.At(p, i), m.At(q, i)
+					m.Set(p, i, c*mpi-s*mqi)
+					m.Set(q, i, s*mpi+c*mqi)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	return values, v
+}

@@ -1,0 +1,200 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/vec"
+)
+
+func TestFitRecoversDominantAxis(t *testing.T) {
+	// Data varies strongly along (1, 1)/sqrt(2), weakly along (1, -1).
+	rng := rand.New(rand.NewSource(1))
+	var data []vec.Vector
+	for i := 0; i < 500; i++ {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 0.5
+		data = append(data, vec.Vector{a + b, a - b})
+	}
+	p := Fit(data, 2)
+	if len(p.Components) != 2 {
+		t.Fatalf("components = %d", len(p.Components))
+	}
+	// First component parallels (1,1)/sqrt(2) up to sign.
+	c := p.Components[0]
+	if math.Abs(math.Abs(c[0])-math.Sqrt(0.5)) > 0.05 || math.Abs(math.Abs(c[1])-math.Sqrt(0.5)) > 0.05 {
+		t.Errorf("first component = %v, want ±(0.707, 0.707)", c)
+	}
+	if p.Eigen[0] < p.Eigen[1] {
+		t.Error("eigenvalues not descending")
+	}
+	// Eigenvalue along the dominant axis is about var(2a)/... : Var of
+	// projection = Var(a*sqrt(2)) = 2*100 = 200.
+	if p.Eigen[0] < 150 || p.Eigen[0] > 260 {
+		t.Errorf("dominant eigenvalue = %v, want near 200", p.Eigen[0])
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var data []vec.Vector
+	for i := 0; i < 300; i++ {
+		v := make(vec.Vector, 6)
+		for j := range v {
+			v[j] = rng.NormFloat64() * float64(j+1)
+		}
+		data = append(data, v)
+	}
+	p := Fit(data, 6)
+	for i := range p.Components {
+		for j := range p.Components {
+			dot := vec.Dot(p.Components[i], p.Components[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("<c%d, c%d> = %v want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestProjectionVarianceMatchesEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var data []vec.Vector
+	for i := 0; i < 400; i++ {
+		data = append(data, vec.Vector{rng.NormFloat64() * 5, rng.NormFloat64() * 2, rng.NormFloat64()})
+	}
+	p := Fit(data, 3)
+	proj := p.ProjectAll(data)
+	st := vec.ComputeStats(proj)
+	for i := range p.Eigen {
+		if math.Abs(st.Variance[i]-p.Eigen[i]) > 1e-6*math.Max(1, p.Eigen[i]) {
+			t.Errorf("component %d: projected variance %v vs eigenvalue %v", i, st.Variance[i], p.Eigen[i])
+		}
+		// Projections are centred.
+		if math.Abs(st.Mean[i]) > 1e-9 {
+			t.Errorf("component %d: projected mean %v", i, st.Mean[i])
+		}
+	}
+}
+
+func TestExplainedVarianceSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var data []vec.Vector
+	for i := 0; i < 200; i++ {
+		data = append(data, vec.Vector{rng.NormFloat64() * 3, rng.NormFloat64(), rng.NormFloat64() * 0.1})
+	}
+	full := Fit(data, 3)
+	ev := full.ExplainedVariance()
+	var sum float64
+	for _, e := range ev {
+		sum += e
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("full explained variance sums to %v", sum)
+	}
+	// Truncated fit explains strictly less than 1 but still most variance.
+	trunc := Fit(data, 1)
+	tv := trunc.ExplainedVariance()
+	if len(tv) != 1 || tv[0] >= 1 || tv[0] < 0.7 {
+		t.Errorf("truncated explained variance = %v", tv)
+	}
+}
+
+func TestKClampedToDim(t *testing.T) {
+	data := []vec.Vector{{1, 2}, {3, 4}, {5, 7}}
+	p := Fit(data, 10)
+	if len(p.Components) != 2 {
+		t.Errorf("components = %d, want clamped to 2", len(p.Components))
+	}
+}
+
+func TestFitPanicsOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { Fit(nil, 2) },
+		"k0":    func() { Fit([]vec.Vector{{1}}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConstantDataZeroEigen(t *testing.T) {
+	data := []vec.Vector{{5, 5}, {5, 5}, {5, 5}}
+	p := Fit(data, 2)
+	for i, e := range p.Eigen {
+		if math.Abs(e) > 1e-12 {
+			t.Errorf("eigenvalue %d = %v on constant data", i, e)
+		}
+	}
+	proj := p.Project(vec.Vector{5, 5})
+	for _, x := range proj {
+		if math.Abs(x) > 1e-12 {
+			t.Errorf("projection of mean = %v", proj)
+		}
+	}
+	ev := p.ExplainedVariance()
+	for _, e := range ev {
+		if e != 0 {
+			t.Errorf("explained variance on constant data = %v", ev)
+		}
+	}
+}
+
+// The Figure-1 scenario: four well-separated clusters in 37-d must remain
+// four separated clusters after projecting to 3-d.
+func TestFourClustersSurviveProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	centers := make([]vec.Vector, 4)
+	for c := range centers {
+		centers[c] = make(vec.Vector, 37)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 5
+		}
+	}
+	var data []vec.Vector
+	labels := make([]int, 0, 200)
+	for c, ctr := range centers {
+		for i := 0; i < 50; i++ {
+			p := ctr.Clone()
+			for j := range p {
+				p[j] += rng.NormFloat64() * 0.3
+			}
+			data = append(data, p)
+			labels = append(labels, c)
+		}
+	}
+	p := Fit(data, 3)
+	proj := p.ProjectAll(data)
+	// Projected centroids per cluster.
+	var projCenters [4]vec.Vector
+	for c := 0; c < 4; c++ {
+		var members []vec.Vector
+		for i, l := range labels {
+			if l == c {
+				members = append(members, proj[i])
+			}
+		}
+		projCenters[c] = vec.Centroid(members)
+	}
+	// Every point is nearer its own projected centroid than any other.
+	misassigned := 0
+	for i, pt := range proj {
+		best, _ := vec.NearestIndex(pt, projCenters[:], vec.L2)
+		if best != labels[i] {
+			misassigned++
+		}
+	}
+	if misassigned > 4 { // allow a couple of boundary flips
+		t.Errorf("%d of %d points misassigned after 3-d projection", misassigned, len(proj))
+	}
+}

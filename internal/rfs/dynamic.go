@@ -1,0 +1,69 @@
+package rfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// Dynamic maintenance. The paper builds its RFS structure once over a static
+// Corel corpus; a production deployment also ingests new images and retires
+// old ones. Insert and Delete mutate the underlying R*-tree immediately but
+// leave the representative assignments stale (splits and forced reinsertion
+// can relocate many images across leaves, so precise incremental rep
+// maintenance would be both fragile and no cheaper than re-selection).
+// Refresh re-indexes and re-selects representatives; callers batch mutations
+// and refresh once. Query entry points reject a stale structure via Validate.
+
+// Insert adds a new image to the structure and returns its assigned ID. The
+// structure is stale until Refresh is called.
+func (s *Structure) Insert(p vec.Vector) rstar.ItemID {
+	if len(p) != s.tree.Dim() {
+		panic(fmt.Sprintf("rfs: insert dim %d into %d-d structure", len(p), s.tree.Dim()))
+	}
+	id := rstar.ItemID(len(s.points))
+	s.points = append(s.points, p.Clone())
+	s.tree.Insert(id, p)
+	s.stale = true
+	return id
+}
+
+// Delete removes an image. Its ID is tombstoned (never reused); the
+// structure is stale until Refresh is called. It returns false for unknown
+// or already-deleted IDs.
+func (s *Structure) Delete(id rstar.ItemID) bool {
+	if int(id) < 0 || int(id) >= len(s.points) || s.deleted[id] {
+		return false
+	}
+	if !s.tree.Delete(id, s.points[id]) {
+		return false
+	}
+	if s.deleted == nil {
+		s.deleted = make(map[rstar.ItemID]bool)
+	}
+	s.deleted[id] = true
+	s.stale = true
+	return true
+}
+
+// Deleted reports whether an ID has been removed.
+func (s *Structure) Deleted(id rstar.ItemID) bool { return s.deleted[id] }
+
+// Stale reports whether mutations have invalidated the representative
+// assignments; a stale structure must be Refreshed before querying.
+func (s *Structure) Stale() bool { return s.stale }
+
+// Refresh re-indexes the hierarchy and re-selects representatives after a
+// batch of Insert/Delete calls. Cost is comparable to the representative-
+// selection phase of Build (the tree itself is not rebuilt).
+func (s *Structure) Refresh() {
+	s.index()
+	s.allReps = nil
+	s.selectRepresentatives(rand.New(rand.NewSource(s.cfg.Seed)))
+	s.stale = false
+}
+
+// Live returns the number of non-deleted images.
+func (s *Structure) Live() int { return s.tree.Len() }

@@ -1,0 +1,152 @@
+package rfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+func TestInsertRefreshQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := clusteredCorpus(rng, 6, 40, 4)
+	s := buildTest(t, pts, testCfg)
+	before := s.Len()
+
+	// Insert a new tight blob far from everything.
+	center := vec.Vector{500, 500, 500, 500}
+	var newIDs []rstar.ItemID
+	for i := 0; i < 30; i++ {
+		p := center.Clone()
+		for j := range p {
+			p[j] += rng.NormFloat64()
+		}
+		newIDs = append(newIDs, s.Insert(p))
+	}
+	if !s.Stale() {
+		t.Fatal("structure not marked stale after inserts")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("stale structure validated")
+	}
+	s.Refresh()
+	if s.Stale() {
+		t.Fatal("still stale after Refresh")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after refresh: %v", err)
+	}
+	if s.Len() != before+30 || s.Live() != before+30 {
+		t.Fatalf("Len=%d Live=%d want %d", s.Len(), s.Live(), before+30)
+	}
+	// New IDs are dense continuations.
+	for i, id := range newIDs {
+		if int(id) != before+i {
+			t.Fatalf("id %d assigned %d", i, id)
+		}
+		if s.LeafOf(id) == nil {
+			t.Fatalf("inserted %d has no leaf", id)
+		}
+	}
+	// The new blob is represented: at least one of its members is a rep.
+	found := false
+	for _, id := range s.AllReps() {
+		if int(id) >= before {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("new blob has no representative after Refresh")
+	}
+	// And the new blob is searchable.
+	ns := s.Tree().KNN(center, 5, nil)
+	for _, n := range ns {
+		if int(n.ID) < before {
+			t.Errorf("kNN near new blob returned old image %d", n.ID)
+		}
+	}
+}
+
+func TestDeleteRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := clusteredCorpus(rng, 5, 40, 3)
+	s := buildTest(t, pts, testCfg)
+	n := s.Len()
+
+	if !s.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if s.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if !s.Deleted(0) {
+		t.Fatal("Deleted(0) false")
+	}
+	if s.Delete(rstar.ItemID(n + 5)) {
+		t.Fatal("deleting unknown id succeeded")
+	}
+	if s.Live() != n-1 {
+		t.Fatalf("Live = %d", s.Live())
+	}
+	s.Refresh()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The deleted image is no longer a representative anywhere.
+	for _, id := range s.AllReps() {
+		if id == 0 {
+			t.Error("deleted image still a representative")
+		}
+	}
+	// And no longer retrievable.
+	for _, nb := range s.Tree().KNN(pts[0], 3, nil) {
+		if nb.ID == 0 {
+			t.Error("deleted image retrieved")
+		}
+	}
+	// IDs are tombstoned, not reused.
+	id := s.Insert(vec.Vector{9, 9, 9})
+	if int(id) != n {
+		t.Errorf("insert after delete assigned %d, want %d", id, n)
+	}
+}
+
+func TestInsertDimMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := buildTest(t, clusteredCorpus(rng, 4, 30, 3), testCfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Insert(vec.Vector{1, 2})
+}
+
+func TestMutationBatchThenSession(t *testing.T) {
+	// End-to-end: mutate, refresh, and verify the tree invariants plus
+	// representative integrity survive a churn workload.
+	rng := rand.New(rand.NewSource(4))
+	pts := clusteredCorpus(rng, 6, 40, 4)
+	s := buildTest(t, pts, testCfg)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			p := make(vec.Vector, 4)
+			for j := range p {
+				p[j] = rng.Float64() * 100
+			}
+			s.Insert(p)
+		}
+		for i := 0; i < 10; i++ {
+			s.Delete(rstar.ItemID(rng.Intn(s.Len())))
+		}
+		s.Refresh()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if s.RepCount() == 0 {
+		t.Fatal("no representatives after churn")
+	}
+}

@@ -1,0 +1,101 @@
+package rfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"qdcbir/internal/disk"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// Snapshot is the serializable form of a Structure. Representative lists are
+// stored in tree pre-order, which FromSnapshot re-walks identically, so node
+// page-ID reassignment on load is harmless.
+type Snapshot struct {
+	Cfg    BuildConfig
+	Tree   *rstar.TreeSnapshot
+	Points []vec.Vector
+	// RepsPreorder holds each node's representative list in depth-first
+	// pre-order of the tree.
+	RepsPreorder [][]rstar.ItemID
+}
+
+// Snapshot captures the structure for persistence.
+func (s *Structure) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Cfg:    s.cfg,
+		Tree:   s.tree.Snapshot(),
+		Points: s.points,
+	}
+	s.tree.Walk(func(n *rstar.Node, _ int) {
+		reps := append([]rstar.ItemID(nil), s.reps[n.ID()]...)
+		snap.RepsPreorder = append(snap.RepsPreorder, reps)
+	})
+	return snap
+}
+
+// FromSnapshot reconstructs a Structure.
+func FromSnapshot(snap *Snapshot) (*Structure, error) {
+	if snap == nil || snap.Tree == nil {
+		return nil, fmt.Errorf("rfs: nil snapshot")
+	}
+	tree, err := rstar.FromSnapshot(snap.Tree)
+	if err != nil {
+		return nil, err
+	}
+	s := &Structure{
+		cfg:    snap.Cfg.withDefaults(),
+		tree:   tree,
+		points: snap.Points,
+	}
+	s.index()
+	s.reps = make(map[disk.PageID][]rstar.ItemID)
+	s.repIsSet = make(map[rstar.ItemID]bool)
+	i := 0
+	var walkErr error
+	tree.Walk(func(n *rstar.Node, _ int) {
+		if walkErr != nil {
+			return
+		}
+		if i >= len(snap.RepsPreorder) {
+			walkErr = fmt.Errorf("rfs: snapshot has %d rep lists for more nodes", len(snap.RepsPreorder))
+			return
+		}
+		s.reps[n.ID()] = snap.RepsPreorder[i]
+		if n.IsLeaf() {
+			for _, id := range snap.RepsPreorder[i] {
+				if !s.repIsSet[id] {
+					s.repIsSet[id] = true
+					s.allReps = append(s.allReps, id)
+				}
+			}
+		}
+		i++
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if i != len(snap.RepsPreorder) {
+		return nil, fmt.Errorf("rfs: snapshot has %d rep lists for %d nodes", len(snap.RepsPreorder), i)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Save gob-encodes the structure to w.
+func (s *Structure) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s.Snapshot())
+}
+
+// Load gob-decodes a structure from r.
+func Load(r io.Reader) (*Structure, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rfs: decode: %w", err)
+	}
+	return FromSnapshot(&snap)
+}

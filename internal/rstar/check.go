@@ -1,0 +1,83 @@
+package rstar
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the tree and returns
+// the first violation found, or nil. Tests and the RFS builder call this
+// after construction; it is O(n) and not intended for hot paths.
+//
+// Invariants checked:
+//  1. Every leaf is at the same depth (height balance).
+//  2. Every node except the root holds between MinFill and MaxFill entries
+//     (the root may hold fewer; bulk-loaded trees may pack the last node of a
+//     level lighter, which is tolerated down to 1).
+//  3. Every node's rect is exactly the MBR of its entries.
+//  4. Parent pointers are consistent.
+//  5. The recorded size matches the number of stored items and no ItemID
+//     appears twice.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	seen := make(map[ItemID]bool, t.size)
+	var walk func(n *Node, depth int, isRoot bool, bulkTolerant bool) error
+	walk = func(n *Node, depth int, isRoot bool, bulkTolerant bool) error {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("leaf %d at depth %d, expected %d", n.id, depth, leafDepth)
+			}
+		}
+		if !isRoot {
+			lo := 1 // bulk loading may leave one light node per level
+			if !bulkTolerant {
+				lo = t.cfg.MinFill
+			}
+			if n.Len() < lo || n.Len() > t.cfg.MaxFill {
+				return fmt.Errorf("node %d has %d entries outside [%d,%d]", n.id, n.Len(), lo, t.cfg.MaxFill)
+			}
+		} else if n.Len() > t.cfg.MaxFill {
+			return fmt.Errorf("root has %d entries > MaxFill %d", n.Len(), t.cfg.MaxFill)
+		}
+		want := nodeMBR(n)
+		if n.Len() > 0 && (!n.rect.Min.Equal(want.Min) || !n.rect.Max.Equal(want.Max)) {
+			return fmt.Errorf("node %d rect %v/%v != MBR of entries %v/%v",
+				n.id, n.rect.Min, n.rect.Max, want.Min, want.Max)
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if seen[it.ID] {
+					return fmt.Errorf("duplicate item %d", it.ID)
+				}
+				seen[it.ID] = true
+				if len(it.Point) != t.dim {
+					return fmt.Errorf("item %d has dim %d, tree dim %d", it.ID, len(it.Point), t.dim)
+				}
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if c.parent != n {
+				return fmt.Errorf("child %d of node %d has wrong parent", c.id, n.id)
+			}
+			if err := walk(c, depth+1, false, bulkTolerant); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true, t.bulkLoaded()); err != nil {
+		return err
+	}
+	if len(seen) != t.size {
+		return fmt.Errorf("size %d but %d items stored", t.size, len(seen))
+	}
+	if leafDepth >= 0 && leafDepth != t.height-1 {
+		return fmt.Errorf("height %d but leaves at depth %d", t.height, leafDepth)
+	}
+	return nil
+}
+
+// bulkLoaded reports whether the tree tolerates light nodes: STR packing can
+// leave the trailing node of a level under MinFill, and that slack persists
+// across later mutations.
+func (t *Tree) bulkLoaded() bool { return t.fromBulk }

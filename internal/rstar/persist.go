@@ -1,0 +1,103 @@
+package rstar
+
+import "fmt"
+
+// NodeSnapshot is the serializable form of one tree node. All fields are
+// exported for encoding/gob.
+type NodeSnapshot struct {
+	Leaf     bool
+	Items    []Item
+	Children []*NodeSnapshot
+}
+
+// TreeSnapshot is the serializable form of a whole tree.
+type TreeSnapshot struct {
+	Dim      int
+	Cfg      Config
+	FromBulk bool
+	Root     *NodeSnapshot
+}
+
+// Snapshot captures the tree's structure for persistence. Points are cloned,
+// so later tree mutations do not corrupt the snapshot.
+func (t *Tree) Snapshot() *TreeSnapshot {
+	var snap func(n *Node) *NodeSnapshot
+	snap = func(n *Node) *NodeSnapshot {
+		s := &NodeSnapshot{Leaf: n.leaf}
+		if n.leaf {
+			s.Items = make([]Item, len(n.items))
+			for i, it := range n.items {
+				s.Items[i] = Item{ID: it.ID, Point: it.Point.Clone()}
+			}
+			return s
+		}
+		for _, c := range n.children {
+			s.Children = append(s.Children, snap(c))
+		}
+		return s
+	}
+	return &TreeSnapshot{Dim: t.dim, Cfg: t.cfg, FromBulk: t.fromBulk, Root: snap(t.root)}
+}
+
+// FromSnapshot reconstructs a tree. Node page IDs are reassigned in pre-order,
+// so two loads of the same snapshot produce identical IDs; MBRs, sizes, and
+// heights are recomputed from the entries. It returns an error on a malformed
+// snapshot.
+func FromSnapshot(s *TreeSnapshot) (*Tree, error) {
+	if s == nil || s.Root == nil {
+		return nil, fmt.Errorf("rstar: nil snapshot")
+	}
+	if s.Dim <= 0 {
+		return nil, fmt.Errorf("rstar: snapshot dim %d", s.Dim)
+	}
+	t := &Tree{dim: s.Dim, cfg: s.Cfg.withDefaults(), fromBulk: s.FromBulk}
+
+	maxDepth := 0
+	var build func(sn *NodeSnapshot, parent *Node, depth int) (*Node, error)
+	build = func(sn *NodeSnapshot, parent *Node, depth int) (*Node, error) {
+		n := t.newNode(sn.Leaf)
+		n.parent = parent
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if sn.Leaf {
+			if len(sn.Children) != 0 {
+				return nil, fmt.Errorf("rstar: leaf snapshot with children")
+			}
+			n.items = make([]Item, len(sn.Items))
+			for i, it := range sn.Items {
+				if len(it.Point) != t.dim {
+					return nil, fmt.Errorf("rstar: item %d dim %d != %d", it.ID, len(it.Point), t.dim)
+				}
+				n.items[i] = Item{ID: it.ID, Point: it.Point.Clone()}
+				t.size++
+			}
+		} else {
+			if len(sn.Items) != 0 {
+				return nil, fmt.Errorf("rstar: internal snapshot with items")
+			}
+			if len(sn.Children) == 0 {
+				return nil, fmt.Errorf("rstar: internal snapshot with no children")
+			}
+			for _, cs := range sn.Children {
+				c, err := build(cs, n, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				n.children = append(n.children, c)
+			}
+		}
+		n.rect = nodeMBR(n)
+		return n, nil
+	}
+	root, err := build(s.Root, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = maxDepth + 1
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("rstar: snapshot violates invariants: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,208 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/vec"
+)
+
+func r2(minX, minY, maxX, maxY float64) Rect {
+	return NewRect(vec.Vector{minX, minY}, vec.Vector{maxX, maxY})
+}
+
+func TestNewRectValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted rect did not panic")
+		}
+	}()
+	NewRect(vec.Vector{1, 0}, vec.Vector{0, 1})
+}
+
+func TestNewRectDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	NewRect(vec.Vector{0}, vec.Vector{1, 2})
+}
+
+func TestPointRectIndependence(t *testing.T) {
+	p := vec.Vector{1, 2}
+	r := PointRect(p)
+	p[0] = 99
+	if r.Min[0] != 1 || r.Max[0] != 1 {
+		t.Error("PointRect aliases input")
+	}
+	if r.Area() != 0 || r.Margin() != 0 {
+		t.Errorf("point rect area=%v margin=%v", r.Area(), r.Margin())
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := r2(0, 0, 10, 10)
+	cases := []struct {
+		p    vec.Vector
+		want bool
+	}{
+		{vec.Vector{5, 5}, true},
+		{vec.Vector{0, 0}, true},   // boundary inclusive
+		{vec.Vector{10, 10}, true}, // boundary inclusive
+		{vec.Vector{-0.1, 5}, false},
+		{vec.Vector{5, 10.1}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v", c.p, got)
+		}
+	}
+}
+
+func TestContainsRectAndIntersects(t *testing.T) {
+	outer := r2(0, 0, 10, 10)
+	inner := r2(2, 2, 8, 8)
+	overlapping := r2(5, 5, 15, 15)
+	disjoint := r2(20, 20, 30, 30)
+	touching := r2(10, 0, 20, 10)
+
+	if !outer.ContainsRect(inner) {
+		t.Error("inner not contained")
+	}
+	if outer.ContainsRect(overlapping) {
+		t.Error("overlapping reported contained")
+	}
+	if !outer.Intersects(overlapping) {
+		t.Error("overlapping not intersecting")
+	}
+	if outer.Intersects(disjoint) {
+		t.Error("disjoint intersecting")
+	}
+	if !outer.Intersects(touching) {
+		t.Error("edge-touching rects must intersect")
+	}
+}
+
+func TestUnionAreaMargin(t *testing.T) {
+	a := r2(0, 0, 2, 2)
+	b := r2(3, 3, 5, 7)
+	u := a.Union(b)
+	if !u.Min.Equal(vec.Vector{0, 0}) || !u.Max.Equal(vec.Vector{5, 7}) {
+		t.Errorf("Union = %v", u)
+	}
+	if a.Area() != 4 {
+		t.Errorf("Area = %v", a.Area())
+	}
+	if b.Margin() != 6 {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+	if got := a.Enlargement(b); got != 35-4 {
+		t.Errorf("Enlargement = %v", got)
+	}
+	// Union must not mutate its receivers.
+	if a.Max[0] != 2 || b.Min[1] != 3 {
+		t.Error("Union mutated input")
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := r2(0, 0, 4, 4)
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{r2(2, 2, 6, 6), 4},
+		{r2(5, 5, 6, 6), 0},
+		{r2(4, 0, 8, 4), 0}, // touching edges have zero volume
+		{r2(1, 1, 3, 3), 4},
+		{a, 16},
+	}
+	for _, c := range cases {
+		if got := a.OverlapArea(c.b); got != c.want {
+			t.Errorf("OverlapArea(%v) = %v want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestCenterDiagonal(t *testing.T) {
+	r := r2(0, 0, 6, 8)
+	if !r.Center().Equal(vec.Vector{3, 4}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Diagonal() != 10 {
+		t.Errorf("Diagonal = %v", r.Diagonal())
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	r := r2(0, 0, 10, 10)
+	cases := []struct {
+		p    vec.Vector
+		want float64
+	}{
+		{vec.Vector{5, 5}, 0},       // inside
+		{vec.Vector{0, 0}, 0},       // corner
+		{vec.Vector{13, 14}, 25},    // outside corner
+		{vec.Vector{-3, 5}, 9},      // outside one axis
+		{vec.Vector{5, -4}, 16},     // outside other axis
+		{vec.Vector{12, -2}, 4 + 4}, // both axes
+	}
+	for _, c := range cases {
+		if got := r.MinDistSq(c.p); got != c.want {
+			t.Errorf("MinDistSq(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Property: MINDIST lower-bounds the distance to every point inside the rect.
+func TestMinDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		min := vec.Vector{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		max := min.Clone()
+		for i := range max {
+			max[i] += rng.Float64() * 5
+		}
+		r := NewRect(min, max)
+		q := vec.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		// Random point inside the rect.
+		inside := make(vec.Vector, 3)
+		for i := range inside {
+			inside[i] = min[i] + rng.Float64()*(max[i]-min[i])
+		}
+		if bound := r.MinDistSq(q); bound > vec.SqL2(q, inside)+1e-9 {
+			t.Fatalf("MINDIST %v exceeds actual %v", bound, vec.SqL2(q, inside))
+		}
+	}
+}
+
+// Property: union contains both operands; overlap is symmetric and bounded.
+func TestRectAlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	randRect := func() Rect {
+		min := vec.Vector{rng.NormFloat64(), rng.NormFloat64()}
+		max := min.Clone()
+		for i := range max {
+			max[i] += rng.Float64() * 3
+		}
+		return NewRect(min, max)
+	}
+	for iter := 0; iter < 300; iter++ {
+		a, b := randRect(), randRect()
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v does not contain operands %v %v", u, a, b)
+		}
+		if o1, o2 := a.OverlapArea(b), b.OverlapArea(a); math.Abs(o1-o2) > 1e-12 {
+			t.Fatalf("overlap asymmetric: %v vs %v", o1, o2)
+		}
+		if o := a.OverlapArea(b); o > a.Area()+1e-12 || o > b.Area()+1e-12 {
+			t.Fatalf("overlap %v exceeds operand area", o)
+		}
+		if a.Enlargement(b) < -1e-12 {
+			t.Fatal("negative enlargement")
+		}
+	}
+}

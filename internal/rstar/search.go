@@ -1,0 +1,208 @@
+package rstar
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"qdcbir/internal/disk"
+	"qdcbir/internal/vec"
+)
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	ID    ItemID
+	Point vec.Vector
+	Dist  float64 // Euclidean distance to the query
+}
+
+// pqEntry is either a node (to expand) or an item (a candidate result) in the
+// best-first search queue, keyed by its lower-bound squared distance.
+type pqEntry struct {
+	distSq float64
+	node   *Node // nil for item entries
+	item   Item
+}
+
+type searchPQ []pqEntry
+
+func (p searchPQ) Len() int            { return len(p) }
+func (p searchPQ) Less(i, j int) bool  { return p[i].distSq < p[j].distSq }
+func (p searchPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *searchPQ) Push(x interface{}) { *p = append(*p, x.(pqEntry)) }
+func (p *searchPQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	e := old[n-1]
+	*p = old[:n-1]
+	return e
+}
+
+// KNN returns the k nearest items to q in the whole tree, ordered by
+// ascending distance (ties broken by ItemID for determinism). Every node
+// visited is reported to acc. A nil acc disables accounting.
+func (t *Tree) KNN(q vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	return t.KNNFrom(t.root, q, k, acc)
+}
+
+// KNNFrom restricts the k-NN search to the subtree rooted at n. The query
+// decomposition engine uses this for the localized multipoint k-NN
+// computations of §3.3: each final subquery searches only its own subcluster
+// (or, after boundary expansion, an ancestor's subtree).
+func (t *Tree) KNNFrom(n *Node, q vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	if k <= 0 || n == nil || n.Len() == 0 {
+		return nil
+	}
+	if acc == nil {
+		acc = disk.Nop{}
+	}
+	pq := &searchPQ{{distSq: n.rect.MinDistSq(q), node: n}}
+	results := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(pqEntry)
+		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
+			break
+		}
+		if e.node == nil {
+			// Item candidate: its distance is exact, and because the queue is
+			// ordered it arrives in ascending order.
+			if len(results) < k {
+				results = append(results, Neighbor{
+					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
+				})
+			}
+			continue
+		}
+		acc.Access(e.node.id)
+		if e.node.leaf {
+			for _, it := range e.node.items {
+				heap.Push(pq, pqEntry{distSq: vec.SqL2(q, it.Point), item: it})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			heap.Push(pq, pqEntry{distSq: c.rect.MinDistSq(q), node: c})
+		}
+	}
+	stabilize(results)
+	return results
+}
+
+// KNNWeighted is KNN under a diagonal-weighted Euclidean metric (the Query
+// Point Movement baseline re-weights dimensions each round). Pruning uses a
+// weighted MINDIST bound, which remains a valid lower bound for non-negative
+// weights.
+func (t *Tree) KNNWeighted(q, weights vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	return t.KNNWeightedFrom(t.root, q, weights, k, acc)
+}
+
+// KNNWeightedFrom restricts a weighted k-NN search to the subtree rooted at
+// n. The query decomposition engine uses this when the user assigns
+// importance weights to feature families (the paper's §6 extension).
+func (t *Tree) KNNWeightedFrom(n *Node, q, weights vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	if k <= 0 || n == nil || n.Len() == 0 {
+		return nil
+	}
+	if acc == nil {
+		acc = disk.Nop{}
+	}
+	minDistSqW := func(r Rect) float64 {
+		var s float64
+		for i := range q {
+			var d float64
+			if q[i] < r.Min[i] {
+				d = r.Min[i] - q[i]
+			} else if q[i] > r.Max[i] {
+				d = q[i] - r.Max[i]
+			}
+			s += weights[i] * d * d
+		}
+		return s
+	}
+	pq := &searchPQ{{distSq: minDistSqW(n.rect), node: n}}
+	results := make([]Neighbor, 0, k)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(pqEntry)
+		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
+			break
+		}
+		if e.node == nil {
+			if len(results) < k {
+				results = append(results, Neighbor{
+					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
+				})
+			}
+			continue
+		}
+		acc.Access(e.node.id)
+		if e.node.leaf {
+			for _, it := range e.node.items {
+				heap.Push(pq, pqEntry{distSq: vec.WeightedSqL2(q, it.Point, weights), item: it})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			heap.Push(pq, pqEntry{distSq: minDistSqW(c.rect), node: c})
+		}
+	}
+	stabilize(results)
+	return results
+}
+
+// stabilize enforces a deterministic order on equal-distance neighbours.
+func stabilize(ns []Neighbor) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// Search returns all items whose points fall inside r, in no particular
+// order. Visited nodes are reported to acc.
+func (t *Tree) Search(r Rect, acc disk.Accounter) []Item {
+	if acc == nil {
+		acc = disk.Nop{}
+	}
+	var out []Item
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		acc.Access(n.id)
+		if n.leaf {
+			for _, it := range n.items {
+				if r.Contains(it.Point) {
+					out = append(out, it)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if r.Intersects(c.rect) {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Walk visits every node in depth-first pre-order, calling fn with each node
+// and its level (leaves are level 0). Package rfs uses this to attach
+// representatives.
+func (t *Tree) Walk(fn func(n *Node, level int)) {
+	leafLevel := t.height - 1
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fn(n, leafLevel-depth)
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+}
+
+// LeafOf returns the leaf whose stored item has the given ID and point, or
+// nil if absent. The RFS structure maps representative images back to their
+// clusters with this.
+func (t *Tree) LeafOf(id ItemID, p vec.Vector) *Node { return t.findLeaf(t.root, id, p) }

@@ -1,0 +1,409 @@
+// Package server implements the paper's client/server configuration (§4):
+//
+//	"our software can be configured such that the RFS structure and relevance
+//	feedback mechanisms may run in the user computer. In this client-server
+//	configuration, the user would first identify the final query images on
+//	the client machine and only then submit them to the server to initiate
+//	the localized k-NN computations and final image retrieval."
+//
+// The Server exposes the retrieval system over HTTP/JSON in both modes:
+//
+//   - Thin-client mode: the server hosts feedback sessions
+//     (POST /v1/sessions, .../candidates, .../feedback, .../finalize).
+//   - Client-side mode: GET /v1/payload ships the representative structure —
+//     the only information relevance feedback needs, a small fraction of the
+//     database — and the Client type in this package runs the whole feedback
+//     loop locally, touching the server once per query (POST /v1/query).
+//
+// All structures are read-only after construction, so any number of sessions
+// may run concurrently; per-session state is independently locked.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/img"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// Labeler maps an image ID to a human-meaningful label (ground-truth
+// subconcepts in the synthetic corpus; thumbnails in a real deployment).
+type Labeler func(id int) string
+
+// DefaultMaxSessions bounds concurrent hosted sessions; the oldest idle
+// session is evicted when the cap is hit, so abandoned thin clients cannot
+// exhaust server memory.
+const DefaultMaxSessions = 1024
+
+// Server serves one built retrieval system.
+type Server struct {
+	engine      *core.Engine
+	label       Labeler
+	maxSessions int
+
+	mu       sync.Mutex
+	sessions map[string]*hostedSession
+	order    []string // creation order for eviction
+	nextID   uint64
+
+	payload    *Payload
+	payloadErr error
+	payloadGen sync.Once
+
+	images []*img.Image // optional rasters for the web UI (see webui.go)
+}
+
+// hostedSession is one thin-client feedback session.
+type hostedSession struct {
+	mu   sync.Mutex
+	sess *core.Session
+}
+
+// New creates a server over the engine. label may be nil (empty labels).
+func New(engine *core.Engine, label Labeler) *Server {
+	if label == nil {
+		label = func(int) string { return "" }
+	}
+	return &Server{
+		engine:      engine,
+		label:       label,
+		maxSessions: DefaultMaxSessions,
+		sessions:    make(map[string]*hostedSession),
+	}
+}
+
+// SetMaxSessions overrides the hosted-session cap (values < 1 keep the
+// default). Call before serving traffic.
+func (s *Server) SetMaxSessions(n int) {
+	if n >= 1 {
+		s.maxSessions = n
+	}
+}
+
+// ---- JSON wire types ----
+
+// InfoResponse describes the served database.
+type InfoResponse struct {
+	Images          int `json:"images"`
+	TreeHeight      int `json:"tree_height"`
+	Representatives int `json:"representatives"`
+}
+
+// CandidateJSON is one displayable representative.
+type CandidateJSON struct {
+	ID    int    `json:"id"`
+	Label string `json:"label,omitempty"`
+}
+
+// SessionResponse returns a new session handle.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+// FeedbackRequest marks images relevant (or retracts them).
+type FeedbackRequest struct {
+	Relevant []int `json:"relevant"`
+}
+
+// FeedbackResponse reports the decomposition state.
+type FeedbackResponse struct {
+	Subqueries int `json:"subqueries"`
+	Relevant   int `json:"relevant"`
+}
+
+// QueryRequest is the client-side mode's single server call: the final query
+// images identified during local feedback.
+type QueryRequest struct {
+	Relevant []int     `json:"relevant"`
+	K        int       `json:"k"`
+	Weights  []float64 `json:"weights,omitempty"`
+}
+
+// ScoredJSON is one result image.
+type ScoredJSON struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+	Label string  `json:"label,omitempty"`
+}
+
+// GroupJSON is one localized subquery's results.
+type GroupJSON struct {
+	QueryImages []int        `json:"query_images"`
+	Images      []ScoredJSON `json:"images"`
+	RankScore   float64      `json:"rank_score"`
+	Expanded    bool         `json:"expanded"`
+}
+
+// QueryResponse is a finalized retrieval.
+type QueryResponse struct {
+	Groups []GroupJSON `json:"groups"`
+	Stats  StatsJSON   `json:"stats"`
+}
+
+// StatsJSON reports simulated I/O cost.
+type StatsJSON struct {
+	FeedbackReads uint64 `json:"feedback_reads"`
+	FinalReads    uint64 `json:"final_reads"`
+	Expansions    int    `json:"expansions"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handler ----
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/info", s.handleInfo)
+	mux.HandleFunc("/v1/payload", s.handlePayload)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSessionOp)
+	mux.HandleFunc("/v1/image/", s.handleImage)
+	mux.HandleFunc("/ui", s.handleUI)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Images:          s.engine.RFS().Len(),
+		TreeHeight:      s.engine.RFS().Tree().Height(),
+		Representatives: s.engine.RFS().RepCount(),
+	})
+}
+
+func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.payloadGen.Do(func() { s.payload, s.payloadErr = BuildPayload(s.engine, s.label) })
+	if s.payloadErr != nil {
+		writeError(w, http.StatusInternalServerError, "payload: %v", s.payloadErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.payload)
+}
+
+// handleQuery is the client-side mode's single server interaction.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ids := make([]rstar.ItemID, len(req.Relevant))
+	for i, id := range req.Relevant {
+		ids[i] = rstar.ItemID(id)
+	}
+	var weights vec.Vector
+	if req.Weights != nil {
+		weights = vec.Vector(req.Weights)
+	}
+	res, stats, err := s.engine.QueryByExamples(ids, req.K, weights, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toQueryResponse(res, core.Stats{
+		FinalReads: stats.FinalReads,
+		Expansions: stats.Expansions,
+	}))
+}
+
+func (s *Server) toQueryResponse(res *core.Result, stats core.Stats) QueryResponse {
+	out := QueryResponse{Stats: StatsJSON{
+		FeedbackReads: stats.FeedbackReads,
+		FinalReads:    stats.FinalReads,
+		Expansions:    stats.Expansions,
+	}}
+	for _, g := range res.Groups {
+		gj := GroupJSON{RankScore: g.RankScore, Expanded: g.SearchNode != g.Node}
+		for _, id := range g.QueryIDs {
+			gj.QueryImages = append(gj.QueryImages, int(id))
+		}
+		for _, im := range g.Images {
+			gj.Images = append(gj.Images, ScoredJSON{
+				ID:    int(im.ID),
+				Score: im.Score,
+				Label: s.label(int(im.ID)),
+			})
+		}
+		out.Groups = append(out.Groups, gj)
+	}
+	return out
+}
+
+// handleSessions creates thin-client sessions.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Seed int64 `json:"seed"`
+	}
+	if r.ContentLength > 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.FormatUint(s.nextID, 10)
+	seed := req.Seed
+	if seed == 0 {
+		seed = int64(s.nextID) * 7919
+	}
+	// Evict the oldest sessions past the cap so abandoned clients cannot
+	// exhaust memory.
+	for len(s.sessions) >= s.maxSessions && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.sessions, victim)
+	}
+	s.sessions[id] = &hostedSession{sess: s.engine.NewSession(rand.New(rand.NewSource(seed)))}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
+}
+
+// handleSessionOp dispatches /v1/sessions/{id}/{op}.
+func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) == 0 || parts[0] == "" {
+		writeError(w, http.StatusNotFound, "missing session id")
+		return
+	}
+	id := parts[0]
+	s.mu.Lock()
+	hs := s.sessions[id]
+	s.mu.Unlock()
+	if hs == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	op := ""
+	if len(parts) == 2 {
+		op = parts[1]
+	}
+
+	switch {
+	case op == "" && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, struct{}{})
+
+	case op == "candidates" && r.Method == http.MethodGet:
+		hs.mu.Lock()
+		cands := hs.sess.Candidates()
+		hs.mu.Unlock()
+		out := make([]CandidateJSON, len(cands))
+		for i, c := range cands {
+			out[i] = CandidateJSON{ID: int(c.ID), Label: s.label(int(c.ID))}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Candidates []CandidateJSON `json:"candidates"`
+		}{out})
+
+	case op == "feedback" && r.Method == http.MethodPost:
+		var req FeedbackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		marks := make([]rstar.ItemID, len(req.Relevant))
+		for i, m := range req.Relevant {
+			marks[i] = rstar.ItemID(m)
+		}
+		hs.mu.Lock()
+		err := hs.sess.Feedback(marks)
+		nsub := len(hs.sess.Frontier())
+		nrel := len(hs.sess.Relevant())
+		hs.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, FeedbackResponse{Subqueries: nsub, Relevant: nrel})
+
+	case op == "retract" && r.Method == http.MethodPost:
+		var req FeedbackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		ids := make([]rstar.ItemID, len(req.Relevant))
+		for i, m := range req.Relevant {
+			ids[i] = rstar.ItemID(m)
+		}
+		hs.mu.Lock()
+		hs.sess.Retract(ids)
+		nrel := len(hs.sess.Relevant())
+		hs.mu.Unlock()
+		writeJSON(w, http.StatusOK, FeedbackResponse{Relevant: nrel})
+
+	case op == "finalize" && r.Method == http.MethodPost:
+		var req struct {
+			K int `json:"k"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		hs.mu.Lock()
+		res, err := hs.sess.Finalize(req.K)
+		stats := hs.sess.Stats()
+		hs.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		delete(s.sessions, id) // finalized sessions are done
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, s.toQueryResponse(res, stats))
+
+	default:
+		writeError(w, http.StatusNotFound, "unknown operation %q", op)
+	}
+}
+
+// SessionCount reports the live thin-client sessions (for monitoring/tests).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+	"image/png"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"qdcbir/internal/img"
+)
+
+// This file realises the paper's last future-work item (§6: "Also conceivable
+// is the development of an image search engine for the Web based upon the QD
+// idea"): a browser front end over the JSON API. The server renders the
+// corpus images as PNGs; the page drives a hosted feedback session — browse
+// representative images, click the relevant ones, watch the query decompose,
+// and finalize into grouped results.
+
+// SetImages provides the rendered corpus rasters; without them the web UI
+// falls back to label-only tiles. (Corpora built with KeepImages have them.)
+func (s *Server) SetImages(images []*img.Image) { s.images = images }
+
+// handleImage serves /v1/image/{id}.png.
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/image/")
+	rest = strings.TrimSuffix(rest, ".png")
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 || id >= len(s.images) || s.images[id] == nil {
+		writeError(w, http.StatusNotFound, "no image %q", rest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("Cache-Control", "public, max-age=3600")
+	if err := png.Encode(w, s.images[id].ToNRGBA()); err != nil {
+		// Headers are gone; nothing more to do than log-by-status.
+		return
+	}
+}
+
+// handleUI serves the single-page front end.
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, uiPage)
+}
+
+// uiPage is the embedded front end: plain JS over the JSON API.
+const uiPage = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>qdcbir — query decomposition image search</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 1.5rem; background: #fafafa; color: #222; }
+  h1 { font-size: 1.2rem; }
+  .bar { margin: .8rem 0; display: flex; gap: .6rem; align-items: center; flex-wrap: wrap; }
+  button { padding: .45rem .9rem; border: 1px solid #888; border-radius: 6px; background: #fff; cursor: pointer; }
+  button:hover { background: #eef; }
+  #status { color: #555; font-size: .9rem; }
+  .grid { display: flex; flex-wrap: wrap; gap: .5rem; }
+  .tile { border: 3px solid transparent; border-radius: 8px; padding: 2px; text-align: center;
+          cursor: pointer; background: #fff; box-shadow: 0 1px 3px rgba(0,0,0,.15); width: 104px; }
+  .tile img { width: 96px; height: 96px; image-rendering: pixelated; border-radius: 4px; }
+  .tile.marked { border-color: #2a7; }
+  .tile .lbl { font-size: .65rem; color: #666; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .group { margin: 1rem 0; padding: .6rem; background: #fff; border-radius: 8px; }
+  .group h3 { margin: .2rem 0 .6rem; font-size: .95rem; color: #444; }
+</style>
+</head>
+<body>
+<h1>qdcbir — relevance feedback by query decomposition</h1>
+<div class="bar">
+  <button id="newBtn">New session</button>
+  <button id="moreBtn" disabled>More candidates (Random)</button>
+  <button id="fbBtn" disabled>Submit feedback</button>
+  <button id="doneBtn" disabled>Finalize</button>
+  <span id="status">no session</span>
+</div>
+<div id="cands" class="grid"></div>
+<div id="results"></div>
+<script>
+let sid = null, marked = new Set(), shown = new Map();
+
+async function api(path, opts) {
+  const r = await fetch(path, opts);
+  const body = await r.json();
+  if (!r.ok) throw new Error(body.error || r.status);
+  return body;
+}
+function tile(c, clickable) {
+  const d = document.createElement('div');
+  d.className = 'tile';
+  d.innerHTML = '<img src="/v1/image/' + c.id + '.png" onerror="this.style.display=\'none\'">' +
+                '<div class="lbl">' + (c.label || ('#' + c.id)) + '</div>';
+  if (clickable) d.onclick = () => {
+    if (marked.has(c.id)) { marked.delete(c.id); d.classList.remove('marked'); }
+    else { marked.add(c.id); d.classList.add('marked'); }
+  };
+  return d;
+}
+async function newSession() {
+  const s = await api('/v1/sessions', {method: 'POST', body: '{}'});
+  sid = s.session_id; marked.clear(); shown.clear();
+  document.getElementById('results').innerHTML = '';
+  document.getElementById('cands').innerHTML = '';
+  for (const b of ['moreBtn','fbBtn','doneBtn']) document.getElementById(b).disabled = false;
+  setStatus('session ' + sid + ' — browse and click relevant images');
+  await more();
+}
+async function more() {
+  const c = await api('/v1/sessions/' + sid + '/candidates');
+  const grid = document.getElementById('cands');
+  for (const cand of c.candidates) {
+    if (shown.has(cand.id)) continue;
+    shown.set(cand.id, cand);
+    grid.appendChild(tile(cand, true));
+  }
+}
+async function feedback() {
+  const rel = [...marked];
+  const fb = await api('/v1/sessions/' + sid + '/feedback',
+    {method: 'POST', body: JSON.stringify({relevant: rel})});
+  setStatus('round committed: ' + fb.relevant + ' relevant, query decomposed into ' +
+            fb.subqueries + ' subqueries');
+  document.getElementById('cands').innerHTML = '';
+  shown.clear();
+  await more();
+}
+async function finalize() {
+  const res = await api('/v1/sessions/' + sid + '/finalize',
+    {method: 'POST', body: JSON.stringify({k: 24})});
+  const out = document.getElementById('results');
+  out.innerHTML = '<h2>Results — one group per discovered neighborhood</h2>';
+  res.groups.forEach((g, i) => {
+    const div = document.createElement('div');
+    div.className = 'group';
+    div.innerHTML = '<h3>group ' + (i+1) + ' — rank score ' + g.rank_score.toFixed(3) +
+                    (g.expanded ? ' (search expanded)' : '') + '</h3>';
+    const grid = document.createElement('div');
+    grid.className = 'grid';
+    for (const im of g.images) grid.appendChild(tile(im, false));
+    div.appendChild(grid);
+    out.appendChild(div);
+  });
+  setStatus('finalized: ' + res.groups.length + ' groups, ' +
+            res.stats.final_reads + ' node reads for the localized k-NN');
+  for (const b of ['moreBtn','fbBtn','doneBtn']) document.getElementById(b).disabled = true;
+  sid = null;
+}
+function setStatus(t) { document.getElementById('status').textContent = t; }
+function guard(f) { return () => f().catch(e => setStatus('error: ' + e.message)); }
+document.getElementById('newBtn').onclick = guard(newSession);
+document.getElementById('moreBtn').onclick = guard(more);
+document.getElementById('fbBtn').onclick = guard(feedback);
+document.getElementById('doneBtn').onclick = guard(finalize);
+</script>
+</body>
+</html>
+`

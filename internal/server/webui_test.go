@@ -1,0 +1,96 @@
+package server
+
+import (
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/img"
+)
+
+func newUITestServer(t *testing.T) (*httptest.Server, *dataset.Corpus) {
+	t.Helper()
+	eng, corpus := testSystem(t)
+	srv := New(eng, corpus.SubconceptOf)
+	// Render a handful of images on the fly (the shared fixture corpus is
+	// built without KeepImages to stay small).
+	images := make([]*img.Image, corpus.Len())
+	for i := 0; i < 10; i++ {
+		im := img.New(16, 16)
+		im.Fill(img.RGB{R: uint8(i * 20), G: 100, B: 200})
+		images[i] = im
+	}
+	srv.SetImages(images)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, corpus
+}
+
+func TestUIPageServes(t *testing.T) {
+	ts, _ := newUITestServer(t)
+	resp, err := http.Get(ts.URL + "/ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"query decomposition", "/v1/sessions", "Finalize"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestImageEndpoint(t *testing.T) {
+	ts, _ := newUITestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/image/3.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	im, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	if im.Bounds().Dx() != 16 || im.Bounds().Dy() != 16 {
+		t.Errorf("decoded size %v", im.Bounds())
+	}
+	r, g, b, _ := im.At(0, 0).RGBA()
+	if r>>8 != 60 || g>>8 != 100 || b>>8 != 200 {
+		t.Errorf("pixel (0,0) = %d,%d,%d", r>>8, g>>8, b>>8)
+	}
+
+	// Missing image and junk ids are 404s.
+	for _, path := range []string{"/v1/image/11.png", "/v1/image/notanumber.png", "/v1/image/-1.png"} {
+		r2, _ := http.Get(ts.URL + path)
+		if r2.StatusCode != http.StatusNotFound {
+			t.Errorf("%s = %d, want 404", path, r2.StatusCode)
+		}
+		r2.Body.Close()
+	}
+}
+
+func TestImageEndpointWithoutImages(t *testing.T) {
+	eng, corpus := testSystem(t)
+	srv := New(eng, corpus.SubconceptOf) // no SetImages
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/v1/image/0.png")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d without images", resp.StatusCode)
+	}
+}

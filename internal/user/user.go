@@ -1,0 +1,130 @@
+// Package user simulates the relevance-feedback users of the paper's study
+// (§5.2: "we asked 20 students to test the systems by searching for the
+// relevant images in the database").
+//
+// A Simulator is a ground-truth oracle with human-shaped limits: it only
+// judges images actually displayed to it, marks at most a per-round budget,
+// and optionally makes mistakes at a configurable noise rate (standing in for
+// the inter-user disagreement a panel of students exhibits).
+package user
+
+import (
+	"math/rand"
+)
+
+// Simulator is one simulated user pursuing a fixed query intent.
+type Simulator struct {
+	rng     *rand.Rand
+	targets map[string]bool
+	subOf   func(int) string
+
+	// MaxPerRound caps how many images the user marks per feedback round
+	// (people do not exhaustively label; default 8).
+	MaxPerRound int
+	// NoiseRate is the probability of a judgment error: a relevant image
+	// overlooked, or an irrelevant one marked. Default 0.
+	NoiseRate float64
+
+	seen map[int]bool
+}
+
+// New returns a simulator whose intent is the given target subconcepts.
+// subOf maps an image ID to its subconcept key.
+func New(targets []string, subOf func(int) string, rng *rand.Rand) *Simulator {
+	t := make(map[string]bool, len(targets))
+	for _, s := range targets {
+		t[s] = true
+	}
+	return &Simulator{
+		rng:         rng,
+		targets:     t,
+		subOf:       subOf,
+		MaxPerRound: 8,
+		seen:        make(map[int]bool),
+	}
+}
+
+// IsRelevant reports the user's true (noise-free) judgment of an image.
+func (s *Simulator) IsRelevant(id int) bool { return s.targets[s.subOf(id)] }
+
+// Select returns the images the user marks relevant among the displayed ones,
+// respecting the per-round budget and noise rate. Images the user has already
+// marked in this session are not re-marked.
+func (s *Simulator) Select(displayed []int) []int {
+	var marked []int
+	for _, id := range displayed {
+		if len(marked) >= s.MaxPerRound {
+			break
+		}
+		if s.seen[id] {
+			continue
+		}
+		relevant := s.IsRelevant(id)
+		if s.NoiseRate > 0 && s.rng.Float64() < s.NoiseRate {
+			relevant = !relevant
+		}
+		if relevant {
+			s.seen[id] = true
+			marked = append(marked, id)
+		}
+	}
+	return marked
+}
+
+// SelectDiverse marks relevant images like Select but spreads the budget
+// across distinct subconcepts round-robin, the way the paper's users pick one
+// example of each relevant *type* they notice (the Figure-2 walkthrough marks
+// a steamed car AND an antique car AND modern cars, not eight of one kind).
+// Judgment noise applies per image as in Select.
+func (s *Simulator) SelectDiverse(displayed []int) []int {
+	groups := make(map[string][]int)
+	var order []string
+	for _, id := range displayed {
+		if s.seen[id] {
+			continue
+		}
+		relevant := s.IsRelevant(id)
+		if s.NoiseRate > 0 && s.rng.Float64() < s.NoiseRate {
+			relevant = !relevant
+		}
+		if !relevant {
+			continue
+		}
+		sub := s.subOf(id)
+		if _, ok := groups[sub]; !ok {
+			order = append(order, sub)
+		}
+		groups[sub] = append(groups[sub], id)
+	}
+	var marked []int
+	for len(marked) < s.MaxPerRound {
+		progressed := false
+		for _, sub := range order {
+			g := groups[sub]
+			if len(g) == 0 {
+				continue
+			}
+			id := g[0]
+			groups[sub] = g[1:]
+			if s.seen[id] {
+				continue
+			}
+			s.seen[id] = true
+			marked = append(marked, id)
+			progressed = true
+			if len(marked) >= s.MaxPerRound {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return marked
+}
+
+// Marked returns how many images the user has marked so far.
+func (s *Simulator) Marked() int { return len(s.seen) }
+
+// Reset forgets the session's marks (a new query with the same intent).
+func (s *Simulator) Reset() { s.seen = make(map[int]bool) }

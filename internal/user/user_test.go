@@ -1,0 +1,151 @@
+package user
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func subOf(m map[int]string) func(int) string {
+	return func(id int) string { return m[id] }
+}
+
+func TestSelectMarksOnlyRelevant(t *testing.T) {
+	labels := map[int]string{1: "a", 2: "b", 3: "a", 4: "c"}
+	s := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(1)))
+	got := s.Select([]int{1, 2, 3, 4})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Select = %v", got)
+	}
+	if !s.IsRelevant(1) || s.IsRelevant(2) {
+		t.Error("IsRelevant wrong")
+	}
+}
+
+func TestSelectBudget(t *testing.T) {
+	labels := map[int]string{}
+	var shown []int
+	for i := 0; i < 50; i++ {
+		labels[i] = "a"
+		shown = append(shown, i)
+	}
+	s := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(2)))
+	s.MaxPerRound = 5
+	if got := s.Select(shown); len(got) != 5 {
+		t.Fatalf("budget not enforced: %d marks", len(got))
+	}
+	if s.Marked() != 5 {
+		t.Errorf("Marked = %d", s.Marked())
+	}
+}
+
+func TestSelectNoRemark(t *testing.T) {
+	labels := map[int]string{1: "a", 2: "a"}
+	s := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(3)))
+	first := s.Select([]int{1, 2})
+	if len(first) != 2 {
+		t.Fatalf("first = %v", first)
+	}
+	second := s.Select([]int{1, 2})
+	if len(second) != 0 {
+		t.Fatalf("re-marked: %v", second)
+	}
+	s.Reset()
+	third := s.Select([]int{1, 2})
+	if len(third) != 2 {
+		t.Fatalf("Reset did not forget: %v", third)
+	}
+}
+
+func TestNoise(t *testing.T) {
+	labels := map[int]string{}
+	var relevant, irrelevant []int
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			labels[i] = "a"
+			relevant = append(relevant, i)
+		} else {
+			labels[i] = "b"
+			irrelevant = append(irrelevant, i)
+		}
+	}
+	s := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(4)))
+	s.MaxPerRound = 1000
+	s.NoiseRate = 0.2
+	marks := s.Select(append(append([]int{}, relevant...), irrelevant...))
+	var wrong int
+	for _, id := range marks {
+		if labels[id] != "a" {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Error("noise produced no wrong marks in 500 judgments")
+	}
+	// Roughly 20% of the 250 irrelevant should be wrongly marked.
+	if wrong < 20 || wrong > 90 {
+		t.Errorf("wrong marks = %d, want near 50", wrong)
+	}
+	// Zero-noise simulator never errs.
+	s2 := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(5)))
+	s2.MaxPerRound = 1000
+	for _, id := range s2.Select(irrelevant) {
+		t.Errorf("noise-free user marked irrelevant %d", id)
+	}
+}
+
+func TestSelectDiverseSpreadsBudget(t *testing.T) {
+	labels := map[int]string{}
+	var shown []int
+	// 10 images of subconcept a, then 2 of b, then 2 of c — a greedy marker
+	// with budget 4 would take four a's and miss b and c entirely.
+	for i := 0; i < 10; i++ {
+		labels[i] = "a"
+		shown = append(shown, i)
+	}
+	for i := 10; i < 12; i++ {
+		labels[i] = "b"
+		shown = append(shown, i)
+	}
+	for i := 12; i < 14; i++ {
+		labels[i] = "c"
+		shown = append(shown, i)
+	}
+	s := New([]string{"a", "b", "c"}, subOf(labels), rand.New(rand.NewSource(7)))
+	s.MaxPerRound = 4
+	got := s.SelectDiverse(shown)
+	if len(got) != 4 {
+		t.Fatalf("marked %d, want 4", len(got))
+	}
+	subs := map[string]int{}
+	for _, id := range got {
+		subs[labels[id]]++
+	}
+	if subs["a"] == 0 || subs["b"] == 0 || subs["c"] == 0 {
+		t.Errorf("budget not spread across types: %v", subs)
+	}
+}
+
+func TestSelectDiverseSkipsIrrelevantAndSeen(t *testing.T) {
+	labels := map[int]string{1: "a", 2: "z", 3: "a"}
+	s := New([]string{"a"}, subOf(labels), rand.New(rand.NewSource(8)))
+	got := s.SelectDiverse([]int{1, 2, 3})
+	if len(got) != 2 {
+		t.Fatalf("marked %v", got)
+	}
+	for _, id := range got {
+		if labels[id] != "a" {
+			t.Errorf("marked irrelevant %d", id)
+		}
+	}
+	// No re-marking.
+	if again := s.SelectDiverse([]int{1, 2, 3}); len(again) != 0 {
+		t.Errorf("re-marked %v", again)
+	}
+}
+
+func TestEmptyDisplay(t *testing.T) {
+	s := New([]string{"a"}, subOf(nil), rand.New(rand.NewSource(6)))
+	if got := s.Select(nil); len(got) != 0 {
+		t.Errorf("Select(nil) = %v", got)
+	}
+}

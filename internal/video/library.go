@@ -1,0 +1,118 @@
+package video
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/feature"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// LibraryConfig controls shot-library construction.
+type LibraryConfig struct {
+	// Segmenter parameters (zero values take defaults).
+	Segmenter Segmenter
+	// RFS carries the structure build parameters; sensible small-corpus
+	// defaults are applied when zero.
+	RFS rfs.BuildConfig
+	// Engine carries the QD engine parameters.
+	Engine core.Config
+}
+
+// Library is a searchable shot collection: every shot's keyframe is one item
+// in an RFS structure, so query decomposition retrieves shots from multiple
+// visual neighborhoods exactly as it retrieves still images.
+type Library struct {
+	shots  []Shot // indexed by rstar.ItemID
+	rfs    *rfs.Structure
+	engine *core.Engine
+}
+
+// BuildLibrary segments every clip and indexes the shot keyframes.
+func BuildLibrary(clips []Clip, cfg LibraryConfig) (*Library, error) {
+	if len(clips) == 0 {
+		return nil, fmt.Errorf("video: no clips")
+	}
+	var shots []Shot
+	var keyVecs []vec.Vector
+	var raws []vec.Vector
+	for _, clip := range clips {
+		cs, feats, err := cfg.Segmenter.Segment(clip)
+		if err != nil {
+			return nil, err
+		}
+		for _, sh := range cs {
+			shots = append(shots, sh)
+			keyVecs = append(keyVecs, feats[sh.Keyframe])
+		}
+		raws = append(raws, feats...)
+	}
+	// Normalize keyframe features against the full frame population so the
+	// distance geometry matches the still-image pipeline.
+	ex := feature.NewExtractor(raws)
+	for i := range keyVecs {
+		keyVecs[i] = ex.Normalize(keyVecs[i])
+	}
+	rcfg := cfg.RFS
+	if rcfg.Tree.MaxFill == 0 {
+		rcfg.Tree.MaxFill = 24
+	}
+	if rcfg.TargetFill == 0 {
+		rcfg.TargetFill = 20
+	}
+	if rcfg.RepFraction == 0 {
+		rcfg.RepFraction = 0.2
+	}
+	structure := rfs.Build(keyVecs, rcfg)
+	if err := structure.Validate(); err != nil {
+		return nil, err
+	}
+	return &Library{
+		shots:  shots,
+		rfs:    structure,
+		engine: core.NewEngine(structure, cfg.Engine),
+	}, nil
+}
+
+// Shots returns the number of indexed shots.
+func (l *Library) Shots() int { return len(l.shots) }
+
+// Shot returns the shot behind an item ID.
+func (l *Library) Shot(id rstar.ItemID) (Shot, error) {
+	if int(id) < 0 || int(id) >= len(l.shots) {
+		return Shot{}, fmt.Errorf("video: unknown shot %d", id)
+	}
+	return l.shots[id], nil
+}
+
+// Engine exposes the QD engine over the shot keyframes for full feedback
+// sessions.
+func (l *Library) Engine() *core.Engine { return l.engine }
+
+// NewSession starts a shot-retrieval feedback session.
+func (l *Library) NewSession(seed int64) *core.Session {
+	return l.engine.NewSession(rand.New(rand.NewSource(seed)))
+}
+
+// SearchByShots runs the stateless query path from example shots: the
+// analogue of query-by-example over video.
+func (l *Library) SearchByShots(examples []rstar.ItemID, k int) ([]Shot, error) {
+	res, _, err := l.engine.QueryByExamples(examples, k, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Shot
+	for _, g := range res.Groups {
+		for _, im := range g.Images {
+			sh, err := l.Shot(im.ID)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sh)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+// Package video implements the paper's video-retrieval extension (§6: "Our
+// system may also be extended to support video retrieval"). Clips are
+// segmented into shots by detecting feature-space discontinuities between
+// consecutive frames; each shot is represented by the keyframe nearest its
+// feature centroid; the keyframes are indexed in an RFS structure, so the
+// whole query-decomposition relevance-feedback machinery operates on shots
+// exactly as it does on still images.
+package video
+
+import (
+	"fmt"
+	"sort"
+
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/vec"
+)
+
+// Clip is one video: an ordered frame sequence.
+type Clip struct {
+	ID     int
+	Frames []*img.Image
+}
+
+// Shot is one camera take within a clip: the frame interval [Start, End) and
+// the keyframe chosen to represent it.
+type Shot struct {
+	Clip     int // clip ID
+	Index    int // shot ordinal within the clip
+	Start    int // first frame (inclusive)
+	End      int // last frame (exclusive)
+	Keyframe int // frame index of the representative frame
+}
+
+// Len returns the shot length in frames.
+func (s Shot) Len() int { return s.End - s.Start }
+
+// Segmenter detects shot boundaries from frame-feature discontinuities.
+type Segmenter struct {
+	// Sigma is the adaptive cut threshold: a boundary is declared where the
+	// consecutive-frame feature distance exceeds Sigma times the clip's
+	// median consecutive distance. The ratio-to-median rule is scale-free and
+	// robust in short clips, where mean/stddev thresholds fail (a single
+	// large cut inflates the deviation so much that no sample can exceed
+	// mean+3σ: the maximum z-score of n samples is (n-1)/√n). Default 3.
+	Sigma float64
+	// MinShot is the minimum shot length in frames; shorter candidate shots
+	// are merged into their predecessor. Default 3.
+	MinShot int
+}
+
+func (s Segmenter) withDefaults() Segmenter {
+	if s.Sigma <= 0 {
+		s.Sigma = 3
+	}
+	if s.MinShot <= 0 {
+		s.MinShot = 3
+	}
+	return s
+}
+
+// Segment splits a clip into shots and returns them along with the raw
+// per-frame feature vectors (reused by keyframe selection and indexing).
+func (sg Segmenter) Segment(clip Clip) ([]Shot, []vec.Vector, error) {
+	sg = sg.withDefaults()
+	n := len(clip.Frames)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("video: clip %d has no frames", clip.ID)
+	}
+	feats := make([]vec.Vector, n)
+	for i, f := range clip.Frames {
+		feats[i] = feature.Extract(f)
+	}
+	if n == 1 {
+		return []Shot{{Clip: clip.ID, Start: 0, End: 1, Keyframe: 0}}, feats, nil
+	}
+
+	// Consecutive-frame distances; cut where a distance exceeds Sigma times
+	// the median. A zero median (frozen frames) makes any positive
+	// discontinuity a cut.
+	dists := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		dists[i] = vec.L2(feats[i], feats[i+1])
+	}
+	threshold := sg.Sigma * median(dists)
+
+	// Cut where the discontinuity exceeds the threshold.
+	var bounds []int // start indices of shots after the first
+	for i, d := range dists {
+		if d > threshold {
+			bounds = append(bounds, i+1)
+		}
+	}
+
+	// Assemble shots, merging any that fall below the minimum length.
+	var shots []Shot
+	start := 0
+	for _, b := range append(bounds, n) {
+		if b-start < sg.MinShot && len(shots) > 0 {
+			shots[len(shots)-1].End = b
+			start = b
+			continue
+		}
+		shots = append(shots, Shot{Clip: clip.ID, Index: len(shots), Start: start, End: b})
+		start = b
+	}
+	// A too-short FIRST shot could not merge backwards; merge it forward.
+	if len(shots) > 1 && shots[0].Len() < sg.MinShot {
+		shots[1].Start = shots[0].Start
+		shots = shots[1:]
+		for i := range shots {
+			shots[i].Index = i
+		}
+	}
+
+	// Keyframe: the frame nearest the shot's feature centroid.
+	for i := range shots {
+		sh := &shots[i]
+		window := feats[sh.Start:sh.End]
+		centroid := vec.Centroid(window)
+		best, _ := vec.NearestIndex(centroid, window, vec.SqL2)
+		sh.Keyframe = sh.Start + best
+	}
+	return shots, feats, nil
+}
+
+// median returns the middle value of xs (mean of the two middles for even
+// lengths) without mutating the input.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

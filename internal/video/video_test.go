@@ -1,0 +1,255 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/img"
+	"qdcbir/internal/rstar"
+)
+
+// appearanceFrames renders n frames of one appearance: consecutive frames of
+// one "camera take" (same appearance, per-frame jitter).
+func appearanceFrames(a dataset.Appearance, n int, rng *rand.Rand) []*img.Image {
+	frames := make([]*img.Image, n)
+	for i := range frames {
+		frames[i] = dataset.Render(a, rng)
+	}
+	return frames
+}
+
+// syntheticClip concatenates one take per appearance.
+func syntheticClip(id int, apps []dataset.Appearance, framesPerShot int, rng *rand.Rand) Clip {
+	var frames []*img.Image
+	for _, a := range apps {
+		frames = append(frames, appearanceFrames(a, framesPerShot, rng)...)
+	}
+	return Clip{ID: id, Frames: frames}
+}
+
+// distinctAppearances samples n well-separated appearances.
+func distinctAppearances(n int, seed int64) []dataset.Appearance {
+	spec := dataset.SmallSpec(seed, 9+n, (9+n)*4)
+	var out []dataset.Appearance
+	for _, cat := range spec.Categories {
+		for _, sub := range cat.Subconcepts {
+			out = append(out, sub.Appearance)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func TestSegmentSingleShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	apps := distinctAppearances(1, 2)
+	clip := syntheticClip(0, apps, 12, rng)
+	shots, feats, err := Segmenter{}.Segment(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 12 {
+		t.Fatalf("feats = %d", len(feats))
+	}
+	if len(shots) != 1 {
+		t.Fatalf("one-take clip segmented into %d shots", len(shots))
+	}
+	sh := shots[0]
+	if sh.Start != 0 || sh.End != 12 {
+		t.Errorf("shot span [%d,%d)", sh.Start, sh.End)
+	}
+	if sh.Keyframe < sh.Start || sh.Keyframe >= sh.End {
+		t.Errorf("keyframe %d outside shot", sh.Keyframe)
+	}
+}
+
+func TestSegmentFindsCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	apps := distinctAppearances(3, 4)
+	const per = 10
+	clip := syntheticClip(0, apps, per, rng)
+	shots, _, err := Segmenter{}.Segment(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shots) != 3 {
+		t.Fatalf("3-take clip segmented into %d shots: %+v", len(shots), shots)
+	}
+	for i, sh := range shots {
+		if sh.Index != i {
+			t.Errorf("shot %d has index %d", i, sh.Index)
+		}
+		if sh.Start != i*per || sh.End != (i+1)*per {
+			t.Errorf("shot %d span [%d,%d), want [%d,%d)", i, sh.Start, sh.End, i*per, (i+1)*per)
+		}
+		if sh.Keyframe < sh.Start || sh.Keyframe >= sh.End {
+			t.Errorf("shot %d keyframe %d out of range", i, sh.Keyframe)
+		}
+	}
+	// Shots tile the clip exactly.
+	if shots[0].Start != 0 || shots[len(shots)-1].End != len(clip.Frames) {
+		t.Error("shots do not tile the clip")
+	}
+}
+
+func TestSegmentEdgeCases(t *testing.T) {
+	if _, _, err := (Segmenter{}).Segment(Clip{ID: 1}); err == nil {
+		t.Error("empty clip accepted")
+	}
+	// Single frame.
+	rng := rand.New(rand.NewSource(5))
+	app := distinctAppearances(1, 6)[0]
+	clip := Clip{ID: 2, Frames: appearanceFrames(app, 1, rng)}
+	shots, _, err := Segmenter{}.Segment(clip)
+	if err != nil || len(shots) != 1 {
+		t.Fatalf("single-frame clip: %v, %d shots", err, len(shots))
+	}
+	// A clip shorter than MinShot still yields one shot.
+	clip2 := Clip{ID: 3, Frames: appearanceFrames(app, 2, rng)}
+	shots2, _, err := Segmenter{MinShot: 5}.Segment(clip2)
+	if err != nil || len(shots2) != 1 {
+		t.Fatalf("short clip: %v, %d shots", err, len(shots2))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+	// Input is not mutated.
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestSegmentFrozenClip(t *testing.T) {
+	// Identical frames everywhere: zero median distance, no cuts.
+	im := img.New(16, 16)
+	im.Fill(img.RGB{R: 50, G: 50, B: 50})
+	frames := make([]*img.Image, 8)
+	for i := range frames {
+		frames[i] = im.Clone()
+	}
+	shots, _, err := Segmenter{}.Segment(Clip{ID: 9, Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shots) != 1 {
+		t.Fatalf("frozen clip split into %d shots", len(shots))
+	}
+}
+
+func buildTestLibrary(t *testing.T) (*Library, []dataset.Appearance) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	apps := distinctAppearances(6, 8)
+	var clips []Clip
+	id := 0
+	// 12 clips, each combining two of the six appearances.
+	for i := 0; i < 12; i++ {
+		a := apps[i%len(apps)]
+		b := apps[(i+1)%len(apps)]
+		clips = append(clips, syntheticClip(id, []dataset.Appearance{a, b}, 8, rng))
+		id++
+	}
+	lib, err := BuildLibrary(clips, LibraryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, apps
+}
+
+func TestBuildLibrary(t *testing.T) {
+	lib, _ := buildTestLibrary(t)
+	if lib.Shots() < 20 {
+		t.Fatalf("library has %d shots, expected ~24", lib.Shots())
+	}
+	// Every shot resolves.
+	for i := 0; i < lib.Shots(); i++ {
+		sh, err := lib.Shot(rstar.ItemID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Len() <= 0 {
+			t.Errorf("shot %d empty", i)
+		}
+	}
+	if _, err := lib.Shot(rstar.ItemID(lib.Shots())); err == nil {
+		t.Error("out-of-range shot accepted")
+	}
+	if _, err := BuildLibrary(nil, LibraryConfig{}); err == nil {
+		t.Error("empty library accepted")
+	}
+}
+
+func TestSearchByShots(t *testing.T) {
+	lib, _ := buildTestLibrary(t)
+	// Query with shot 0 as the example; results should include shots from
+	// OTHER clips (the appearance repeats across clips by construction).
+	got, err := lib.SearchByShots([]rstar.ItemID{0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("returned %d shots", len(got))
+	}
+	example, _ := lib.Shot(0)
+	crossClip := false
+	for _, sh := range got {
+		if sh.Clip != example.Clip {
+			crossClip = true
+		}
+	}
+	if !crossClip {
+		t.Error("search never left the example's own clip")
+	}
+	// Errors propagate.
+	if _, err := lib.SearchByShots(nil, 5); err == nil {
+		t.Error("empty example accepted")
+	}
+}
+
+func TestVideoFeedbackSession(t *testing.T) {
+	lib, _ := buildTestLibrary(t)
+	sess := lib.NewSession(9)
+	cands := sess.Candidates()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if err := sess.Feedback([]rstar.ItemID{cands[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Finalize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range res.Groups {
+		for _, im := range g.Images {
+			if _, err := lib.Shot(im.ID); err != nil {
+				t.Errorf("result %d is not a shot: %v", im.ID, err)
+			}
+			total++
+		}
+	}
+	if total != 4 {
+		t.Errorf("returned %d of 4", total)
+	}
+}

@@ -1,0 +1,117 @@
+package qdcbir
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// archive is the gob wire format for a whole System. Rendered images are not
+// persisted (they are cheap to regenerate and only needed at build time);
+// channel vectors are kept when present so a reloaded system can still run
+// the MV baseline.
+type archive struct {
+	Cfg            Config
+	Infos          []dataset.Info
+	RFS            *rfs.Snapshot
+	ChannelVectors map[img.Channel][]vec.Vector
+	NormMin        vec.Vector // extractor state (min-max normalizer)
+	NormMax        vec.Vector
+}
+
+// Save persists the system to w. The corpus vectors travel inside the RFS
+// snapshot; ground truth, configuration, and the feature normalizer travel
+// alongside, so a Load-ed system answers queries identically.
+func (s *System) Save(w io.Writer) error {
+	a := archive{
+		Cfg:            s.cfg,
+		Infos:          s.corpus.Infos,
+		RFS:            s.rfs.Snapshot(),
+		ChannelVectors: s.corpus.ChannelVectors,
+	}
+	if s.corpus.Extractor != nil {
+		min, max := s.corpus.Extractor.NormalizerBounds()
+		a.NormMin, a.NormMax = min, max
+	}
+	if err := gob.NewEncoder(w).Encode(&a); err != nil {
+		return fmt.Errorf("qdcbir: encode: %w", err)
+	}
+	return nil
+}
+
+// SaveFile persists the system to a file.
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a system persisted by Save.
+func Load(r io.Reader) (*System, error) {
+	var a archive
+	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("qdcbir: decode: %w", err)
+	}
+	structure, err := rfs.FromSnapshot(a.RFS)
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := dataset.Reassemble(a.Infos, vectorsOf(structure), a.ChannelVectors)
+	if err != nil {
+		return nil, err
+	}
+	if a.NormMin != nil {
+		corpus.Extractor = feature.NewExtractorFromBounds(a.NormMin, a.NormMax)
+	}
+	sys, err := assembleLoaded(a.Cfg, corpus, structure)
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// LoadFile reconstructs a system from a file written by SaveFile.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// vectorsOf extracts the dense vector table from a reconstructed structure.
+func vectorsOf(s *rfs.Structure) []vec.Vector {
+	out := make([]vec.Vector, s.Len())
+	for i := range out {
+		out[i] = s.Point(rstar.ItemID(i))
+	}
+	return out
+}
+
+// assembleLoaded wires a reconstructed structure without rebuilding it.
+func assembleLoaded(cfg Config, corpus *dataset.Corpus, structure *rfs.Structure) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := structure.Validate(); err != nil {
+		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
+	}
+	if err := corpus.Validate(); err != nil {
+		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
+	}
+	engine := newEngine(cfg, structure)
+	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: engine}, nil
+}

@@ -1,0 +1,119 @@
+package qdcbir
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := smallSystem(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("len %d != %d", loaded.Len(), orig.Len())
+	}
+	if loaded.TreeHeight() != orig.TreeHeight() || loaded.RepresentativeCount() != orig.RepresentativeCount() {
+		t.Errorf("structure shape changed: h %d/%d reps %d/%d",
+			loaded.TreeHeight(), orig.TreeHeight(),
+			loaded.RepresentativeCount(), orig.RepresentativeCount())
+	}
+	// Ground truth survives.
+	for i := 0; i < 20; i++ {
+		if loaded.SubconceptOf(i) != orig.SubconceptOf(i) {
+			t.Fatalf("label %d changed: %q vs %q", i, loaded.SubconceptOf(i), orig.SubconceptOf(i))
+		}
+	}
+	// Retrieval behaviour is identical.
+	a, err := orig.KNN(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.KNN(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("kNN diverged at rank %d: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+	// Sessions replay identically across the reload.
+	runIDs := func(s *System) []int {
+		sess := s.NewSession(123)
+		c := sess.Candidates()
+		if err := sess.Feedback([]int{c[0].ID, c[1].ID}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Finalize(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs()
+	}
+	x, y := runIDs(orig), runIDs(loaded)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("session replay diverged at %d", i)
+		}
+	}
+	// The extractor survives: external QBE still works after reload.
+	if loaded.Corpus().Extractor == nil {
+		t.Fatal("extractor lost in round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sys := smallSystem(t)
+	path := filepath.Join(t.TempDir(), "sys.gob")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != sys.Len() {
+		t.Fatalf("len %d != %d", loaded.Len(), sys.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadVectorMode(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VectorMode = true
+	cfg.Images = 500
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != sys.Len() {
+		t.Fatalf("len %d != %d", loaded.Len(), sys.Len())
+	}
+	// Vector-mode systems have no extractor before or after.
+	if loaded.Corpus().Extractor != nil {
+		t.Error("vector-mode load grew an extractor")
+	}
+}

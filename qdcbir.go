@@ -1,0 +1,283 @@
+// Package qdcbir is a content-based image retrieval (CBIR) engine built on
+// the Query Decomposition model of Hua, Yu & Liu (ICDE 2006): instead of
+// refining a single k-nearest-neighbor neighborhood, relevance feedback
+// decomposes the query into independent localized subqueries — one per
+// semantically relevant cluster — and merges their local results, so images
+// with the same meaning but very different appearance are all retrieved.
+//
+// The package bundles everything the paper's prototype contains: a 37-d
+// visual feature extractor (colour moments, wavelet texture, edge structure),
+// an R*-tree-based Relevance Feedback Support (RFS) structure with k-means
+// representative selection, the query decomposition engine, the comparison
+// baselines (Multiple Viewpoints, query point movement, MARS multipoint,
+// Qcluster-style), a synthetic Corel-like corpus generator, and the harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	sys, err := qdcbir.Build(qdcbir.SmallConfig())
+//	sess := sys.NewSession(1)
+//	cands := sess.Candidates()              // browse representative images
+//	_ = sess.Feedback(pickRelevant(cands))  // mark what you like
+//	res, err := sess.Finalize(40)           // localized k-NN + merge
+//
+// See the examples/ directory for complete programs.
+package qdcbir
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/feature"
+	"qdcbir/internal/img"
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// Config controls corpus generation and engine parameters. Zero values take
+// the paper's settings via DefaultConfig.
+type Config struct {
+	// Seed makes the whole system (corpus, clustering, sessions started with
+	// a fixed seed) reproducible.
+	Seed int64
+	// Categories and Images set the synthetic corpus scale (paper: ~150
+	// categories, 15,000 images).
+	Categories int
+	Images     int
+	// VectorMode skips rendering: feature vectors are drawn directly from
+	// per-subconcept Gaussians. Fast, used for scalability studies; the MV
+	// colour channels are unavailable in this mode.
+	VectorMode bool
+	// WithChannels extracts the four Multiple-Viewpoints colour-channel
+	// representations (image mode only); required to run the MV baseline.
+	WithChannels bool
+
+	// NodeCapacity is the R*-tree node capacity (paper: 100).
+	NodeCapacity int
+	// RepFraction is the representative-image fraction (paper: 5%).
+	RepFraction float64
+	// BoundaryThreshold is the §3.3 search-expansion threshold (paper: 0.4).
+	BoundaryThreshold float64
+	// DisplayCount is the number of candidates per display (paper GUI: 21).
+	DisplayCount int
+	// Hierarchy selects the RFS clustering backbone: "str" (default,
+	// STR-bulk-loaded R*-tree), "insert" (incremental R* insertion), or
+	// "kmeans" (balanced hierarchical k-means; the paper notes any
+	// hierarchical clustering works, §3.1).
+	Hierarchy string
+}
+
+// DefaultConfig returns the paper's full-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Categories:        150,
+		Images:            15000,
+		NodeCapacity:      100,
+		RepFraction:       0.05,
+		BoundaryThreshold: 0.4,
+		DisplayCount:      21,
+	}
+}
+
+// SmallConfig returns a laptop-friendly configuration (~1,200 images) that
+// builds in about a second. The representative fraction is raised so
+// representatives-per-leaf matches the paper's geometry at the smaller node
+// size.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Categories = 25
+	c.Images = 1200
+	c.NodeCapacity = 24
+	c.RepFraction = 0.2
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Categories <= 0 {
+		c.Categories = d.Categories
+	}
+	if c.Images <= 0 {
+		c.Images = d.Images
+	}
+	if c.NodeCapacity <= 0 {
+		c.NodeCapacity = d.NodeCapacity
+	}
+	if c.RepFraction <= 0 {
+		c.RepFraction = d.RepFraction
+	}
+	if c.BoundaryThreshold <= 0 {
+		c.BoundaryThreshold = d.BoundaryThreshold
+	}
+	if c.DisplayCount <= 0 {
+		c.DisplayCount = d.DisplayCount
+	}
+	return c
+}
+
+// Query is a semantic evaluation query whose ground truth is the union of
+// its target subconcepts.
+type Query = dataset.Query
+
+// System is a built retrieval system: corpus, RFS structure, and QD engine.
+type System struct {
+	cfg    Config
+	corpus *dataset.Corpus
+	rfs    *rfs.Structure
+	engine *core.Engine
+}
+
+// Build generates the synthetic corpus and constructs the RFS structure and
+// query decomposition engine over it.
+func Build(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	spec := dataset.SmallSpec(cfg.Seed, cfg.Categories, cfg.Images)
+	var corpus *dataset.Corpus
+	if cfg.VectorMode {
+		corpus = dataset.BuildVectors(spec, 37, 0.02, cfg.Seed+1)
+	} else {
+		corpus = dataset.Build(spec, dataset.Options{
+			Seed:         cfg.Seed + 1,
+			WithChannels: cfg.WithChannels,
+		})
+	}
+	if err := corpus.Validate(); err != nil {
+		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
+	}
+	return assemble(cfg, corpus)
+}
+
+func assemble(cfg Config, corpus *dataset.Corpus) (*System, error) {
+	structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
+		RepFraction: cfg.RepFraction,
+		Tree:        rstar.Config{MaxFill: cfg.NodeCapacity},
+		TargetFill:  cfg.NodeCapacity * 93 / 100,
+		Hierarchy:   cfg.Hierarchy,
+		Seed:        cfg.Seed + 2,
+	})
+	if err := structure.Validate(); err != nil {
+		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
+	}
+	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: newEngine(cfg, structure)}, nil
+}
+
+// newEngine wires the QD engine for a structure under this configuration.
+func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
+	return core.NewEngine(structure, core.Config{
+		BoundaryThreshold: cfg.BoundaryThreshold,
+		DisplayCount:      cfg.DisplayCount,
+	})
+}
+
+// Len returns the number of images in the corpus.
+func (s *System) Len() int { return s.corpus.Len() }
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// SubconceptOf returns an image's ground-truth subconcept key
+// ("category/subconcept"), or "" for an unknown ID.
+func (s *System) SubconceptOf(id int) string { return s.corpus.SubconceptOf(id) }
+
+// CategoryOf returns an image's ground-truth category, or "".
+func (s *System) CategoryOf(id int) string { return s.corpus.CategoryOf(id) }
+
+// Queries returns the paper's 11 Table-1 evaluation queries.
+func (s *System) Queries() []Query { return dataset.PaperQueries() }
+
+// GroundTruth returns the relevant image set of a query.
+func (s *System) GroundTruth(q Query) map[int]bool { return s.corpus.RelevantSet(q) }
+
+// GroundTruthSize returns |GroundTruth(q)|; the paper retrieves exactly this
+// many images per query.
+func (s *System) GroundTruthSize(q Query) int { return s.corpus.GroundTruthSize(q) }
+
+// RepresentativeCount returns the number of distinct representative images
+// in the RFS structure (~RepFraction of the corpus).
+func (s *System) RepresentativeCount() int { return s.rfs.RepCount() }
+
+// TreeHeight returns the RFS hierarchy depth (the paper's corpus yields 3).
+func (s *System) TreeHeight() int { return s.rfs.Tree().Height() }
+
+// Scored is one retrieved image with its similarity score (Euclidean
+// distance to the local query centroid; smaller is more similar).
+type Scored struct {
+	ID    int
+	Score float64
+}
+
+// KNN runs a plain global k-nearest-neighbor search from an example image —
+// the traditional single-neighborhood retrieval QD improves upon. Useful as
+// a baseline and for browsing.
+func (s *System) KNN(exampleImage, k int) ([]Scored, error) {
+	if exampleImage < 0 || exampleImage >= s.corpus.Len() {
+		return nil, fmt.Errorf("qdcbir: image %d outside corpus of %d", exampleImage, s.corpus.Len())
+	}
+	ns := s.rfs.Tree().KNN(s.corpus.Vectors[exampleImage], k, nil)
+	out := make([]Scored, len(ns))
+	for i, n := range ns {
+		out[i] = Scored{ID: int(n.ID), Score: n.Dist}
+	}
+	return out, nil
+}
+
+// KNNByImage runs query-by-example with an image from outside the corpus:
+// its 37-d features are extracted, normalized against the corpus, and
+// searched globally. Requires an image-mode system (vector-mode corpora have
+// no feature extractor).
+func (s *System) KNNByImage(im *img.Image, k int) ([]Scored, error) {
+	if s.corpus.Extractor == nil {
+		return nil, errors.New("qdcbir: vector-mode system cannot extract image features")
+	}
+	q := s.corpus.Extractor.ExtractNormalized(im)
+	return s.knnVector(q, k)
+}
+
+// KNNByRegion is KNNByImage restricted to the region [x0,x1) x [y0,y1) of the
+// example image — the paper's §6 contour extension: the user outlines the
+// object of interest so background noise stays out of the query. The region
+// is clamped to the image bounds; an empty region is an error.
+func (s *System) KNNByRegion(im *img.Image, x0, y0, x1, y1, k int) ([]Scored, error) {
+	if s.corpus.Extractor == nil {
+		return nil, errors.New("qdcbir: vector-mode system cannot extract image features")
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return nil, fmt.Errorf("qdcbir: empty region [%d,%d)x[%d,%d)", x0, x1, y0, y1)
+	}
+	q := s.corpus.Extractor.Normalize(feature.ExtractRegion(im, x0, y0, x1, y1))
+	return s.knnVector(q, k)
+}
+
+func (s *System) knnVector(q vec.Vector, k int) ([]Scored, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("qdcbir: invalid k=%d", k)
+	}
+	ns := s.rfs.Tree().KNN(q, k, nil)
+	out := make([]Scored, len(ns))
+	for i, n := range ns {
+		out[i] = Scored{ID: int(n.ID), Score: n.Dist}
+	}
+	return out, nil
+}
+
+// NewSession starts a relevance-feedback session. The seed drives the random
+// candidate displays; sessions with equal seeds on the same system replay
+// identically.
+func (s *System) NewSession(seed int64) *Session {
+	return &Session{
+		sys:   s,
+		inner: s.engine.NewSession(rand.New(rand.NewSource(seed))),
+	}
+}
+
+// Corpus grants read access to the underlying dataset for advanced use
+// (experiment harnesses, custom baselines).
+func (s *System) Corpus() *dataset.Corpus { return s.corpus }
+
+// RFS grants read access to the underlying RFS structure.
+func (s *System) RFS() *rfs.Structure { return s.rfs }

@@ -1,0 +1,362 @@
+package qdcbir
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qdcbir/internal/dataset"
+)
+
+var (
+	sysOnce sync.Once
+	sysMem  *System
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		s, err := Build(SmallConfig())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		sysMem = s
+	})
+	if sysMem == nil {
+		t.Fatal("system build failed earlier")
+	}
+	return sysMem
+}
+
+func TestBuildSmall(t *testing.T) {
+	sys := smallSystem(t)
+	if sys.Len() == 0 {
+		t.Fatal("empty system")
+	}
+	if sys.TreeHeight() < 2 {
+		t.Errorf("tree height %d", sys.TreeHeight())
+	}
+	if sys.RepresentativeCount() == 0 {
+		t.Error("no representatives")
+	}
+	if got := len(sys.Queries()); got != 11 {
+		t.Errorf("%d queries", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := DefaultConfig()
+	if d.Images != 15000 || d.NodeCapacity != 100 || d.RepFraction != 0.05 || d.BoundaryThreshold != 0.4 {
+		t.Errorf("DefaultConfig = %+v", d)
+	}
+	// Zero config fills to defaults.
+	c := Config{}.withDefaults()
+	if c.Images != 15000 || c.DisplayCount != 21 {
+		t.Errorf("withDefaults = %+v", c)
+	}
+}
+
+func TestKMeansHierarchyFacade(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VectorMode = true
+	cfg.Images = 500
+	cfg.Hierarchy = "kmeans"
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() == 0 || sys.RepresentativeCount() == 0 {
+		t.Fatal("empty kmeans-hierarchy system")
+	}
+	// A full session works over the alternative backbone.
+	sess := sys.NewSession(3)
+	c := sess.Candidates()
+	if len(c) == 0 {
+		t.Fatal("no candidates")
+	}
+	if err := sess.Feedback([]int{c[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Finalize(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorModeBuild(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VectorMode = true
+	cfg.Images = 600
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() == 0 {
+		t.Fatal("empty vector-mode system")
+	}
+	if _, err := sys.KNN(0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNConvenience(t *testing.T) {
+	sys := smallSystem(t)
+	got, err := sys.KNN(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("KNN returned %d", len(got))
+	}
+	if got[0].ID != 0 || got[0].Score != 0 {
+		t.Errorf("nearest neighbour of image 0 is %+v, want itself", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score < got[i-1].Score {
+			t.Error("KNN results unordered")
+		}
+	}
+	if _, err := sys.KNN(-1, 5); err == nil {
+		t.Error("negative image accepted")
+	}
+	if _, err := sys.KNN(sys.Len(), 5); err == nil {
+		t.Error("out-of-range image accepted")
+	}
+}
+
+func TestFullSessionFlow(t *testing.T) {
+	sys := smallSystem(t)
+	q := sys.Queries()[2] // Bird: eagle, owl, sparrow
+	rel := sys.GroundTruth(q)
+
+	sess := sys.NewSession(7)
+	targets := map[string]bool{}
+	for _, tgt := range q.Targets {
+		targets[tgt] = true
+	}
+	for round := 0; round < 3; round++ {
+		var marks []int
+		seen := map[int]bool{}
+		for d := 0; d < 12 && len(marks) < 8; d++ {
+			for _, c := range sess.Candidates() {
+				if !seen[c.ID] && targets[c.Subconcept] && len(marks) < 8 {
+					seen[c.ID] = true
+					marks = append(marks, c.ID)
+				}
+			}
+		}
+		if err := sess.Feedback(marks); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if sess.Subqueries() == 0 {
+		t.Fatal("no active subqueries")
+	}
+	if len(sess.Relevant()) == 0 {
+		t.Fatal("no relevant marks recorded")
+	}
+	k := sys.GroundTruthSize(q)
+	res, err := sess.Finalize(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	if len(ids) != k {
+		t.Fatalf("returned %d of k=%d", len(ids), k)
+	}
+	var hits int
+	for _, id := range ids {
+		if rel[id] {
+			hits++
+		}
+	}
+	if prec := float64(hits) / float64(len(ids)); prec < 0.4 {
+		t.Errorf("precision %.2f too low", prec)
+	}
+	// Groups carry labels and ordered scores; Flat is globally sorted.
+	for _, g := range res.Groups {
+		if g.Label == "" {
+			t.Error("group without label")
+		}
+		if len(g.QueryImages) == 0 {
+			t.Error("group without query images")
+		}
+	}
+	flat := res.Flat()
+	for i := 1; i < len(flat); i++ {
+		if flat[i].Score < flat[i-1].Score {
+			t.Fatal("Flat unordered")
+		}
+	}
+	st := sess.Stats()
+	if st.Rounds != 3 || st.FeedbackReads == 0 || st.FinalReads == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSessionReplayDeterminism(t *testing.T) {
+	sys := smallSystem(t)
+	run := func() []int {
+		sess := sys.NewSession(99)
+		cands := sess.Candidates()
+		var marks []int
+		for _, c := range cands[:3] {
+			marks = append(marks, c.ID)
+		}
+		if err := sess.Feedback(marks); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Finalize(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestRetractAndReQuery(t *testing.T) {
+	sys := smallSystem(t)
+	sess := sys.NewSession(55)
+	cands := sess.Candidates()
+	if len(cands) < 4 {
+		t.Skip("too few candidates")
+	}
+	marks := []int{cands[0].ID, cands[1].ID, cands[2].ID}
+	if err := sess.Feedback(marks); err != nil {
+		t.Fatal(err)
+	}
+	sess.Retract(marks[:1])
+	got := sess.Relevant()
+	if len(got) != 2 {
+		t.Fatalf("relevant after retract = %v", got)
+	}
+	for _, id := range got {
+		if id == marks[0] {
+			t.Error("retracted id still present")
+		}
+	}
+	if _, err := sess.Finalize(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightFamily(t *testing.T) {
+	sys := smallSystem(t)
+	sess := sys.NewSession(66)
+	if err := sess.WeightFamily(FamilyColor, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WeightFamily(FamilyTexture, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WeightFamily(FamilyEdge, -1); err == nil {
+		t.Error("negative multiplier accepted")
+	}
+	// A weighted session still completes the full flow.
+	cands := sess.Candidates()
+	if err := sess.Feedback([]int{cands[0].ID, cands[1].ID}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Finalize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs()) == 0 {
+		t.Fatal("weighted session returned nothing")
+	}
+}
+
+func TestKNNByImageAndRegion(t *testing.T) {
+	sys := smallSystem(t)
+	// Render a fresh example image resembling a corpus subconcept: use the
+	// spec's own appearance so retrieval should surface that subconcept.
+	spec := dataset.SmallSpec(SmallConfig().Seed, 25, 1200)
+	app := spec.Categories[0].Subconcepts[0].Appearance
+	key := dataset.Key(spec.Categories[0].Name, spec.Categories[0].Subconcepts[0].Name)
+	im := dataset.Render(app, rand.New(rand.NewSource(99)))
+
+	got, err := sys.KNNByImage(im, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("returned %d", len(got))
+	}
+	hits := 0
+	for _, s := range got {
+		if sys.SubconceptOf(s.ID) == key {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Errorf("external QBE found only %d/10 of subconcept %s", hits, key)
+	}
+
+	// Region query on the full frame behaves like the full-image query.
+	rg, err := sys.KNNByRegion(im, 0, 0, im.W, im.H, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg[0].ID != got[0].ID {
+		t.Error("full-frame region differs from full image at rank 0")
+	}
+	// A sub-region still returns valid results.
+	sub, err := sys.KNNByRegion(im, 8, 8, 40, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 5 {
+		t.Errorf("region query returned %d", len(sub))
+	}
+	// Errors.
+	if _, err := sys.KNNByRegion(im, 10, 10, 10, 40, 5); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := sys.KNNByImage(im, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Vector-mode systems reject image queries.
+	vcfg := SmallConfig()
+	vcfg.VectorMode = true
+	vcfg.Images = 400
+	vsys, err := Build(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vsys.KNNByImage(im, 5); err == nil {
+		t.Error("vector-mode system accepted image query")
+	}
+}
+
+func TestGroundTruthAccessors(t *testing.T) {
+	sys := smallSystem(t)
+	for _, q := range sys.Queries() {
+		rel := sys.GroundTruth(q)
+		if len(rel) != sys.GroundTruthSize(q) {
+			t.Errorf("%s: set %d vs size %d", q.Name, len(rel), sys.GroundTruthSize(q))
+		}
+		for id := range rel {
+			sub := sys.SubconceptOf(id)
+			found := false
+			for _, tgt := range q.Targets {
+				if tgt == sub {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: image %d (%s) not a target", q.Name, id, sub)
+			}
+		}
+	}
+	if sys.SubconceptOf(-1) != "" || sys.CategoryOf(1<<30) != "" {
+		t.Error("out-of-range lookups should be empty")
+	}
+}

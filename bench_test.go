@@ -304,3 +304,55 @@ func BenchmarkMVSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelBuild compares the serial and the one-worker-per-CPU
+// build pipeline end to end: corpus rendering + 37-d extraction, STR bulk
+// load, and k-means representative selection. Output is byte-identical
+// across the two (TestParallelBuildDeterminism); only wall-clock differs.
+func BenchmarkParallelBuild(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		p    int
+	}{{"serial", 1}, {"maxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := parTestConfig(bc.p)
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFinalize compares serial vs pooled execution of the final
+// localized k-NN subqueries: one QueryByExamples call over example images
+// drawn from several subconcepts (several independent subqueries to fan out).
+func BenchmarkParallelFinalize(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		p    int
+	}{{"serial", 1}, {"maxprocs", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys, err := Build(parTestConfig(bc.p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var relevant []rstar.ItemID
+			for i, key := range sys.Corpus().Subconcepts() {
+				if i >= 4 {
+					break
+				}
+				for _, id := range sys.Corpus().SubconceptIDs(key)[:3] {
+					relevant = append(relevant, rstar.ItemID(id))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sys.engine.QueryByExamples(relevant, 60, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,11 +11,16 @@
 package main
 
 import (
+	"context"
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
@@ -27,11 +32,12 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8399", "listen address")
-		path   = flag.String("db", "", "database file written by qdbuild (empty = build in-memory)")
-		images = flag.Int("images", 1200, "corpus size when building in-memory")
-		seed   = flag.Int64("seed", 1, "build seed")
-		ui     = flag.Bool("ui", false, "serve the browser front end at /ui (in-memory build only; keeps rendered images)")
+		addr     = flag.String("addr", ":8399", "listen address")
+		path     = flag.String("db", "", "database file written by qdbuild (empty = build in-memory)")
+		images   = flag.Int("images", 1200, "corpus size when building in-memory")
+		seed     = flag.Int64("seed", 1, "build seed")
+		ui       = flag.Bool("ui", false, "serve the browser front end at /ui (in-memory build only; keeps rendered images)")
+		parallel = flag.Int("parallelism", 0, "worker count for build and query pools (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -39,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qdserve: -ui requires an in-memory build (archives do not store rasters)")
 		os.Exit(2)
 	}
-	eng, label, rasters, err := load(*path, *images, *seed, *ui)
+	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdserve:", err)
 		os.Exit(1)
@@ -51,23 +57,52 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "serving %d images (%d representatives) on %s\n",
 		eng.RFS().Len(), eng.RFS().RepCount(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	// SIGINT/SIGTERM drain in-flight requests (whose contexts cancel any
+	// running localized subqueries) before exiting; the timeouts cap how long
+	// a slow or stuck client can pin a connection.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "qdserve:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "qdserve: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "qdserve: shutdown:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func load(path string, images int, seed int64, keepImages bool) (*core.Engine, server.Labeler, []*img.Image, error) {
+func load(path string, images int, seed int64, keepImages bool, parallelism int) (*core.Engine, server.Labeler, []*img.Image, error) {
 	if path == "" {
 		spec := dataset.SmallSpec(seed, 25, images)
-		corpus := dataset.Build(spec, dataset.Options{Seed: seed + 1, KeepImages: keepImages})
+		corpus := dataset.Build(spec, dataset.Options{
+			Seed:        seed + 1,
+			KeepImages:  keepImages,
+			Parallelism: parallelism,
+		})
 		structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
 			RepFraction: 0.2,
 			Tree:        rstar.Config{MaxFill: 24},
 			TargetFill:  20,
 			Seed:        seed + 2,
+			Parallelism: parallelism,
 		})
-		return core.NewEngine(structure, core.Config{}), corpus.SubconceptOf, corpus.Images, nil
+		return core.NewEngine(structure, core.Config{Parallelism: parallelism}), corpus.SubconceptOf, corpus.Images, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -92,5 +127,5 @@ func load(path string, images int, seed int64, keepImages bool) (*core.Engine, s
 		}
 		return infos[id].Subconcept
 	}
-	return core.NewEngine(structure, core.Config{}), label, nil, nil
+	return core.NewEngine(structure, core.Config{Parallelism: parallelism}), label, nil, nil
 }

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"sort"
 
 	"qdcbir/internal/disk"
+	"qdcbir/internal/par"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
@@ -35,6 +37,12 @@ type Config struct {
 	// DisplayCount is how many candidate representatives one display round
 	// shows (the prototype GUI shows 21, §4).
 	DisplayCount int
+	// Parallelism bounds the worker pool that runs the final localized
+	// subqueries (<= 0 uses one worker per CPU). Results and simulated I/O
+	// counts are identical at every setting: each subquery records its node
+	// accesses privately and the traces are replayed into the session cache
+	// in deterministic group order.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -435,6 +443,13 @@ func (r *Result) IDs() []int {
 // merges their results (§3.4), returning k images in total. The session can
 // still report Stats afterwards but accepts no further feedback.
 func (s *Session) Finalize(k int) (*Result, error) {
+	return s.FinalizeCtx(context.Background(), k)
+}
+
+// FinalizeCtx is Finalize with cancellation. A cancelled context aborts the
+// localized k-NN subqueries mid-flight; the session still counts as finalized
+// (feedback state has been consumed) but no partial result is returned.
+func (s *Session) FinalizeCtx(ctx context.Context, k int) (*Result, error) {
 	if s.finalized {
 		return nil, ErrFinalized
 	}
@@ -445,7 +460,7 @@ func (s *Session) Finalize(k int) (*Result, error) {
 	if len(s.relevant) == 0 {
 		return nil, errors.New("core: no relevant feedback given")
 	}
-	return finalizeGroups(s.eng, s.relevant, s.assign, k, s.weights, s.finalIO, &s.stats)
+	return finalizeGroups(ctx, s.eng, s.relevant, s.assign, k, s.weights, s.finalIO, &s.stats)
 }
 
 // QueryByExamples runs the final localized query processing directly from a
@@ -455,6 +470,12 @@ func (s *Session) Finalize(k int) (*Result, error) {
 // final query images here. acc may be nil. The returned stats cover only this
 // call.
 func (e *Engine) QueryByExamples(relevant []rstar.ItemID, k int, weights vec.Vector, acc disk.Accounter) (*Result, Stats, error) {
+	return e.QueryByExamplesCtx(context.Background(), relevant, k, weights, acc)
+}
+
+// QueryByExamplesCtx is QueryByExamples with cancellation: the localized
+// subqueries poll ctx and abort early when it is done.
+func (e *Engine) QueryByExamplesCtx(ctx context.Context, relevant []rstar.ItemID, k int, weights vec.Vector, acc disk.Accounter) (*Result, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("core: invalid k=%d", k)
@@ -491,14 +512,14 @@ func (e *Engine) QueryByExamples(relevant []rstar.ItemID, k int, weights vec.Vec
 		acc = disk.NewLRUCache(1 << 16)
 	}
 	before := acc.Reads()
-	res, err := finalizeGroups(e, ids, assign, k, weights, acc, &stats)
+	res, err := finalizeGroups(ctx, e, ids, assign, k, weights, acc, &stats)
 	stats.FinalReads = acc.Reads() - before
 	return res, stats, err
 }
 
 // finalizeGroups is the shared final-round machinery behind Session.Finalize
 // and Engine.QueryByExamples.
-func finalizeGroups(eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats) (*Result, error) {
+func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats) (*Result, error) {
 	// Group the query panel by assigned subcluster: "a localized multipoint
 	// query is computed for each subset of relevant images belonging to a
 	// given subcluster" (§3.3).
@@ -607,18 +628,42 @@ func finalizeGroups(eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemI
 		}
 	}
 
-	// Run the localized subqueries. Expanded search areas can overlap, so an
-	// image already claimed by an earlier group is skipped (each subquery
-	// requests enough extra neighbours to fill its allocation with unseen
-	// images); a top-up pass redistributes any remaining shortfall.
+	// Run the localized subqueries on the engine's worker pool. Each subquery
+	// requests alloc+k neighbours — enough to fill its allocation even if
+	// every image claimed by an earlier group (at most k in total) overlaps
+	// its expanded search area — and records its node accesses in a private
+	// trace. Because a larger k-NN request returns a prefix-consistent
+	// superset, the request size is independent of the other groups and the
+	// subqueries can run concurrently; the traces are then replayed into the
+	// session cache in group order, so results AND simulated I/O counts are
+	// identical at every Parallelism setting.
+	neighborLists := make([][]rstar.Neighbor, len(order))
+	recorders := make([]*disk.Recorder, len(order))
+	if err := par.Do(ctx, len(order), eng.cfg.Parallelism, func(i int) error {
+		p := preps[order[i]]
+		rec := &disk.Recorder{}
+		ns, err := localKNN(ctx, eng, weights, rec, p.search, p.centroid, alloc[order[i]]+k)
+		if err != nil {
+			return err
+		}
+		neighborLists[i] = ns
+		recorders[i] = rec
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Serial merge: overlapping search areas mean an image already claimed by
+	// an earlier group is skipped; a top-up pass redistributes any remaining
+	// shortfall.
 	res := &Result{}
 	seen := make(map[rstar.ItemID]bool, k)
 	groups := make(map[disk.PageID]*Group, len(order))
-	for _, nodeID := range order {
+	for i, nodeID := range order {
 		p := preps[nodeID]
 		g := &Group{Node: p.l.node, SearchNode: p.search, QueryIDs: p.l.ids}
-		neighbors := localKNN(eng, weights, finalIO, p.search, p.centroid, alloc[nodeID]+len(seen))
-		for _, n := range neighbors {
+		recorders[i].Replay(finalIO)
+		for _, n := range neighborLists[i] {
 			if len(g.Images) >= alloc[nodeID] {
 				break
 			}
@@ -642,7 +687,11 @@ func finalizeGroups(eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemI
 				continue
 			}
 			want := len(g.Images) + deficit + len(seen)
-			for _, n := range localKNN(eng, weights, finalIO, p.search, p.centroid, want) {
+			more, err := localKNN(ctx, eng, weights, finalIO, p.search, p.centroid, want)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range more {
 				if deficit <= 0 {
 					break
 				}
@@ -671,9 +720,9 @@ func finalizeGroups(eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemI
 
 // localKNN runs one localized subquery search, honouring an optional
 // feature-importance weighting.
-func localKNN(eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int) []rstar.Neighbor {
+func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int) ([]rstar.Neighbor, error) {
 	if weights != nil {
-		return eng.rfs.Tree().KNNWeightedFrom(n, q, weights, k, acc)
+		return eng.rfs.Tree().KNNWeightedFromCtx(ctx, n, q, weights, k, acc)
 	}
-	return eng.rfs.Tree().KNNFrom(n, q, k, acc)
+	return eng.rfs.Tree().KNNFromCtx(ctx, n, q, k, acc)
 }

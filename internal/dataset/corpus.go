@@ -1,11 +1,14 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
+	"qdcbir/internal/par"
 	"qdcbir/internal/vec"
 )
 
@@ -50,47 +53,106 @@ type Options struct {
 	// channels, quadrupling extraction work. Required by the image-mode MV
 	// baseline.
 	WithChannels bool
+	// Parallelism bounds the feature-extraction worker count (<= 0 uses one
+	// worker per CPU). Rendering stays serial because it consumes the
+	// build's random stream, so the corpus is byte-identical at every
+	// worker count.
+	Parallelism int
 }
 
 // Build renders the spec and extracts normalized features for every image.
 func Build(spec Spec, opts Options) *Corpus {
+	c, err := BuildCtx(context.Background(), spec, opts)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: build: %v", err)) // unreachable: ctx never cancels
+	}
+	return c
+}
+
+// BuildCtx is Build with cancellation. The expensive half of the corpus
+// build — 37-d feature extraction per image (×4 with channels) — runs on
+// opts.Parallelism workers fed by a serial rendering producer, so the
+// per-image random jitter stream is consumed in exactly the serial order and
+// the resulting corpus is byte-identical at every worker count.
+func BuildCtx(ctx context.Context, spec Spec, opts Options) (*Corpus, error) {
+	total := spec.TotalImages()
+	if total == 0 {
+		panic("dataset: spec generates no images")
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	c := &Corpus{
 		bySubconcept: make(map[string][]int),
 		byCategory:   make(map[string][]int),
 	}
-	var raws []vec.Vector
+	raws := make([]vec.Vector, total)
 	channelRaws := make(map[img.Channel][]vec.Vector)
+	if opts.WithChannels {
+		for _, ch := range img.AllChannels[1:] {
+			channelRaws[ch] = make([]vec.Vector, total)
+		}
+	}
+	if opts.KeepImages {
+		c.Images = make([]*img.Image, total)
+	}
+
+	// Extraction workers drain a bounded queue so at most ~2 images per
+	// worker are in flight; results land in index-addressed slots.
+	p := par.N(opts.Parallelism)
+	type job struct {
+		idx int
+		im  *img.Image
+	}
+	jobs := make(chan job, 2*p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				raws[j.idx] = feature.Extract(j.im)
+				if opts.WithChannels {
+					for _, ch := range img.AllChannels[1:] {
+						channelRaws[ch][j.idx] = feature.ExtractChannel(j.im, ch)
+					}
+				}
+				if opts.KeepImages {
+					c.Images[j.idx] = j.im
+				}
+			}
+		}()
+	}
 
 	id := 0
+render:
 	for _, cat := range spec.Categories {
 		for _, sub := range cat.Subconcepts {
 			key := Key(cat.Name, sub.Name)
 			for i := 0; i < sub.Count; i++ {
-				im := Render(sub.Appearance, rng)
-				raws = append(raws, feature.Extract(im))
-				if opts.WithChannels {
-					for _, ch := range img.AllChannels[1:] {
-						channelRaws[ch] = append(channelRaws[ch], feature.ExtractChannel(im, ch))
-					}
+				if ctx.Err() != nil {
+					break render
 				}
+				im := Render(sub.Appearance, rng)
 				c.Infos = append(c.Infos, Info{ID: id, Category: cat.Name, Subconcept: key})
 				c.bySubconcept[key] = append(c.bySubconcept[key], id)
 				c.byCategory[cat.Name] = append(c.byCategory[cat.Name], id)
-				if opts.KeepImages {
-					c.Images = append(c.Images, im)
-				}
+				jobs <- job{idx: id, im: im}
 				id++
 			}
 		}
 	}
-	if len(raws) == 0 {
-		panic("dataset: spec generates no images")
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+
 	c.Extractor = feature.NewExtractor(raws)
 	c.Vectors = make([]vec.Vector, len(raws))
-	for i, r := range raws {
-		c.Vectors[i] = c.Extractor.Normalize(r)
+	if err := par.Do(ctx, len(raws), opts.Parallelism, func(i int) error {
+		c.Vectors[i] = c.Extractor.Normalize(raws[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if opts.WithChannels {
 		c.ChannelVectors = map[img.Channel][]vec.Vector{img.ChannelOriginal: c.Vectors}
@@ -98,14 +160,17 @@ func Build(spec Spec, opts Options) *Corpus {
 			// Each channel gets its own normalizer: a viewpoint is a full
 			// feature representation of the database (French & Jin).
 			ex := feature.NewExtractor(channelRaws[ch])
-			vs := make([]vec.Vector, len(channelRaws[ch]))
-			for i, r := range channelRaws[ch] {
-				vs[i] = ex.Normalize(r)
+			vs := make([]vec.Vector, total)
+			if err := par.Do(ctx, total, opts.Parallelism, func(i int) error {
+				vs[i] = ex.Normalize(channelRaws[ch][i])
+				return nil
+			}); err != nil {
+				return nil, err
 			}
 			c.ChannelVectors[ch] = vs
 		}
 	}
-	return c
+	return c, nil
 }
 
 // BuildVectors synthesizes a vector-mode corpus: each subconcept is a

@@ -7,9 +7,21 @@
 // it through an Accounter. The default Counter tallies raw accesses; the LRU
 // cache variant models a buffer pool, so experiments can report both cold and
 // warm I/O counts.
+//
+// Concurrency: Counter (atomic) and Nop are safe for concurrent use, so
+// independent goroutines may share one while traversing the read-only tree.
+// LRUCache is NOT goroutine-safe — its hit/miss ratio is inherently
+// order-dependent, so sharing it across goroutines would make the simulated
+// I/O counts nondeterministic even with locking. Parallel phases instead give
+// each goroutine a private Recorder and Replay the traces into the real
+// accounter in a deterministic order afterwards; counts then match the
+// serial execution exactly.
 package disk
 
-import "container/list"
+import (
+	"container/list"
+	"sync/atomic"
+)
 
 // PageID identifies one page (one tree node) in the simulated store.
 type PageID uint64
@@ -28,26 +40,28 @@ type Accounter interface {
 	Reset()
 }
 
-// Counter is the cache-less Accounter: every access is a disk read.
-// The zero value is ready to use.
+// Counter is the cache-less Accounter: every access is a disk read. The
+// zero value is ready to use. Counting is atomic, so one Counter may be
+// shared by any number of goroutines; the total is exact regardless of
+// interleaving.
 type Counter struct {
-	reads uint64
+	reads atomic.Uint64
 }
 
 // Access records one disk read.
 func (c *Counter) Access(PageID) bool {
-	c.reads++
+	c.reads.Add(1)
 	return false
 }
 
 // Reads returns the number of recorded reads.
-func (c *Counter) Reads() uint64 { return c.reads }
+func (c *Counter) Reads() uint64 { return c.reads.Load() }
 
 // Accesses equals Reads for the cache-less counter.
-func (c *Counter) Accesses() uint64 { return c.reads }
+func (c *Counter) Accesses() uint64 { return c.reads.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.reads = 0 }
+func (c *Counter) Reset() { c.reads.Store(0) }
 
 // LRUCache is an Accounter backed by an LRU page cache of fixed capacity.
 type LRUCache struct {
@@ -113,6 +127,46 @@ func (c *LRUCache) Reset() {
 	c.order.Init()
 	c.index = make(map[PageID]*list.Element, c.capacity)
 }
+
+// Recorder is an Accounter that captures the ordered page-access trace of
+// one goroutine's traversal so it can later be replayed into a stateful
+// accounter (e.g. an LRUCache) in a deterministic order. This is how the
+// parallel localized-subquery phase keeps §5.2.2 I/O counts byte-identical
+// to the serial execution: each subquery records privately, then the traces
+// are replayed in the fixed subquery order. The zero value is ready to use;
+// a Recorder must not itself be shared across goroutines.
+type Recorder struct {
+	trace []PageID
+}
+
+// Access appends the page to the trace. The access is reported as a miss so
+// pruning behaviour in traversals matches the cache-less counter.
+func (r *Recorder) Access(p PageID) bool {
+	r.trace = append(r.trace, p)
+	return false
+}
+
+// Reads returns the number of recorded accesses.
+func (r *Recorder) Reads() uint64 { return uint64(len(r.trace)) }
+
+// Accesses equals Reads for a recorder.
+func (r *Recorder) Accesses() uint64 { return uint64(len(r.trace)) }
+
+// Reset discards the trace.
+func (r *Recorder) Reset() { r.trace = r.trace[:0] }
+
+// Replay feeds the recorded trace, in order, into acc. A nil acc is a no-op.
+func (r *Recorder) Replay(acc Accounter) {
+	if acc == nil {
+		return
+	}
+	for _, p := range r.trace {
+		acc.Access(p)
+	}
+}
+
+// Trace returns the recorded page sequence (shared; do not modify).
+func (r *Recorder) Trace() []PageID { return r.trace }
 
 // Nop is an Accounter that records nothing; used where I/O accounting is
 // irrelevant (e.g. unit tests of unrelated behaviour).

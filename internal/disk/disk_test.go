@@ -1,6 +1,9 @@
 package disk
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestCounterBasics(t *testing.T) {
 	var c Counter
@@ -132,5 +135,52 @@ func TestLRULargeWorkloadConsistency(t *testing.T) {
 	}
 	if c.Reads() != 8 {
 		t.Errorf("hot loop reads = %d, want 8", c.Reads())
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	var r Recorder
+	for _, p := range []PageID{1, 2, 1, 3} {
+		if r.Access(p) {
+			t.Error("recorder must report misses")
+		}
+	}
+	if r.Reads() != 4 || r.Accesses() != 4 {
+		t.Errorf("reads=%d accesses=%d", r.Reads(), r.Accesses())
+	}
+	// Replaying into an LRU cache must be equivalent to accessing it directly.
+	direct := NewLRUCache(8)
+	for _, p := range []PageID{1, 2, 1, 3} {
+		direct.Access(p)
+	}
+	replayed := NewLRUCache(8)
+	r.Replay(replayed)
+	if direct.Reads() != replayed.Reads() || direct.Accesses() != replayed.Accesses() {
+		t.Errorf("replay diverged: direct %d/%d, replayed %d/%d",
+			direct.Reads(), direct.Accesses(), replayed.Reads(), replayed.Accesses())
+	}
+	r.Replay(nil) // must not panic
+	r.Reset()
+	if r.Reads() != 0 || len(r.Trace()) != 0 {
+		t.Error("reset did not clear the trace")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Access(PageID(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Reads() != workers*each {
+		t.Errorf("reads = %d, want %d", c.Reads(), workers*each)
 	}
 }

@@ -1,0 +1,93 @@
+// Package par provides the bounded fork-join primitive used by every
+// parallel phase of the system: corpus feature extraction, STR bulk-load
+// tiling, representative selection, and the final localized k-NN subqueries.
+//
+// All helpers are deterministic by construction — work is identified by
+// index, results are written to index-addressed slots by the callers, and
+// errors are reported by the lowest failing index — so a caller that is
+// correct at Parallelism 1 produces byte-identical output at any worker
+// count. Cancellation is cooperative: once the context is done, no new work
+// items start and the context error is returned (a lower-indexed work error
+// still wins, keeping the reported error independent of scheduling).
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N normalizes a parallelism knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func N(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Do runs fn(0) … fn(n-1) on up to p workers (p <= 0 uses N(0)) and waits
+// for completion. If any invocation returns an error, the error of the
+// lowest index is returned; if the context is cancelled first, remaining
+// items are skipped and ctx.Err() is returned. fn must confine its writes to
+// per-index data; Do provides the happens-before edge between all work and
+// its return.
+func Do(ctx context.Context, n, p int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	p = N(p)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		errIdx = -1
+		errVal error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, errVal = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return errVal
+	}
+	return ctx.Err()
+}

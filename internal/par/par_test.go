@@ -1,0 +1,89 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNNormalizes(t *testing.T) {
+	if N(0) != runtime.GOMAXPROCS(0) || N(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("N(<=0) = %d, want GOMAXPROCS", N(0))
+	}
+	if N(7) != 7 {
+		t.Errorf("N(7) = %d", N(7))
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		if err := Do(context.Background(), n, p, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("p=%d: index %d ran %d times", p, i, got)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(context.Background(), 0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoReportsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, p := range []int{1, 4} {
+		err := Do(context.Background(), 100, p, func(i int) error {
+			switch i {
+			case 90:
+				return errB
+			case 10:
+				return errA
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("p=%d: err = %v, want %v", p, err, errA)
+		}
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Do(ctx, 10000, 2, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the pool (%d ran)", n)
+	}
+}
+
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := Do(ctx, 50, 1, func(int) error { ran.Add(1); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a cancelled context", ran.Load())
+	}
+}

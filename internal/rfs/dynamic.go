@@ -1,8 +1,8 @@
 package rfs
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
@@ -57,11 +57,16 @@ func (s *Structure) Stale() bool { return s.stale }
 
 // Refresh re-indexes the hierarchy and re-selects representatives after a
 // batch of Insert/Delete calls. Cost is comparable to the representative-
-// selection phase of Build (the tree itself is not rebuilt).
+// selection phase of Build (the tree itself is not rebuilt); selection runs
+// on cfg.Parallelism workers like Build's.
 func (s *Structure) Refresh() {
 	s.index()
 	s.allReps = nil
-	s.selectRepresentatives(rand.New(rand.NewSource(s.cfg.Seed)))
+	// Background context: a refresh is short and must leave the structure
+	// consistent, so it is not cancellable.
+	if err := s.selectRepresentatives(context.Background()); err != nil {
+		panic(fmt.Sprintf("rfs: refresh: %v", err)) // unreachable: ctx never cancels
+	}
 	s.stale = false
 }
 

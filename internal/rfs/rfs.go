@@ -16,6 +16,7 @@
 package rfs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"qdcbir/internal/disk"
 	"qdcbir/internal/kmeans"
 	"qdcbir/internal/kmtree"
+	"qdcbir/internal/par"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
 )
@@ -48,10 +50,17 @@ type BuildConfig struct {
 	// (balanced hierarchical k-means — the paper notes the RFS structure
 	// works over any hierarchical clustering, §3.1).
 	Hierarchy string
-	// Seed drives the k-means representative selection.
+	// Seed drives the k-means representative selection. Each node derives
+	// its own generator from (Seed, node page ID), so selection is
+	// reproducible and independent of the order nodes are processed in.
 	Seed int64
 	// KMeansIter bounds the Lloyd iterations per node. Default 25.
 	KMeansIter int
+	// Parallelism bounds the worker count of the build's parallel phases
+	// (STR tiling sorts, per-node k-means representative selection). <= 0
+	// uses one worker per CPU. The built structure is byte-identical at
+	// every setting.
+	Parallelism int
 }
 
 func (c BuildConfig) withDefaults() BuildConfig {
@@ -68,6 +77,14 @@ func (c BuildConfig) withDefaults() BuildConfig {
 }
 
 // Structure is the built RFS structure.
+//
+// Concurrency invariant: once Build (or FromSnapshot/Refresh) returns, every
+// read path — Reps, RandomReps' accounting aside, Point, LeafOf,
+// SubtreeSize, ChildContaining, Contains, BoundaryRatio, ExpandForQuery,
+// Tree and its searches — is safe for unsynchronized concurrent use: reads
+// touch only immutable maps and slices. Mutations (Insert, Delete, Refresh)
+// require external exclusion against both readers and other writers, exactly
+// like the underlying rstar.Tree.
 type Structure struct {
 	cfg    BuildConfig
 	tree   *rstar.Tree
@@ -87,6 +104,19 @@ type Structure struct {
 // Build constructs the RFS structure over the corpus vectors. Image IDs are
 // the vector indices. It panics on an empty corpus.
 func Build(points []vec.Vector, cfg BuildConfig) *Structure {
+	s, err := BuildCtx(context.Background(), points, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("rfs: build: %v", err)) // unreachable: ctx never cancels
+	}
+	return s
+}
+
+// BuildCtx is Build with cancellation. The tree construction's sort phases
+// and the per-node k-means representative selection run on
+// cfg.Parallelism workers; the result is byte-identical at every worker
+// count because each node's generator is derived from (Seed, page ID) rather
+// than from a shared sequential stream.
+func BuildCtx(ctx context.Context, points []vec.Vector, cfg BuildConfig) (*Structure, error) {
 	if len(points) == 0 {
 		panic("rfs: empty corpus")
 	}
@@ -106,6 +136,11 @@ func Build(points []vec.Vector, cfg BuildConfig) *Structure {
 	case "insert":
 		tree = rstar.New(dim, cfg.Tree)
 		for i, p := range points {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			tree.Insert(rstar.ItemID(i), p)
 		}
 	case "kmeans":
@@ -129,7 +164,11 @@ func Build(points []vec.Vector, cfg BuildConfig) *Structure {
 		for i, p := range points {
 			items[i] = rstar.Item{ID: rstar.ItemID(i), Point: p}
 		}
-		tree = rstar.BulkLoad(dim, cfg.Tree, items, cfg.TargetFill)
+		var err error
+		tree, err = rstar.BulkLoadCtx(ctx, dim, cfg.Tree, items, cfg.TargetFill, cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		panic(fmt.Sprintf("rfs: unknown hierarchy %q", hierarchy))
 	}
@@ -139,8 +178,10 @@ func Build(points []vec.Vector, cfg BuildConfig) *Structure {
 		points: points,
 	}
 	s.index()
-	s.selectRepresentatives(rand.New(rand.NewSource(cfg.Seed)))
-	return s
+	if err := s.selectRepresentatives(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // index builds the item→leaf map and per-node subtree sizes.
@@ -166,40 +207,75 @@ func (s *Structure) index() {
 	walk(s.tree.Root())
 }
 
+// nodeSeed derives one node's k-means generator seed from the build seed
+// and the node's page ID via a splitmix64-style mix, decorrelating nodes
+// while keeping selection independent of processing order — the property
+// that lets serial and parallel builds produce identical representatives.
+func nodeSeed(seed int64, id disk.PageID) int64 {
+	z := uint64(seed) ^ (0x9e3779b97f4a7c15 * (uint64(id) + 1))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // selectRepresentatives performs the paper's bottom-up two-stage selection.
-func (s *Structure) selectRepresentatives(rng *rand.Rand) {
+// Nodes of one level have no data dependencies on each other (a node's pool
+// is its own items or its children's already-chosen representatives), so
+// each level is clustered on cfg.Parallelism workers, leaves first. Results
+// are committed serially in tree order, keeping allReps deterministic.
+func (s *Structure) selectRepresentatives(ctx context.Context) error {
 	s.reps = make(map[disk.PageID][]rstar.ItemID)
 	s.repIsSet = make(map[rstar.ItemID]bool)
 
-	var build func(n *rstar.Node) []rstar.ItemID
-	build = func(n *rstar.Node) []rstar.ItemID {
-		var pool []rstar.ItemID
-		if n.IsLeaf() {
-			for _, it := range n.Items() {
-				pool = append(pool, it.ID)
+	// Group nodes by level (leaves = 0), preserving depth-first order within
+	// each level.
+	height := s.tree.Height()
+	levels := make([][]*rstar.Node, height)
+	s.tree.Walk(func(n *rstar.Node, level int) {
+		levels[level] = append(levels[level], n)
+	})
+
+	for _, nodes := range levels {
+		chosen := make([][]rstar.ItemID, len(nodes))
+		err := par.Do(ctx, len(nodes), s.cfg.Parallelism, func(i int) error {
+			n := nodes[i]
+			var pool []rstar.ItemID
+			if n.IsLeaf() {
+				for _, it := range n.Items() {
+					pool = append(pool, it.ID)
+				}
+			} else {
+				for _, c := range n.Children() {
+					pool = append(pool, s.reps[c.ID()]...)
+				}
 			}
-		} else {
-			for _, c := range n.Children() {
-				pool = append(pool, build(c)...)
+			if len(pool) == 0 {
+				return nil
 			}
-		}
-		if len(pool) == 0 {
+			k := s.repTarget(n, len(pool))
+			rng := rand.New(rand.NewSource(nodeSeed(s.cfg.Seed, n.ID())))
+			chosen[i] = s.clusterSelect(pool, k, rng)
 			return nil
+		})
+		if err != nil {
+			return err
 		}
-		k := s.repTarget(n, len(pool))
-		chosen := s.clusterSelect(pool, k, rng)
-		s.reps[n.ID()] = chosen
-		if n.IsLeaf() {
-			for _, id := range chosen {
-				if !s.repIsSet[id] {
-					s.repIsSet[id] = true
-					s.allReps = append(s.allReps, id)
+		for i, n := range nodes {
+			if chosen[i] == nil {
+				continue
+			}
+			s.reps[n.ID()] = chosen[i]
+			if n.IsLeaf() {
+				for _, id := range chosen[i] {
+					if !s.repIsSet[id] {
+						s.repIsSet[id] = true
+						s.allReps = append(s.allReps, id)
+					}
 				}
 			}
 		}
-		return chosen
 	}
-	build(s.tree.Root())
+	return nil
 }
 
 // repTarget returns how many representatives node n keeps, proportional to

@@ -1,10 +1,12 @@
 package rstar
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"qdcbir/internal/par"
 	"qdcbir/internal/vec"
 )
 
@@ -20,6 +22,19 @@ import (
 // dimensions but only on the order of 100-200 leaves, tiling uses only as
 // many dimensions as needed (ceil over the slab arithmetic).
 func BulkLoad(dim int, cfg Config, items []Item, targetFill int) *Tree {
+	t, err := BulkLoadCtx(context.Background(), dim, cfg, items, targetFill, 0)
+	if err != nil {
+		panic(fmt.Sprintf("rstar: bulk load: %v", err)) // unreachable: ctx never cancels
+	}
+	return t
+}
+
+// BulkLoadCtx is BulkLoad with cancellation and a parallelism knob
+// (parallelism <= 0 uses one worker per CPU). The sort phases of the STR
+// tiling — where nearly all the build time goes — run concurrently across
+// slabs; node creation stays serial so page IDs, and therefore the whole
+// tree, are byte-identical at every worker count.
+func BulkLoadCtx(ctx context.Context, dim int, cfg Config, items []Item, targetFill, parallelism int) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	t := &Tree{dim: dim, cfg: cfg, height: 1, fromBulk: true}
 	if targetFill <= 0 || targetFill > cfg.MaxFill {
@@ -30,7 +45,7 @@ func BulkLoad(dim int, cfg Config, items []Item, targetFill int) *Tree {
 	}
 	if len(items) == 0 {
 		t.root = t.newNode(true)
-		return t
+		return t, nil
 	}
 	for _, it := range items {
 		if len(it.Point) != dim {
@@ -43,7 +58,17 @@ func BulkLoad(dim int, cfg Config, items []Item, targetFill int) *Tree {
 		own[i] = Item{ID: it.ID, Point: it.Point.Clone()}
 	}
 
-	leaves := packLeaves(t, own, targetFill, 0)
+	chunks, err := tileItems(ctx, own, dim, targetFill, 0, par.N(parallelism))
+	if err != nil {
+		return nil, err
+	}
+	leaves := make([]*Node, 0, len(chunks))
+	for _, chunk := range chunks {
+		leaf := t.newNode(true)
+		leaf.items = append([]Item(nil), chunk...)
+		leaf.rect = nodeMBR(leaf)
+		leaves = append(leaves, leaf)
+	}
 	level := leaves
 	for len(level) > 1 {
 		level = packInternal(t, level, targetFill)
@@ -51,17 +76,18 @@ func BulkLoad(dim int, cfg Config, items []Item, targetFill int) *Tree {
 	}
 	t.root = level[0]
 	t.size = len(items)
-	return t
+	return t, nil
 }
 
-// packLeaves recursively tiles items into leaves of about targetFill entries.
-func packLeaves(t *Tree, items []Item, targetFill, axis int) []*Node {
+// tileItems recursively tiles items into leaf-sized runs of at most
+// targetFill entries, returning them in tiling order. Sorting mutates the
+// items slice in place; recursive calls operate on disjoint subslices, so
+// slabs sort concurrently without synchronization and the resulting
+// partition is identical to the serial one.
+func tileItems(ctx context.Context, items []Item, dim, targetFill, axis, p int) ([][]Item, error) {
 	n := len(items)
 	if n <= targetFill {
-		leaf := t.newNode(true)
-		leaf.items = items
-		leaf.rect = nodeMBR(leaf)
-		return []*Node{leaf}
+		return [][]Item{items}, nil
 	}
 	pages := int(math.Ceil(float64(n) / float64(targetFill)))
 	// Number of slabs along this axis: ceil(sqrt(pages)) keeps tiles roughly
@@ -74,31 +100,50 @@ func packLeaves(t *Tree, items []Item, targetFill, axis int) []*Node {
 		return items[i].Point[axis] < items[j].Point[axis]
 	})
 	perSlab := int(math.Ceil(float64(n) / float64(slabs)))
-	var leaves []*Node
-	nextAxis := (axis + 1) % t.dim
+	type span struct{ lo, hi int }
+	var spans []span
 	for lo := 0; lo < n; lo += perSlab {
 		hi := lo + perSlab
 		if hi > n {
 			hi = n
 		}
-		slab := items[lo:hi]
+		spans = append(spans, span{lo, hi})
+	}
+	nextAxis := (axis + 1) % dim
+	// Split the worker budget across slabs so the total stays bounded at
+	// every recursion depth.
+	subP := p / len(spans)
+	if subP < 1 {
+		subP = 1
+	}
+	results := make([][][]Item, len(spans))
+	err := par.Do(ctx, len(spans), p, func(i int) error {
+		slab := items[spans[i].lo:spans[i].hi]
 		if slabs == 1 || len(slab) <= targetFill {
 			// Chunk directly to avoid infinite recursion on tiny slabs.
+			var chunks [][]Item
 			for s := 0; s < len(slab); s += targetFill {
 				e := s + targetFill
 				if e > len(slab) {
 					e = len(slab)
 				}
-				leaf := t.newNode(true)
-				leaf.items = append([]Item(nil), slab[s:e]...)
-				leaf.rect = nodeMBR(leaf)
-				leaves = append(leaves, leaf)
+				chunks = append(chunks, slab[s:e])
 			}
-			continue
+			results[i] = chunks
+			return nil
 		}
-		leaves = append(leaves, packLeaves(t, slab, targetFill, nextAxis)...)
+		sub, err := tileItems(ctx, slab, dim, targetFill, nextAxis, subP)
+		results[i] = sub
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return leaves
+	var out [][]Item
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
 }
 
 // packInternal groups consecutive nodes (already spatially coherent from STR

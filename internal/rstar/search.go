@@ -2,12 +2,19 @@ package rstar
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
 	"qdcbir/internal/disk"
 	"qdcbir/internal/vec"
 )
+
+// ctxCheckInterval is how many priority-queue pops a search performs between
+// context polls. Checking every pop would put an interface call in the
+// hottest loop of the system; every 64 pops bounds cancellation latency to a
+// few microseconds while keeping the fast path branch-cheap.
+const ctxCheckInterval = 64
 
 // Neighbor is one k-NN result.
 type Neighbor struct {
@@ -45,20 +52,37 @@ func (t *Tree) KNN(q vec.Vector, k int, acc disk.Accounter) []Neighbor {
 	return t.KNNFrom(t.root, q, k, acc)
 }
 
+// KNNCtx is KNN with cooperative cancellation: when ctx is done the search
+// stops and ctx.Err() is returned.
+func (t *Tree) KNNCtx(ctx context.Context, q vec.Vector, k int, acc disk.Accounter) ([]Neighbor, error) {
+	return t.KNNFromCtx(ctx, t.root, q, k, acc)
+}
+
 // KNNFrom restricts the k-NN search to the subtree rooted at n. The query
 // decomposition engine uses this for the localized multipoint k-NN
 // computations of §3.3: each final subquery searches only its own subcluster
 // (or, after boundary expansion, an ancestor's subtree).
 func (t *Tree) KNNFrom(n *Node, q vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	ns, _ := t.KNNFromCtx(context.Background(), n, q, k, acc)
+	return ns
+}
+
+// KNNFromCtx is KNNFrom with cooperative cancellation.
+func (t *Tree) KNNFromCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc disk.Accounter) ([]Neighbor, error) {
 	if k <= 0 || n == nil || n.Len() == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if acc == nil {
 		acc = disk.Nop{}
 	}
 	pq := &searchPQ{{distSq: n.rect.MinDistSq(q), node: n}}
 	results := make([]Neighbor, 0, k)
-	for pq.Len() > 0 {
+	for steps := 0; pq.Len() > 0; steps++ {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := heap.Pop(pq).(pqEntry)
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
@@ -85,7 +109,7 @@ func (t *Tree) KNNFrom(n *Node, q vec.Vector, k int, acc disk.Accounter) []Neigh
 		}
 	}
 	stabilize(results)
-	return results
+	return results, nil
 }
 
 // KNNWeighted is KNN under a diagonal-weighted Euclidean metric (the Query
@@ -100,8 +124,14 @@ func (t *Tree) KNNWeighted(q, weights vec.Vector, k int, acc disk.Accounter) []N
 // n. The query decomposition engine uses this when the user assigns
 // importance weights to feature families (the paper's §6 extension).
 func (t *Tree) KNNWeightedFrom(n *Node, q, weights vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	ns, _ := t.KNNWeightedFromCtx(context.Background(), n, q, weights, k, acc)
+	return ns
+}
+
+// KNNWeightedFromCtx is KNNWeightedFrom with cooperative cancellation.
+func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.Vector, k int, acc disk.Accounter) ([]Neighbor, error) {
 	if k <= 0 || n == nil || n.Len() == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if acc == nil {
 		acc = disk.Nop{}
@@ -121,7 +151,12 @@ func (t *Tree) KNNWeightedFrom(n *Node, q, weights vec.Vector, k int, acc disk.A
 	}
 	pq := &searchPQ{{distSq: minDistSqW(n.rect), node: n}}
 	results := make([]Neighbor, 0, k)
-	for pq.Len() > 0 {
+	for steps := 0; pq.Len() > 0; steps++ {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := heap.Pop(pq).(pqEntry)
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
@@ -146,7 +181,7 @@ func (t *Tree) KNNWeightedFrom(n *Node, q, weights vec.Vector, k int, acc disk.A
 		}
 	}
 	stabilize(results)
-	return results
+	return results, nil
 }
 
 // stabilize enforces a deterministic order on equal-distance neighbours.

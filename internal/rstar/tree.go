@@ -98,6 +98,16 @@ func (c Config) withDefaults() Config {
 }
 
 // Tree is an R*-tree over d-dimensional points.
+//
+// Concurrency invariant: once construction (New+Insert, BulkLoad, or
+// FromSnapshot) completes, every read path — Node accessors, KNN*, Search,
+// Walk, LeafOf, Height, Len, NodeCount — is safe for unsynchronized use from
+// any number of goroutines, because reads never mutate tree state (no
+// internal caches, no rebalancing on read). Mutations (Insert, Delete)
+// require external exclusion against both readers and other writers. The
+// shared Accounter passed to a search must itself be goroutine-safe if the
+// searches run concurrently (disk.Counter and disk.Nop are; disk.LRUCache is
+// not — see package disk).
 type Tree struct {
 	dim    int
 	cfg    Config

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,11 +29,20 @@ type Client struct {
 // Dial fetches the server's payload and prepares a client. httpClient may be
 // nil (http.DefaultClient).
 func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
+	return DialContext(context.Background(), baseURL, httpClient)
+}
+
+// DialContext is Dial with cancellation of the payload download.
+func DialContext(ctx context.Context, baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	c := &Client{base: baseURL, hc: httpClient}
-	resp, err := httpClient.Get(baseURL + "/v1/payload")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/payload", nil)
+	if err != nil {
+		return nil, fmt.Errorf("server: fetch payload: %w", err)
+	}
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("server: fetch payload: %w", err)
 	}
@@ -282,6 +292,13 @@ func (s *ClientSession) Subqueries() int { return len(s.frontier) }
 // Finalize submits the final query images to the server — the session's only
 // server round trip — and returns the merged localized k-NN results.
 func (s *ClientSession) Finalize(k int) (*QueryResponse, error) {
+	return s.FinalizeContext(context.Background(), k)
+}
+
+// FinalizeContext is Finalize with cancellation: the context covers the whole
+// round trip, so a slow server-side query can be abandoned. The session still
+// counts as finalized.
+func (s *ClientSession) FinalizeContext(ctx context.Context, k int) (*QueryResponse, error) {
 	if s.finalized {
 		return nil, fmt.Errorf("server: session finalized")
 	}
@@ -293,7 +310,12 @@ func (s *ClientSession) Finalize(k int) (*QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := s.c.hc.Post(s.c.base+"/v1/query", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.c.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: query: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("server: query: %w", err)
 	}

@@ -20,7 +20,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -185,6 +187,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeQueryError distinguishes a cancelled/timed-out request (the client
+// went away or the server is shutting down; the k-NN machinery surfaces the
+// context error) from a bad query.
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -229,9 +242,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Weights != nil {
 		weights = vec.Vector(req.Weights)
 	}
-	res, stats, err := s.engine.QueryByExamples(ids, req.K, weights, nil)
+	// The request context cancels the localized subqueries when the client
+	// disconnects or the server drains during graceful shutdown.
+	res, stats, err := s.engine.QueryByExamplesCtx(r.Context(), ids, req.K, weights, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.toQueryResponse(res, core.Stats{
@@ -384,11 +399,11 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		hs.mu.Lock()
-		res, err := hs.sess.Finalize(req.K)
+		res, err := hs.sess.FinalizeCtx(r.Context(), req.K)
 		stats := hs.sess.Stats()
 		hs.mu.Unlock()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeQueryError(w, err)
 			return
 		}
 		s.mu.Lock()

@@ -1,0 +1,206 @@
+package qdcbir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"qdcbir/internal/rstar"
+)
+
+// parTestConfig is a small corpus that still produces a multi-level RFS
+// hierarchy, so the determinism checks cover every parallel stage.
+func parTestConfig(parallelism int) Config {
+	c := SmallConfig()
+	c.Categories = 8
+	c.Images = 400
+	c.Parallelism = parallelism
+	return c
+}
+
+// TestParallelBuildDeterminism is the regression test behind Config's
+// byte-identical promise: builds at Parallelism 1 and 8 must agree on corpus
+// vectors, tree shape, representative sets, and query results.
+func TestParallelBuildDeterminism(t *testing.T) {
+	serial, err := Build(parTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(parTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corpus vectors.
+	cs, cp := serial.Corpus(), parallel.Corpus()
+	if cs.Len() != cp.Len() {
+		t.Fatalf("corpus size %d vs %d", cs.Len(), cp.Len())
+	}
+	for i := range cs.Vectors {
+		vs, vp := cs.Vectors[i], cp.Vectors[i]
+		for j := range vs {
+			if vs[j] != vp[j] {
+				t.Fatalf("vector %d dim %d: %v vs %v", i, j, vs[j], vp[j])
+			}
+		}
+	}
+
+	// Tree shape: page IDs, levels, and entry identities in stored order.
+	shape := func(s *System) []string {
+		var out []string
+		s.RFS().Tree().Walk(func(n *rstar.Node, level int) {
+			row := fmt.Sprintf("%d@%d:", n.ID(), level)
+			if n.IsLeaf() {
+				for _, it := range n.Items() {
+					row += fmt.Sprintf(" %d", it.ID)
+				}
+			} else {
+				for _, c := range n.Children() {
+					row += fmt.Sprintf(" n%d", c.ID())
+				}
+			}
+			out = append(out, row)
+		})
+		return out
+	}
+	shS, shP := shape(serial), shape(parallel)
+	if len(shS) != len(shP) {
+		t.Fatalf("tree shape: %d nodes vs %d", len(shS), len(shP))
+	}
+	for i := range shS {
+		if shS[i] != shP[i] {
+			t.Fatalf("tree node %d: %q vs %q", i, shS[i], shP[i])
+		}
+	}
+
+	// Representative sets, compared per node via the leaf index.
+	if serial.RepresentativeCount() != parallel.RepresentativeCount() {
+		t.Fatalf("rep count %d vs %d", serial.RepresentativeCount(), parallel.RepresentativeCount())
+	}
+	rs, rp := serial.RFS().AllReps(), parallel.RFS().AllReps()
+	for i := range rs {
+		if rs[i] != rp[i] {
+			t.Fatalf("rep %d: %d vs %d", i, rs[i], rp[i])
+		}
+	}
+
+	// End to end: identical sessions retrieve identical images with
+	// identical simulated I/O.
+	run := func(s *System) ([]int, Stats) {
+		t.Helper()
+		sess := s.NewSession(7)
+		for round := 0; round < 3; round++ {
+			cands := sess.Candidates()
+			var marks []int
+			want := cands[0].Subconcept
+			for _, c := range cands {
+				if c.Subconcept == want {
+					marks = append(marks, c.ID)
+				}
+			}
+			if err := sess.Feedback(marks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := sess.Finalize(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs(), sess.Stats()
+	}
+	idsS, statsS := run(serial)
+	idsP, statsP := run(parallel)
+	if len(idsS) != len(idsP) {
+		t.Fatalf("result size %d vs %d", len(idsS), len(idsP))
+	}
+	for i := range idsS {
+		if idsS[i] != idsP[i] {
+			t.Fatalf("result %d: image %d vs %d", i, idsS[i], idsP[i])
+		}
+	}
+	if statsS != statsP {
+		t.Fatalf("stats diverge: %+v vs %+v", statsS, statsP)
+	}
+}
+
+// TestConcurrentSystemUse hammers one System from many goroutines — KNN
+// searches interleaved with full feedback sessions — and relies on the race
+// detector (CI runs go test -race) to catch unsynchronized access.
+func TestConcurrentSystemUse(t *testing.T) {
+	sys, err := Build(parTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sess := sys.NewSession(seed)
+			for round := 0; round < 2; round++ {
+				cands := sess.Candidates()
+				if len(cands) == 0 {
+					errc <- errors.New("no candidates")
+					return
+				}
+				if err := sess.Feedback([]int{cands[0].ID, cands[len(cands)/2].ID}); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if _, err := sess.Finalize(20); err != nil {
+				errc <- err
+			}
+		}(int64(w + 1))
+		wg.Add(1)
+		go func(img int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				ns, err := sys.KNN((img+i*37)%sys.Len(), 10)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(ns) != 10 {
+					errc <- fmt.Errorf("knn returned %d", len(ns))
+					return
+				}
+			}
+		}(w * 13)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestContextCancellation covers the thin context-aware wrappers at the root
+// API: build, global k-NN, and finalize all honour a dead context.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, parTestConfig(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildContext err = %v, want context.Canceled", err)
+	}
+
+	sys, err := Build(parTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.KNNContext(ctx, 0, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNNContext err = %v, want context.Canceled", err)
+	}
+
+	sess := sys.NewSession(3)
+	if err := sess.Feedback([]int{sess.Candidates()[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.FinalizeContext(ctx, 20); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FinalizeContext err = %v, want context.Canceled", err)
+	}
+}

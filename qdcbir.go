@@ -25,6 +25,7 @@
 package qdcbir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -69,6 +70,14 @@ type Config struct {
 	// "kmeans" (balanced hierarchical k-means; the paper notes any
 	// hierarchical clustering works, §3.1).
 	Hierarchy string
+
+	// Parallelism bounds the worker pools used for corpus feature
+	// extraction, RFS representative selection, STR bulk-load sorting, and
+	// the final localized subqueries (<= 0 uses one worker per CPU). Every
+	// output — corpus vectors, tree shape, representative sets, query
+	// results, simulated I/O counts — is byte-identical at every setting;
+	// the knob trades wall-clock time only.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's full-scale configuration.
@@ -125,6 +134,12 @@ func (c Config) withDefaults() Config {
 type Query = dataset.Query
 
 // System is a built retrieval system: corpus, RFS structure, and QD engine.
+//
+// A System is read-only after Build and safe for concurrent use: any number
+// of goroutines may run KNN* searches and drive independent Sessions against
+// one System simultaneously. An individual Session is NOT goroutine-safe —
+// each models one user's interaction and must be confined to one goroutine
+// (or externally synchronized, as internal/server does).
 type System struct {
 	cfg    Config
 	corpus *dataset.Corpus
@@ -135,31 +150,48 @@ type System struct {
 // Build generates the synthetic corpus and constructs the RFS structure and
 // query decomposition engine over it.
 func Build(cfg Config) (*System, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build with cancellation: corpus generation, bulk loading,
+// and representative selection all poll ctx and abort early when it is done.
+// The Config.Parallelism worker pools run inside this call; a returned System
+// is always fully constructed.
+func BuildContext(ctx context.Context, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	spec := dataset.SmallSpec(cfg.Seed, cfg.Categories, cfg.Images)
 	var corpus *dataset.Corpus
 	if cfg.VectorMode {
 		corpus = dataset.BuildVectors(spec, 37, 0.02, cfg.Seed+1)
 	} else {
-		corpus = dataset.Build(spec, dataset.Options{
+		var err error
+		corpus, err = dataset.BuildCtx(ctx, spec, dataset.Options{
 			Seed:         cfg.Seed + 1,
 			WithChannels: cfg.WithChannels,
+			Parallelism:  cfg.Parallelism,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("qdcbir: corpus: %w", err)
+		}
 	}
 	if err := corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
 	}
-	return assemble(cfg, corpus)
+	return assemble(ctx, cfg, corpus)
 }
 
-func assemble(cfg Config, corpus *dataset.Corpus) (*System, error) {
-	structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
+func assemble(ctx context.Context, cfg Config, corpus *dataset.Corpus) (*System, error) {
+	structure, err := rfs.BuildCtx(ctx, corpus.Vectors, rfs.BuildConfig{
 		RepFraction: cfg.RepFraction,
 		Tree:        rstar.Config{MaxFill: cfg.NodeCapacity},
 		TargetFill:  cfg.NodeCapacity * 93 / 100,
 		Hierarchy:   cfg.Hierarchy,
 		Seed:        cfg.Seed + 2,
+		Parallelism: cfg.Parallelism,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
+	}
 	if err := structure.Validate(); err != nil {
 		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
 	}
@@ -171,6 +203,7 @@ func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
 	return core.NewEngine(structure, core.Config{
 		BoundaryThreshold: cfg.BoundaryThreshold,
 		DisplayCount:      cfg.DisplayCount,
+		Parallelism:       cfg.Parallelism,
 	})
 }
 
@@ -215,10 +248,19 @@ type Scored struct {
 // the traditional single-neighborhood retrieval QD improves upon. Useful as
 // a baseline and for browsing.
 func (s *System) KNN(exampleImage, k int) ([]Scored, error) {
+	return s.KNNContext(context.Background(), exampleImage, k)
+}
+
+// KNNContext is KNN with cancellation: the search polls ctx and aborts early
+// when it is done.
+func (s *System) KNNContext(ctx context.Context, exampleImage, k int) ([]Scored, error) {
 	if exampleImage < 0 || exampleImage >= s.corpus.Len() {
 		return nil, fmt.Errorf("qdcbir: image %d outside corpus of %d", exampleImage, s.corpus.Len())
 	}
-	ns := s.rfs.Tree().KNN(s.corpus.Vectors[exampleImage], k, nil)
+	ns, err := s.rfs.Tree().KNNCtx(ctx, s.corpus.Vectors[exampleImage], k, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Scored, len(ns))
 	for i, n := range ns {
 		out[i] = Scored{ID: int(n.ID), Score: n.Dist}

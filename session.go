@@ -1,6 +1,7 @@
 package qdcbir
 
 import (
+	"context"
 	"fmt"
 
 	"qdcbir/internal/core"
@@ -135,7 +136,14 @@ type Result struct {
 // their results into k images total, allocated to subqueries proportionally
 // to their relevant counts. The session accepts no further feedback.
 func (s *Session) Finalize(k int) (*Result, error) {
-	res, err := s.inner.Finalize(k)
+	return s.FinalizeContext(context.Background(), k)
+}
+
+// FinalizeContext is Finalize with cancellation: the localized k-NN
+// subqueries poll ctx and abort early when it is done. A cancelled Finalize
+// still consumes the session (no further feedback is accepted).
+func (s *Session) FinalizeContext(ctx context.Context, k int) (*Result, error) {
+	res, err := s.inner.FinalizeCtx(ctx, k)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,7 @@ import (
 	"qdcbir/internal/experiments"
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/user"
@@ -318,6 +319,36 @@ func BenchmarkParallelBuild(b *testing.B) {
 			cfg := parTestConfig(bc.p)
 			for i := 0; i < b.N; i++ {
 				if _, err := Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSystemKNNObserver prices the Observer hook on the hottest read
+// path. "none" is the default nil hook — the search runs exactly the
+// uninstrumented code (no accounter, no clocks, no atomics) plus one
+// nil-check, so it benchmarks the zero-cost-when-nil contract against the
+// pre-instrumentation baseline. "live" shows what full telemetry costs: a
+// per-call disk.Counter threaded through every node access, two clock reads,
+// and a histogram observation.
+func BenchmarkSystemKNNObserver(b *testing.B) {
+	sys, err := Build(parTestConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		sys  *System
+	}{
+		{"none", sys},
+		{"live", sys.WithObserver(obs.New(obs.NewRegistry()))},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.sys.KNN(i%bc.sys.Len(), 10); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,17 +26,20 @@ import (
 	"strings"
 
 	"qdcbir/internal/experiments"
+	"qdcbir/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig1|fig4to9|fig10|fig11|io|extended|clientserver|video|ablations|all")
-		scale   = flag.String("scale", "quick", "corpus scale: quick|paper")
-		seed    = flag.Int64("seed", 1, "global random seed")
-		users   = flag.Int("users", 0, "simulated users per query (0 = scale default)")
-		sizes   = flag.String("sizes", "", "comma-separated DB sizes for fig10/fig11/io")
-		queries = flag.Int("queries", 0, "simulated queries per size for fig10/fig11/io (0 = default 100)")
-		browse  = flag.Int("browse", 0, "random displays a user browses per round (0 = scale default; smaller values model impatient users and reproduce Table 2's gradual GTIR climb)")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig1|fig4to9|fig10|fig11|io|extended|clientserver|video|ablations|all")
+		scale    = flag.String("scale", "quick", "corpus scale: quick|paper")
+		seed     = flag.Int64("seed", 1, "global random seed")
+		users    = flag.Int("users", 0, "simulated users per query (0 = scale default)")
+		sizes    = flag.String("sizes", "", "comma-separated DB sizes for fig10/fig11/io")
+		queries  = flag.Int("queries", 0, "simulated queries per size for fig10/fig11/io (0 = default 100)")
+		browse   = flag.Int("browse", 0, "random displays a user browses per round (0 = scale default; smaller values model impatient users and reproduce Table 2's gradual GTIR climb)")
+		parallel = flag.Int("parallelism", 0, "worker count for build and finalize pools (0 = one per CPU; reported numbers are identical at every setting)")
+		stats    = flag.String("stats", "", "write the run's metrics snapshot as JSON to this path ('-' = stderr)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,13 @@ func main() {
 	}
 	if *browse > 0 {
 		cfg.BrowsePerRound = *browse
+	}
+	cfg.Parallelism = *parallel
+	var observer *obs.Observer
+	if *stats != "" {
+		observer = obs.New(obs.NewRegistry())
+		cfg.Observer = observer
+		defer writeStats(*stats, observer)
 	}
 
 	sweep := parseSizes(*sizes, *scale)
@@ -130,6 +141,24 @@ func main() {
 			acfg.Users = 4 // ablations sweep 12 settings; cap per-setting cost
 		}
 		experiments.RunAblations(acfg).WriteText(os.Stdout)
+	}
+}
+
+// writeStats dumps the observer's metrics snapshot as indented JSON to a file
+// or, for "-", to stderr (keeping stdout clean for the experiment tables).
+func writeStats(path string, o *obs.Observer) {
+	data, err := json.MarshalIndent(o.Registry().Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qdbench: stats:", err)
+		return
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, _ = os.Stderr.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "qdbench: stats:", err)
 	}
 }
 

@@ -57,12 +57,13 @@ func (d *db) subconceptOf(id int) string {
 
 func main() {
 	var (
-		path = flag.String("db", "", "database file written by qdbuild (empty = build small corpus)")
-		seed = flag.Int64("seed", 1, "session seed")
+		path     = flag.String("db", "", "database file written by qdbuild (empty = build small corpus)")
+		seed     = flag.Int64("seed", 1, "session seed")
+		parallel = flag.Int("parallelism", 0, "worker count for build and finalize pools (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	d, err := open(*path, *seed)
+	d, err := open(*path, *seed, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdquery:", err)
 		os.Exit(1)
@@ -73,19 +74,20 @@ func main() {
 	repl(d, rand.New(rand.NewSource(*seed)), os.Stdin, os.Stdout)
 }
 
-func open(path string, seed int64) (*db, error) {
+func open(path string, seed int64, parallelism int) (*db, error) {
 	var infos []dataset.Info
 	var structure *rfs.Structure
 	if path == "" {
 		fmt.Fprintln(os.Stderr, "no -db given; building a small in-memory corpus...")
 		spec := dataset.SmallSpec(seed, 25, 1200)
-		corpus := dataset.Build(spec, dataset.Options{Seed: seed + 1})
+		corpus := dataset.Build(spec, dataset.Options{Seed: seed + 1, Parallelism: parallelism})
 		infos = corpus.Infos
 		structure = rfs.Build(corpus.Vectors, rfs.BuildConfig{
 			RepFraction: 0.2,
 			Tree:        rstar.Config{MaxFill: 24},
 			TargetFill:  20,
 			Seed:        seed + 2,
+			Parallelism: parallelism,
 		})
 	} else {
 		f, err := os.Open(path)
@@ -109,7 +111,7 @@ func open(path string, seed int64) (*db, error) {
 	return &db{
 		infos:  infos,
 		rfs:    structure,
-		engine: core.NewEngine(structure, core.Config{}),
+		engine: core.NewEngine(structure, core.Config{Parallelism: parallelism}),
 	}, nil
 }
 

@@ -134,7 +134,7 @@ func TestREPLAutoSession(t *testing.T) {
 }
 
 func TestOpenInMemory(t *testing.T) {
-	d, err := open("", 9)
+	d, err := open("", 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestOpenInMemory(t *testing.T) {
 }
 
 func TestOpenMissingFile(t *testing.T) {
-	if _, err := open("/nonexistent/file.gob", 1); err == nil {
+	if _, err := open("/nonexistent/file.gob", 1, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +26,7 @@ import (
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/img"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/server"
@@ -38,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "build seed")
 		ui       = flag.Bool("ui", false, "serve the browser front end at /ui (in-memory build only; keeps rendered images)")
 		parallel = flag.Int("parallelism", 0, "worker count for build and query pools (0 = one per CPU)")
+		debug    = flag.Bool("debug", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -45,7 +48,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qdserve: -ui requires an in-memory build (archives do not store rasters)")
 		os.Exit(2)
 	}
-	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel)
+	// One observer for the process: the engine reports session/query telemetry
+	// into it and the server adopts it, so /metrics and /v1/stats see both.
+	observer := obs.New(obs.NewRegistry())
+	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel, observer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdserve:", err)
 		os.Exit(1)
@@ -55,15 +61,28 @@ func main() {
 		srv.SetImages(rasters)
 		fmt.Fprintf(os.Stderr, "web UI at http://localhost%s/ui\n", *addr)
 	}
+	handler := srv.Handler()
+	if *debug {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "pprof at /debug/pprof/")
+	}
 	fmt.Fprintf(os.Stderr, "serving %d images (%d representatives) on %s\n",
 		eng.RFS().Len(), eng.RFS().RepCount(), *addr)
+	fmt.Fprintf(os.Stderr, "metrics at /metrics, runtime stats at /v1/stats, traces at /v1/traces\n")
 
 	// SIGINT/SIGTERM drain in-flight requests (whose contexts cancel any
 	// running localized subqueries) before exiting; the timeouts cap how long
 	// a slow or stuck client can pin a connection.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
@@ -87,7 +106,7 @@ func main() {
 	}
 }
 
-func load(path string, images int, seed int64, keepImages bool, parallelism int) (*core.Engine, server.Labeler, []*img.Image, error) {
+func load(path string, images int, seed int64, keepImages bool, parallelism int, observer *obs.Observer) (*core.Engine, server.Labeler, []*img.Image, error) {
 	if path == "" {
 		spec := dataset.SmallSpec(seed, 25, images)
 		corpus := dataset.Build(spec, dataset.Options{
@@ -102,7 +121,7 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int)
 			Seed:        seed + 2,
 			Parallelism: parallelism,
 		})
-		return core.NewEngine(structure, core.Config{Parallelism: parallelism}), corpus.SubconceptOf, corpus.Images, nil
+		return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}), corpus.SubconceptOf, corpus.Images, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -127,5 +146,5 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int)
 		}
 		return infos[id].Subconcept
 	}
-	return core.NewEngine(structure, core.Config{Parallelism: parallelism}), label, nil, nil
+	return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}), label, nil, nil
 }

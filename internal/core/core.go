@@ -20,8 +20,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"qdcbir/internal/disk"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/par"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
@@ -43,6 +45,12 @@ type Config struct {
 	// accesses privately and the traces are replayed into the session cache
 	// in deterministic group order.
 	Parallelism int
+	// Observer receives telemetry (metrics and per-query trace spans) from
+	// every session and query this engine runs. Nil — the default — disables
+	// instrumentation entirely: the hot paths pay one nil-check and perform
+	// no clock reads, no atomics, and no allocation. Results are identical
+	// either way.
+	Observer *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -114,12 +122,20 @@ type Session struct {
 	finalIO    *disk.LRUCache
 	stats      Stats
 	finalized  bool
+
+	// trace is the session's observability span (nil when the engine has no
+	// Observer). lastFbReads/lastFbAccesses checkpoint the feedback cache
+	// counters so each round's span reports deltas, attributing the browsing
+	// I/O between two rounds to the later round.
+	trace          *obs.Trace
+	lastFbReads    uint64
+	lastFbAccesses uint64
 }
 
 // NewSession starts a query session; the rng drives the random candidate
 // displays.
 func (e *Engine) NewSession(rng *rand.Rand) *Session {
-	return &Session{
+	s := &Session{
 		eng:        e,
 		rng:        rng,
 		frontier:   []*rstar.Node{e.rfs.Root()},
@@ -128,6 +144,11 @@ func (e *Engine) NewSession(rng *rand.Rand) *Session {
 		feedbackIO: disk.NewLRUCache(1 << 16),
 		finalIO:    disk.NewLRUCache(1 << 16),
 	}
+	if o := e.cfg.Observer; o != nil {
+		o.SessionStarted()
+		s.trace = o.StartTrace("session")
+	}
+	return s
 }
 
 // Frontier returns the current subquery anchor nodes (shared slice; do not
@@ -210,6 +231,7 @@ func (s *Session) Candidates() []Candidate {
 		s.displayed[c.ID] = c.Node
 		s.everShown[c.ID] = true
 	}
+	s.trace.AddDisplayed(len(out))
 	return out
 }
 
@@ -269,6 +291,11 @@ func (s *Session) Feedback(marked []rstar.ItemID) error {
 	if s.finalized {
 		return ErrFinalized
 	}
+	o := s.eng.cfg.Observer
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	s.stats.Rounds++
 	if s.assign == nil {
 		s.assign = make(map[rstar.ItemID]*rstar.Node)
@@ -309,6 +336,19 @@ func (s *Session) Feedback(marked []rstar.ItemID) error {
 		}
 	}
 	s.rebuildFrontier()
+	if o != nil {
+		reads, accesses := s.feedbackIO.Reads(), s.feedbackIO.Accesses()
+		o.RoundDone(s.trace, obs.RoundSpan{
+			Round:        s.stats.Rounds,
+			Marked:       len(marked),
+			Relevant:     len(s.relevant),
+			Subqueries:   len(s.frontier),
+			NodesVisited: accesses - s.lastFbAccesses,
+			PageReads:    reads - s.lastFbReads,
+			DurationNS:   time.Since(t0).Nanoseconds(),
+		})
+		s.lastFbReads, s.lastFbAccesses = reads, accesses
+	}
 	return nil
 }
 
@@ -460,7 +500,15 @@ func (s *Session) FinalizeCtx(ctx context.Context, k int) (*Result, error) {
 	if len(s.relevant) == 0 {
 		return nil, errors.New("core: no relevant feedback given")
 	}
-	return finalizeGroups(ctx, s.eng, s.relevant, s.assign, k, s.weights, s.finalIO, &s.stats)
+	if o := s.eng.cfg.Observer; o != nil {
+		// Browsing I/O after the last feedback round has no round span to carry
+		// it; flush it into the feedback-reads counter so the observer's totals
+		// match the session's Stats.
+		reads := s.feedbackIO.Reads()
+		o.AddFeedbackReads(reads - s.lastFbReads)
+		s.lastFbReads = reads
+	}
+	return finalizeGroups(ctx, s.eng, s.relevant, s.assign, k, s.weights, s.finalIO, &s.stats, s.trace)
 }
 
 // QueryByExamples runs the final localized query processing directly from a
@@ -511,15 +559,27 @@ func (e *Engine) QueryByExamplesCtx(ctx context.Context, relevant []rstar.ItemID
 	if acc == nil {
 		acc = disk.NewLRUCache(1 << 16)
 	}
+	var t *obs.Trace
+	if o := e.cfg.Observer; o != nil {
+		t = o.StartTrace("query")
+	}
 	before := acc.Reads()
-	res, err := finalizeGroups(ctx, e, ids, assign, k, weights, acc, &stats)
+	res, err := finalizeGroups(ctx, e, ids, assign, k, weights, acc, &stats, t)
 	stats.FinalReads = acc.Reads() - before
 	return res, stats, err
 }
 
 // finalizeGroups is the shared final-round machinery behind Session.Finalize
 // and Engine.QueryByExamples.
-func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats) (*Result, error) {
+func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats, trace *obs.Trace) (*Result, error) {
+	o := eng.cfg.Observer
+	var t0 time.Time
+	var readsBefore uint64
+	expBefore := stats.Expansions
+	if o != nil {
+		t0 = time.Now()
+		readsBefore = finalIO.Reads()
+	}
 	// Group the query panel by assigned subcluster: "a localized multipoint
 	// query is computed for each subset of relevant images belonging to a
 	// given subcluster" (§3.3).
@@ -639,18 +699,40 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	// identical at every Parallelism setting.
 	neighborLists := make([][]rstar.Neighbor, len(order))
 	recorders := make([]*disk.Recorder, len(order))
+	var sqStats []rstar.SearchStats
+	var sqDur []int64
+	if o != nil {
+		sqStats = make([]rstar.SearchStats, len(order))
+		sqDur = make([]int64, len(order))
+	}
 	if err := par.Do(ctx, len(order), eng.cfg.Parallelism, func(i int) error {
 		p := preps[order[i]]
 		rec := &disk.Recorder{}
-		ns, err := localKNN(ctx, eng, weights, rec, p.search, p.centroid, alloc[order[i]]+k)
+		var st *rstar.SearchStats
+		var start time.Time
+		if o != nil {
+			st = &sqStats[i]
+			start = time.Now()
+		}
+		ns, err := localKNN(ctx, eng, weights, rec, p.search, p.centroid, alloc[order[i]]+k, st)
 		if err != nil {
 			return err
+		}
+		if o != nil {
+			sqDur[i] = time.Since(start).Nanoseconds()
 		}
 		neighborLists[i] = ns
 		recorders[i] = rec
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	var mergeStart time.Time
+	var topupStats rstar.SearchStats
+	var topupSt *rstar.SearchStats
+	if o != nil {
+		mergeStart = time.Now()
+		topupSt = &topupStats
 	}
 
 	// Serial merge: overlapping search areas mean an image already claimed by
@@ -687,7 +769,7 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 				continue
 			}
 			want := len(g.Images) + deficit + len(seen)
-			more, err := localKNN(ctx, eng, weights, finalIO, p.search, p.centroid, want)
+			more, err := localKNN(ctx, eng, weights, finalIO, p.search, p.centroid, want, topupSt)
 			if err != nil {
 				return nil, err
 			}
@@ -715,14 +797,41 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	// §3.4: groups presented in ranking-score order (ascending summed
 	// distance: a group whose members lie closer to its query ranks first).
 	sort.SliceStable(res.Groups, func(i, j int) bool { return res.Groups[i].RankScore < res.Groups[j].RankScore })
+	if o != nil {
+		span := obs.FinalizeSpan{
+			K:          k,
+			Subqueries: len(order),
+			Expansions: stats.Expansions - expBefore,
+			PageReads:  finalIO.Reads() - readsBefore,
+			HeapPops:   topupStats.HeapPops,
+			MergeNS:    time.Since(mergeStart).Nanoseconds(),
+			DurationNS: time.Since(t0).Nanoseconds(),
+		}
+		for i, nodeID := range order {
+			p := preps[nodeID]
+			span.HeapPops += sqStats[i].HeapPops
+			span.Subspans = append(span.Subspans, obs.SubquerySpan{
+				Node:         uint64(nodeID),
+				QueryImages:  len(p.l.ids),
+				Allocated:    alloc[nodeID],
+				Expanded:     p.search != p.l.node,
+				HeapPops:     sqStats[i].HeapPops,
+				NodesRead:    sqStats[i].NodesRead,
+				PageAccesses: uint64(len(recorders[i].Trace())),
+				DurationNS:   sqDur[i],
+			})
+		}
+		o.FinalizeDone(trace, span)
+	}
 	return res, nil
 }
 
 // localKNN runs one localized subquery search, honouring an optional
-// feature-importance weighting.
-func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int) ([]rstar.Neighbor, error) {
+// feature-importance weighting. st, when non-nil, accumulates the search's
+// effort counters.
+func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int, st *rstar.SearchStats) ([]rstar.Neighbor, error) {
 	if weights != nil {
-		return eng.rfs.Tree().KNNWeightedFromCtx(ctx, n, q, weights, k, acc)
+		return eng.rfs.Tree().KNNWeightedFromStatsCtx(ctx, n, q, weights, k, acc, st)
 	}
-	return eng.rfs.Tree().KNNFromCtx(ctx, n, q, k, acc)
+	return eng.rfs.Tree().KNNFromStatsCtx(ctx, n, q, k, acc, st)
 }

@@ -20,6 +20,7 @@ import (
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/user"
@@ -47,6 +48,13 @@ type Config struct {
 	RepFraction float64 // representative fraction (paper: 0.05)
 	MaxFill     int     // node capacity (paper: 100)
 	TargetFill  int     // STR fill (paper band 70–100 → default 93)
+
+	// Parallelism bounds the build and finalize worker pools (<= 0 uses one
+	// worker per CPU); every reported number is identical at every setting.
+	Parallelism int
+	// Observer, when non-nil, collects metrics and traces from every engine
+	// the run constructs (cmd/qdbench -stats exposes the snapshot).
+	Observer *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -127,7 +135,11 @@ type System struct {
 func BuildSystem(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	spec := dataset.SmallSpec(cfg.Seed, cfg.Categories, cfg.TotalImages)
-	corpus := dataset.Build(spec, dataset.Options{Seed: cfg.Seed + 1, WithChannels: true})
+	corpus := dataset.Build(spec, dataset.Options{
+		Seed:         cfg.Seed + 1,
+		WithChannels: true,
+		Parallelism:  cfg.Parallelism,
+	})
 	return assemble(cfg, corpus)
 }
 
@@ -147,8 +159,13 @@ func assemble(cfg Config, corpus *dataset.Corpus) *System {
 		Tree:        rstar.Config{MaxFill: cfg.MaxFill},
 		TargetFill:  cfg.TargetFill,
 		Seed:        cfg.Seed + 2,
+		Parallelism: cfg.Parallelism,
 	})
-	engine := core.NewEngine(structure, core.Config{BoundaryThreshold: cfg.Threshold})
+	engine := core.NewEngine(structure, core.Config{
+		BoundaryThreshold: cfg.Threshold,
+		Parallelism:       cfg.Parallelism,
+		Observer:          cfg.Observer,
+	})
 	return &System{Cfg: cfg, Corpus: corpus, RFS: structure, Engine: engine}
 }
 

@@ -1,0 +1,353 @@
+// Package obs is the observability subsystem: a lock-free metrics registry
+// (atomic counters, gauges, and fixed-bucket histograms with a Prometheus
+// text-exposition encoder and a JSON snapshot), per-query trace spans that
+// record each feedback round's tree descent and the finalize phase's subquery
+// fan-out, and an Observer that wires the two together behind nil-safe hooks.
+//
+// The design goal is that uninstrumented paths pay exactly one nil-check: all
+// Observer and Trace methods are safe on nil receivers and the engine guards
+// its time.Now calls on the observer being present, so a system built without
+// an observer runs the same instructions it ran before this package existed.
+// Instrument methods (Counter.Add, Histogram.Observe) are allocation-free and
+// use only atomic operations, so any number of goroutines may share them.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: cumulative
+// bucket counts at encode time, a running sum, and a total count. Observe is
+// allocation-free: a linear scan over the (small, fixed) bound slice plus
+// three atomic operations.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// newHistogram validates and copies the bounds.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	if !sort.Float64sAreSorted(b) {
+		panic("obs: histogram bounds must be sorted ascending")
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefBuckets spans 25µs to 10s — wide enough for both the representative-only
+// feedback rounds and full localized k-NN finalizes on large corpora.
+var DefBuckets = []float64{
+	0.000025, 0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 1, 2.5, 10,
+}
+
+// FanoutBuckets suits small discrete counts such as the subquery fan-out of a
+// finalized query.
+var FanoutBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds named metrics and renders them. Registration takes a lock;
+// the instruments themselves are lock-free. Registering an existing name
+// returns the existing instrument, so independent components may share a
+// metric by name; re-registering a name as a different kind panics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// validName enforces the Prometheus metric-name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register adds or retrieves a metric, panicking on kind mismatch.
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter registers (or retrieves) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).counter
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).gauge
+}
+
+// Histogram registers (or retrieves) a histogram with the given upper bounds
+// (nil selects DefBuckets). Bounds are fixed at registration; retrieving an
+// existing histogram ignores the bounds argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m.histogram
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, histogram: newHistogram(bounds)}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.histogram
+}
+
+// snapshotMetrics copies the registered-metric list for lock-free iteration.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		var err error
+		switch m.kind {
+		case kindCounter:
+			err = writeSimple(w, m, "counter", strconv.FormatUint(m.counter.Value(), 10))
+		case kindGauge:
+			err = writeSimple(w, m, "gauge", strconv.FormatInt(m.gauge.Value(), 10))
+		case kindHistogram:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSimple(w io.Writer, m *metric, typ, value string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		m.name, m.help, m.name, typ, m.name, value)
+	return err
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.histogram
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		m.name, cum, m.name, formatFloat(h.Sum()), m.name, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Bucket is one cumulative histogram bucket in a Snapshot. The implicit +Inf
+// bucket is not listed; HistogramSnapshot.Count covers it (and keeps the
+// snapshot JSON-encodable, since JSON has no +Inf).
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"` // cumulative, as in the Prometheus format
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing it, mirroring Prometheus's histogram_quantile.
+// Samples beyond the last finite bound clamp to that bound. Returns 0 when
+// the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	lower := 0.0
+	prev := uint64(0)
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			width := b.UpperBound - lower
+			inBucket := float64(b.Count - prev)
+			if inBucket == 0 {
+				return b.UpperBound
+			}
+			return lower + width*(rank-float64(prev))/inBucket
+		}
+		lower = b.UpperBound
+		prev = b.Count
+	}
+	return h.Buckets[len(h.Buckets)-1].UpperBound
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, shaped for
+// JSON (the /v1/stats body and qdbench's -stats output).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Value()
+		case kindGauge:
+			s.Gauges[m.name] = m.gauge.Value()
+		case kindHistogram:
+			h := m.histogram
+			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				hs.Buckets = append(hs.Buckets, Bucket{UpperBound: bound, Count: cum})
+			}
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-9 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	snap := r.Snapshot().Histograms["h_seconds"]
+	wantCum := []uint64{2, 3, 4} // le=1: {0.5, 1.0}; le=2: +1.5; le=4: +3; +Inf: +100
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("sum = %v, want 2000", got)
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a different kind must panic")
+		}
+	}()
+	r.Gauge("same_total", "help")
+}
+
+func TestInvalidMetricName(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "help")
+		}()
+	}
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests.").Add(7)
+	r.Gauge("live", "Live things.").Set(-3)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP reqs_total Requests.",
+		"# TYPE reqs_total counter",
+		"reqs_total 7",
+		"# TYPE live gauge",
+		"live -3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help").Inc()
+	r.Histogram("b_seconds", "help", nil).Observe(0.01)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a_total"] != 1 {
+		t.Fatalf("roundtrip counter = %d, want 1", back.Counters["a_total"])
+	}
+	if back.Histograms["b_seconds"].Count != 1 {
+		t.Fatal("roundtrip histogram lost its count")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "help", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all samples in the (1, 2] bucket
+	}
+	snap := r.Snapshot().Histograms["q_seconds"]
+	if q := snap.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("median %v outside its bucket (1, 2]", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}

@@ -23,6 +23,28 @@ type Neighbor struct {
 	Dist  float64 // Euclidean distance to the query
 }
 
+// SearchStats accumulates the effort counters of one or more k-NN searches:
+// priority-queue pops, tree nodes expanded, and item distance computations.
+// The search keeps its own local counters and folds them in once on
+// successful completion, so passing stats costs nothing inside the hot loop;
+// a nil *SearchStats disables accumulation entirely. A SearchStats must not
+// be shared by concurrent searches.
+type SearchStats struct {
+	HeapPops    uint64 // best-first queue pops (nodes + item candidates)
+	NodesRead   uint64 // tree nodes expanded (== accounter accesses)
+	ItemsScored uint64 // exact item distances computed
+}
+
+// accumulate folds one search's local counters in; nil-safe.
+func (s *SearchStats) accumulate(pops, nodes, items uint64) {
+	if s == nil {
+		return
+	}
+	s.HeapPops += pops
+	s.NodesRead += nodes
+	s.ItemsScored += items
+}
+
 // pqEntry is either a node (to expand) or an item (a candidate result) in the
 // best-first search queue, keyed by its lower-bound squared distance.
 type pqEntry struct {
@@ -69,12 +91,20 @@ func (t *Tree) KNNFrom(n *Node, q vec.Vector, k int, acc disk.Accounter) []Neigh
 
 // KNNFromCtx is KNNFrom with cooperative cancellation.
 func (t *Tree) KNNFromCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc disk.Accounter) ([]Neighbor, error) {
+	return t.KNNFromStatsCtx(ctx, n, q, k, acc, nil)
+}
+
+// KNNFromStatsCtx is KNNFromCtx with optional effort accounting: on
+// successful completion the search's queue pops, node expansions, and item
+// scorings are folded into st (nil st skips accumulation).
+func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc disk.Accounter, st *SearchStats) ([]Neighbor, error) {
 	if k <= 0 || n == nil || n.Len() == 0 {
 		return nil, ctx.Err()
 	}
 	if acc == nil {
 		acc = disk.Nop{}
 	}
+	var pops, nodes, items uint64
 	pq := &searchPQ{{distSq: n.rect.MinDistSq(q), node: n}}
 	results := make([]Neighbor, 0, k)
 	for steps := 0; pq.Len() > 0; steps++ {
@@ -84,6 +114,7 @@ func (t *Tree) KNNFromCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc
 			}
 		}
 		e := heap.Pop(pq).(pqEntry)
+		pops++
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
 		}
@@ -98,7 +129,9 @@ func (t *Tree) KNNFromCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc
 			continue
 		}
 		acc.Access(e.node.id)
+		nodes++
 		if e.node.leaf {
+			items += uint64(len(e.node.items))
 			for _, it := range e.node.items {
 				heap.Push(pq, pqEntry{distSq: vec.SqL2(q, it.Point), item: it})
 			}
@@ -109,6 +142,7 @@ func (t *Tree) KNNFromCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc
 		}
 	}
 	stabilize(results)
+	st.accumulate(pops, nodes, items)
 	return results, nil
 }
 
@@ -130,6 +164,12 @@ func (t *Tree) KNNWeightedFrom(n *Node, q, weights vec.Vector, k int, acc disk.A
 
 // KNNWeightedFromCtx is KNNWeightedFrom with cooperative cancellation.
 func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.Vector, k int, acc disk.Accounter) ([]Neighbor, error) {
+	return t.KNNWeightedFromStatsCtx(ctx, n, q, weights, k, acc, nil)
+}
+
+// KNNWeightedFromStatsCtx is KNNWeightedFromCtx with optional effort
+// accounting, as in KNNFromStatsCtx.
+func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights vec.Vector, k int, acc disk.Accounter, st *SearchStats) ([]Neighbor, error) {
 	if k <= 0 || n == nil || n.Len() == 0 {
 		return nil, ctx.Err()
 	}
@@ -149,6 +189,7 @@ func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.V
 		}
 		return s
 	}
+	var pops, nodes, items uint64
 	pq := &searchPQ{{distSq: minDistSqW(n.rect), node: n}}
 	results := make([]Neighbor, 0, k)
 	for steps := 0; pq.Len() > 0; steps++ {
@@ -158,6 +199,7 @@ func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.V
 			}
 		}
 		e := heap.Pop(pq).(pqEntry)
+		pops++
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
 		}
@@ -170,7 +212,9 @@ func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.V
 			continue
 		}
 		acc.Access(e.node.id)
+		nodes++
 		if e.node.leaf {
+			items += uint64(len(e.node.items))
 			for _, it := range e.node.items {
 				heap.Push(pq, pqEntry{distSq: vec.WeightedSqL2(q, it.Point, weights), item: it})
 			}
@@ -181,6 +225,7 @@ func (t *Tree) KNNWeightedFromCtx(ctx context.Context, n *Node, q, weights vec.V
 		}
 	}
 	stabilize(results)
+	st.accumulate(pops, nodes, items)
 	return results, nil
 }
 

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/obs"
+)
+
+// newObservedServer builds a server whose engine carries its own Observer, so
+// engine-side counters (rounds, finalizes, page reads) flow into /v1/stats.
+func newObservedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, corpus := testSystem(t)
+	cfg := eng.Config()
+	cfg.Observer = obs.New(nil)
+	srv := New(core.NewEngine(eng.RFS(), cfg), corpus.SubconceptOf)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func createSession(t *testing.T, base string, seed int64) string {
+	t.Helper()
+	var sr SessionResponse
+	resp := postJSON(t, base+"/v1/sessions", map[string]int64{"seed": seed}, &sr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create session: status %d", resp.StatusCode)
+	}
+	return sr.SessionID
+}
+
+func getCandidates(t *testing.T, base, id string) ([]int, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out struct {
+		Candidates []CandidateJSON `json:"candidates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(out.Candidates))
+	for i, c := range out.Candidates {
+		ids[i] = c.ID
+	}
+	return ids, resp.StatusCode
+}
+
+func getStats(t *testing.T, base string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats: status %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEvictionUnderCapPressure verifies the cap holds, surplus sessions are
+// evicted, evicted handles answer 404, and the eviction counter advances.
+func TestEvictionUnderCapPressure(t *testing.T) {
+	srv, ts := newObservedServer(t)
+	srv.SetMaxSessions(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, createSession(t, ts.URL, int64(i+1)))
+	}
+	if n := srv.SessionCount(); n != 3 {
+		t.Fatalf("session count = %d, want cap 3", n)
+	}
+	// The two oldest (never touched since creation) were evicted.
+	for _, id := range ids[:2] {
+		if _, status := getCandidates(t, ts.URL, id); status != http.StatusNotFound {
+			t.Errorf("evicted session %s answered %d, want 404", id, status)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, status := getCandidates(t, ts.URL, id); status != http.StatusOK {
+			t.Errorf("live session %s answered %d, want 200", id, status)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.SessionsEvicted != 2 {
+		t.Errorf("evictions = %d, want 2", st.SessionsEvicted)
+	}
+	if st.Sessions != 3 {
+		t.Errorf("live sessions = %d, want 3", st.Sessions)
+	}
+}
+
+// TestEvictionPrefersIdleOverActive verifies the satellite fix: eviction is by
+// last touch, not creation order. The oldest-created session stays alive when
+// it is the most recently used.
+func TestEvictionPrefersIdleOverActive(t *testing.T) {
+	srv, ts := newObservedServer(t)
+	srv.SetMaxSessions(2)
+	a := createSession(t, ts.URL, 1)
+	b := createSession(t, ts.URL, 2)
+	// Touch a: it is now more recently used than the younger b.
+	if _, status := getCandidates(t, ts.URL, a); status != http.StatusOK {
+		t.Fatalf("touch a: status %d", status)
+	}
+	c := createSession(t, ts.URL, 3)
+	if _, status := getCandidates(t, ts.URL, b); status != http.StatusNotFound {
+		t.Fatalf("idle session b answered %d, want 404 (evicted)", status)
+	}
+	for name, id := range map[string]string{"a": a, "c": c} {
+		if _, status := getCandidates(t, ts.URL, id); status != http.StatusOK {
+			t.Fatalf("session %s answered %d, want 200", name, status)
+		}
+	}
+}
+
+// TestStatsAgreeWithRequests drives full sessions over HTTP and checks the
+// /v1/stats counters match the work issued, and that the final page reads
+// reported per response sum to the observer's disk accounting.
+func TestStatsAgreeWithRequests(t *testing.T) {
+	_, ts := newObservedServer(t)
+	const nSessions, nRounds = 3, 2
+	var wantFinalReads uint64
+	for i := 0; i < nSessions; i++ {
+		id := createSession(t, ts.URL, int64(100+i))
+		for r := 0; r < nRounds; r++ {
+			cands, status := getCandidates(t, ts.URL, id)
+			if status != http.StatusOK || len(cands) == 0 {
+				t.Fatalf("candidates: status %d, %d ids", status, len(cands))
+			}
+			n := 3
+			if len(cands) < n {
+				n = len(cands)
+			}
+			resp := postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/feedback", ts.URL, id),
+				FeedbackRequest{Relevant: cands[:n]}, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("feedback: status %d", resp.StatusCode)
+			}
+		}
+		var qr QueryResponse
+		resp := postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/finalize", ts.URL, id),
+			map[string]int{"k": 20}, &qr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("finalize: status %d", resp.StatusCode)
+		}
+		wantFinalReads += qr.Stats.FinalReads
+	}
+
+	st := getStats(t, ts.URL)
+	if st.SessionsStarted != nSessions {
+		t.Errorf("sessions started = %d, want %d", st.SessionsStarted, nSessions)
+	}
+	if st.FeedbackRounds != nSessions*nRounds {
+		t.Errorf("feedback rounds = %d, want %d", st.FeedbackRounds, nSessions*nRounds)
+	}
+	if st.Finalizes != nSessions {
+		t.Errorf("finalizes = %d, want %d", st.Finalizes, nSessions)
+	}
+	if st.Sessions != 0 {
+		t.Errorf("live sessions after finalize = %d, want 0", st.Sessions)
+	}
+	// Acceptance check: observer page-read totals equal the disk accounting
+	// the responses reported.
+	if st.FinalReads != wantFinalReads {
+		t.Errorf("observer final reads = %d, responses reported %d", st.FinalReads, wantFinalReads)
+	}
+	if st.FinalReads == 0 || st.FeedbackReads == 0 {
+		t.Errorf("page-read counters empty: final=%d feedback=%d", st.FinalReads, st.FeedbackReads)
+	}
+	// Each session: 1 create + nRounds*(candidates+feedback) + 1 finalize,
+	// plus this handler's own stats fetches.
+	minReqs := uint64(nSessions * (2 + 2*nRounds))
+	if st.HTTPRequests < minReqs {
+		t.Errorf("http requests = %d, want >= %d", st.HTTPRequests, minReqs)
+	}
+	lat := st.Metrics.Histograms[obs.MetricFinalizeSeconds]
+	if lat.Count != nSessions {
+		t.Errorf("finalize latency histogram count = %d, want %d", lat.Count, nSessions)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus exposition is served with the
+// right content type and contains the instrumented families.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newObservedServer(t)
+	id := createSession(t, ts.URL, 42)
+	getCandidates(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE " + obs.MetricSessionsStarted + " counter",
+		"# TYPE " + obs.MetricSessionsHosted + " gauge",
+		"# TYPE qd_http_requests_total counter",
+		obs.MetricSessionsStarted + " 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTracesEndpoint checks finalized sessions surface as JSON traces.
+func TestTracesEndpoint(t *testing.T) {
+	_, ts := newObservedServer(t)
+	id := createSession(t, ts.URL, 7)
+	cands, _ := getCandidates(t, ts.URL, id)
+	postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/feedback", ts.URL, id),
+		FeedbackRequest{Relevant: cands[:2]}, nil)
+	var qr QueryResponse
+	postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/finalize", ts.URL, id),
+		map[string]int{"k": 10}, &qr)
+
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Traces []*obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(out.Traces))
+	}
+	tr := out.Traces[0]
+	if tr.Kind != "session" || len(tr.Rounds) != 1 || tr.Finalize == nil {
+		t.Fatalf("trace shape wrong: %+v", tr)
+	}
+	if tr.Finalize.PageReads != qr.Stats.FinalReads {
+		t.Errorf("trace reads %d != response reads %d", tr.Finalize.PageReads, qr.Stats.FinalReads)
+	}
+}

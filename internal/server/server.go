@@ -20,6 +20,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +33,7 @@ import (
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/img"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
 )
@@ -51,10 +53,22 @@ type Server struct {
 	label       Labeler
 	maxSessions int
 
+	// obs is never nil: the server adopts the engine's Observer when one is
+	// configured (so engine and HTTP telemetry land in one registry) and
+	// otherwise creates a standalone one, keeping /metrics and /v1/stats
+	// functional — they then report HTTP/session counters only.
+	obs      *obs.Observer
+	httpReqs *obs.Counter
+	httpErrs *obs.Counter
+
 	mu       sync.Mutex
 	sessions map[string]*hostedSession
-	order    []string // creation order for eviction
-	nextID   uint64
+	// lru orders hosted sessions by last touch (front = least recently used;
+	// values are session ids). Every session operation moves its entry to the
+	// back, so cap-pressure eviction removes the longest-idle session rather
+	// than the oldest-created one.
+	lru    *list.List
+	nextID uint64
 
 	payload    *Payload
 	payloadErr error
@@ -67,6 +81,8 @@ type Server struct {
 type hostedSession struct {
 	mu   sync.Mutex
 	sess *core.Session
+
+	el *list.Element // position in Server.lru; guarded by Server.mu
 }
 
 // New creates a server over the engine. label may be nil (empty labels).
@@ -74,13 +90,24 @@ func New(engine *core.Engine, label Labeler) *Server {
 	if label == nil {
 		label = func(int) string { return "" }
 	}
+	o := engine.Config().Observer
+	if o == nil {
+		o = obs.New(obs.NewRegistry())
+	}
 	return &Server{
 		engine:      engine,
 		label:       label,
 		maxSessions: DefaultMaxSessions,
+		obs:         o,
+		httpReqs:    o.Registry().Counter("qd_http_requests_total", "HTTP requests served."),
+		httpErrs:    o.Registry().Counter("qd_http_errors_total", "HTTP responses with status >= 400."),
 		sessions:    make(map[string]*hostedSession),
+		lru:         list.New(),
 	}
 }
+
+// Observer returns the server's telemetry sink (never nil).
+func (s *Server) Observer() *obs.Observer { return s.obs }
 
 // SetMaxSessions overrides the hosted-session cap (values < 1 keep the
 // default). Call before serving traffic.
@@ -162,9 +189,29 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// StatsResponse is the /v1/stats snapshot: the live session count, headline
+// counters pulled out for convenience, and the full metrics snapshot
+// (including latency histograms) for programmatic consumers.
+type StatsResponse struct {
+	Sessions        int          `json:"sessions"`
+	SessionsStarted uint64       `json:"sessions_started"`
+	SessionsEvicted uint64       `json:"sessions_evicted"`
+	FeedbackRounds  uint64       `json:"feedback_rounds"`
+	Finalizes       uint64       `json:"finalizes"`
+	KNNQueries      uint64       `json:"knn_queries"`
+	FeedbackReads   uint64       `json:"feedback_page_reads"`
+	FinalReads      uint64       `json:"final_page_reads"`
+	Expansions      uint64       `json:"boundary_expansions"`
+	HTTPRequests    uint64       `json:"http_requests"`
+	HTTPErrors      uint64       `json:"http_errors"`
+	Metrics         obs.Snapshot `json:"metrics"`
+}
+
 // ---- handler ----
 
-// Handler returns the HTTP handler serving the v1 API.
+// Handler returns the HTTP handler serving the v1 API plus the observability
+// endpoints (/metrics in Prometheus text format, /v1/stats and /v1/traces as
+// JSON). Every request passing through the handler is counted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/info", s.handleInfo)
@@ -173,8 +220,83 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/sessions/", s.handleSessionOp)
 	mux.HandleFunc("/v1/image/", s.handleImage)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/ui", s.handleUI)
-	return mux
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument counts every request and every error response.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpReqs.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			s.httpErrs.Inc()
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition of every registered
+// metric.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.Registry().WritePrometheus(w)
+}
+
+// handleStats serves the JSON runtime-stats snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.obs.Registry().Snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Sessions:        s.SessionCount(),
+		SessionsStarted: snap.Counters[obs.MetricSessionsStarted],
+		SessionsEvicted: snap.Counters[obs.MetricSessionsEvicted],
+		FeedbackRounds:  snap.Counters[obs.MetricFeedbackRounds],
+		Finalizes:       snap.Counters[obs.MetricFinalizes],
+		KNNQueries:      snap.Counters[obs.MetricKNNs],
+		FeedbackReads:   snap.Counters[obs.MetricFeedbackReads],
+		FinalReads:      snap.Counters[obs.MetricFinalReads],
+		Expansions:      snap.Counters[obs.MetricExpansions],
+		HTTPRequests:    snap.Counters["qd_http_requests_total"],
+		HTTPErrors:      snap.Counters["qd_http_errors_total"],
+		Metrics:         snap,
+	})
+}
+
+// handleTraces serves the retained per-query trace spans, oldest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	traces := s.obs.Traces()
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []*obs.Trace `json:"traces"`
+	}{traces})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -300,17 +422,34 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = int64(s.nextID) * 7919
 	}
-	// Evict the oldest sessions past the cap so abandoned clients cannot
-	// exhaust memory.
-	for len(s.sessions) >= s.maxSessions && len(s.order) > 0 {
-		victim := s.order[0]
-		s.order = s.order[1:]
-		delete(s.sessions, victim)
+	// Evict the longest-idle sessions past the cap so abandoned clients
+	// cannot exhaust memory.
+	for len(s.sessions) >= s.maxSessions && s.lru.Len() > 0 {
+		front := s.lru.Front()
+		s.lru.Remove(front)
+		delete(s.sessions, front.Value.(string))
+		s.obs.SessionEvicted()
 	}
-	s.sessions[id] = &hostedSession{sess: s.engine.NewSession(rand.New(rand.NewSource(seed)))}
-	s.order = append(s.order, id)
+	hs := &hostedSession{sess: s.engine.NewSession(rand.New(rand.NewSource(seed)))}
+	hs.el = s.lru.PushBack(id)
+	s.sessions[id] = hs
 	s.mu.Unlock()
+	s.obs.SessionHosted()
 	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
+}
+
+// release drops a hosted session (client delete or finalize).
+func (s *Server) release(id string) {
+	s.mu.Lock()
+	hs, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		s.lru.Remove(hs.el)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.obs.SessionReleased()
+	}
 }
 
 // handleSessionOp dispatches /v1/sessions/{id}/{op}.
@@ -324,6 +463,11 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	id := parts[0]
 	s.mu.Lock()
 	hs := s.sessions[id]
+	if hs != nil {
+		// Touch: every operation marks the session most recently used, so
+		// cap-pressure eviction targets the longest-idle session.
+		s.lru.MoveToBack(hs.el)
+	}
 	s.mu.Unlock()
 	if hs == nil {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
@@ -336,9 +480,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case op == "" && r.Method == http.MethodDelete:
-		s.mu.Lock()
-		delete(s.sessions, id)
-		s.mu.Unlock()
+		s.release(id)
 		writeJSON(w, http.StatusOK, struct{}{})
 
 	case op == "candidates" && r.Method == http.MethodGet:
@@ -406,9 +548,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			writeQueryError(w, err)
 			return
 		}
-		s.mu.Lock()
-		delete(s.sessions, id) // finalized sessions are done
-		s.mu.Unlock()
+		s.release(id) // finalized sessions are done
 		writeJSON(w, http.StatusOK, s.toQueryResponse(res, stats))
 
 	default:

@@ -29,11 +29,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
+	"qdcbir/internal/disk"
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
@@ -207,6 +210,17 @@ func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
 	})
 }
 
+// WithObserver returns a System sharing this one's corpus and RFS structure
+// whose engine reports telemetry (metrics and per-query traces) to o. The
+// original System is untouched and stays uninstrumented; the two may be used
+// concurrently. Observer lives on the engine rather than on Config so that
+// persisted archives (Save/Load gob-encode Config) never capture it.
+func (s *System) WithObserver(o *obs.Observer) *System {
+	ecfg := s.engine.Config()
+	ecfg.Observer = o
+	return &System{cfg: s.cfg, corpus: s.corpus, rfs: s.rfs, engine: core.NewEngine(s.rfs, ecfg)}
+}
+
 // Len returns the number of images in the corpus.
 func (s *System) Len() int { return s.corpus.Len() }
 
@@ -257,9 +271,19 @@ func (s *System) KNNContext(ctx context.Context, exampleImage, k int) ([]Scored,
 	if exampleImage < 0 || exampleImage >= s.corpus.Len() {
 		return nil, fmt.Errorf("qdcbir: image %d outside corpus of %d", exampleImage, s.corpus.Len())
 	}
-	ns, err := s.rfs.Tree().KNNCtx(ctx, s.corpus.Vectors[exampleImage], k, nil)
+	o := s.engine.Config().Observer
+	var acc disk.Accounter
+	var t0 time.Time
+	if o != nil {
+		acc = &disk.Counter{}
+		t0 = time.Now()
+	}
+	ns, err := s.rfs.Tree().KNNCtx(ctx, s.corpus.Vectors[exampleImage], k, acc)
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		o.KNNDone(time.Since(t0), acc.Reads())
 	}
 	out := make([]Scored, len(ns))
 	for i, n := range ns {
@@ -299,7 +323,17 @@ func (s *System) knnVector(q vec.Vector, k int) ([]Scored, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("qdcbir: invalid k=%d", k)
 	}
-	ns := s.rfs.Tree().KNN(q, k, nil)
+	o := s.engine.Config().Observer
+	var acc disk.Accounter
+	var t0 time.Time
+	if o != nil {
+		acc = &disk.Counter{}
+		t0 = time.Now()
+	}
+	ns := s.rfs.Tree().KNN(q, k, acc)
+	if o != nil {
+		o.KNNDone(time.Since(t0), acc.Reads())
+	}
 	out := make([]Scored, len(ns))
 	for i, n := range ns {
 		out[i] = Scored{ID: int(n.ID), Score: n.Dist}

@@ -197,7 +197,7 @@ func BenchmarkSec522GlobalKNN(b *testing.B) {
 	for size, sys := range vectorSystems(b) {
 		sys := sys
 		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
-			tk := baseline.NewTreeKNN(sys.RFS.Tree(), sys.Corpus.Vectors, 0, nil)
+			tk := baseline.NewTreeKNN(sys.RFS.Tree(), sys.Corpus.Store(), 0, nil)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ids := tk.Search(50)
@@ -297,7 +297,7 @@ func BenchmarkRFSBuild(b *testing.B) {
 // comparison baseline.
 func BenchmarkMVSearch(b *testing.B) {
 	sys := vectorSystems(b)[16000]
-	mv := baseline.NewMVSubspaces(sys.Corpus.Vectors, 0)
+	mv := baseline.NewMVSubspaces(sys.Corpus.Store(), 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ids := mv.Search(50); len(ids) != 50 {

@@ -70,16 +70,16 @@ func main() {
 
 	// --- Baselines, all driven by the same simulated user model ---
 	initial := corpus.SubconceptIDs(q.Targets[0])[0] // one example sedan
-	mv, err := baseline.NewMVChannels(corpus.ChannelVectors, initial)
+	mv, err := baseline.NewMVChannels(corpus.ChannelStores(), initial)
 	if err != nil {
 		log.Fatal(err)
 	}
 	retrievers := []baseline.FeedbackRetriever{
 		mv,
-		baseline.NewQPM(corpus.Vectors, initial),
-		baseline.NewMPQ(corpus.Vectors, initial, 5, rand.New(rand.NewSource(12))),
-		baseline.NewQcluster(corpus.Vectors, initial, 5, rand.New(rand.NewSource(12))),
-		baseline.NewPlainKNN(corpus.Vectors, initial),
+		baseline.NewQPM(corpus.Store(), initial),
+		baseline.NewMPQ(corpus.Store(), initial, 5, rand.New(rand.NewSource(12))),
+		baseline.NewQcluster(corpus.Store(), initial, 5, rand.New(rand.NewSource(12))),
+		baseline.NewPlainKNN(corpus.Store(), initial),
 	}
 	for _, r := range retrievers {
 		sim := user.New(q.Targets, corpus.SubconceptOf, rand.New(rand.NewSource(13)))

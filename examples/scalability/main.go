@@ -85,7 +85,7 @@ func main() {
 			// Traditional feedback: every round is a global k-NN on the
 			// server's index.
 			var acc disk.Counter
-			tk := baseline.NewTreeKNN(sys.RFS().Tree(), corpus.Vectors,
+			tk := baseline.NewTreeKNN(sys.RFS().Tree(), corpus.Store(),
 				corpus.SubconceptIDs(target)[0], &acc)
 			gsim := user.New([]string{target}, corpus.SubconceptOf, rng)
 			for round := 0; round < 2; round++ {

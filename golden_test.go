@@ -1,0 +1,314 @@
+package qdcbir
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"qdcbir/internal/baseline"
+	"qdcbir/internal/disk"
+	"qdcbir/internal/rstar"
+)
+
+// The golden fixtures pin the system's observable behaviour — retrieval
+// output, similarity-score bits, and simulated I/O counts — across data-layer
+// refactors. testdata/golden_results.json and testdata/archive_v0.gob were
+// generated BEFORE the flat feature-store refactor; the tests assert the
+// store-backed engine reproduces them byte-for-byte.
+//
+// Regenerate (only when behaviour is intentionally changed):
+//
+//	go test -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures")
+
+const (
+	goldenResultsPath = "testdata/golden_results.json"
+	goldenArchivePath = "testdata/archive_v0.gob"
+)
+
+// goldenConfig is the fixture system: image mode with MV channels so the
+// per-channel data path is pinned too.
+func goldenConfig() Config {
+	return Config{
+		Seed:         7,
+		Categories:   12,
+		Images:       400,
+		NodeCapacity: 24,
+		RepFraction:  0.2,
+		WithChannels: true,
+	}
+}
+
+// goldenVectorConfig is the vector-mode fixture (the Fig 10/11 path).
+func goldenVectorConfig() Config {
+	return Config{
+		Seed:         11,
+		Categories:   15,
+		Images:       900,
+		NodeCapacity: 24,
+		RepFraction:  0.2,
+		VectorMode:   true,
+	}
+}
+
+// scoreBits serializes similarity scores exactly (float64 bit patterns), so
+// the comparison is byte-identical, not epsilon-close.
+func scoreBits(scores []float64) []string {
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = fmt.Sprintf("%016x", math.Float64bits(s))
+	}
+	return out
+}
+
+type goldenQuery struct {
+	IDs    []int    `json:"ids"`
+	Scores []string `json:"scores,omitempty"`
+}
+
+type goldenSession struct {
+	Marked        []int    `json:"marked"`
+	ResultIDs     []int    `json:"result_ids"`
+	RankScores    []string `json:"rank_scores"`
+	FeedbackReads uint64   `json:"feedback_reads"`
+	FinalReads    uint64   `json:"final_reads"`
+	Expansions    int      `json:"expansions"`
+}
+
+type goldenFile struct {
+	KNN         goldenQuery            `json:"knn"`
+	QBE         goldenQuery            `json:"qbe"`
+	QBEReads    uint64                 `json:"qbe_reads"`
+	Session     goldenSession          `json:"session"`
+	VecSession  goldenSession          `json:"vec_session"`
+	VecWeighted goldenQuery            `json:"vec_weighted"`
+	Baselines   map[string]goldenQuery `json:"baselines"`
+}
+
+// runGoldenSession drives one deterministic feedback session: three rounds of
+// browsing with every-other-candidate marks, then Finalize.
+func runGoldenSession(sys *System, seed int64, weighted bool) goldenSession {
+	sess := sys.NewSession(seed)
+	var g goldenSession
+	for round := 0; round < 3; round++ {
+		var marks []int
+		for d := 0; d < 4; d++ {
+			for i, c := range sess.Candidates() {
+				if i%2 == 0 && len(marks) < 5 {
+					marks = append(marks, c.ID)
+				}
+			}
+		}
+		if err := sess.Feedback(marks); err != nil {
+			panic(err)
+		}
+		g.Marked = append(g.Marked, marks...)
+	}
+	if weighted {
+		if err := sess.WeightFamily(FamilyColor, 2.5); err != nil {
+			panic(err)
+		}
+	}
+	res, err := sess.Finalize(30)
+	if err != nil {
+		panic(err)
+	}
+	g.ResultIDs = res.IDs()
+	var ranks []float64
+	for _, grp := range res.Groups {
+		ranks = append(ranks, grp.RankScore)
+	}
+	g.RankScores = scoreBits(ranks)
+	st := sess.Stats()
+	g.FeedbackReads = st.FeedbackReads
+	g.FinalReads = st.FinalReads
+	g.Expansions = st.Expansions
+	return g
+}
+
+// buildGolden produces the full golden record with the current code.
+func buildGolden(t *testing.T) *goldenFile {
+	t.Helper()
+	sys, err := Build(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsys, err := Build(goldenVectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &goldenFile{Baselines: map[string]goldenQuery{}}
+
+	// Plain global k-NN through the index.
+	knn, err := sys.KNN(3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range knn {
+		g.KNN.IDs = append(g.KNN.IDs, s.ID)
+		g.KNN.Scores = append(g.KNN.Scores, scoreBits([]float64{s.Score})[0])
+	}
+
+	// Query-by-examples (the server-side half of the client/server split).
+	var examples []rstar.ItemID
+	keys := sys.Corpus().Subconcepts()
+	sort.Strings(keys)
+	for i, key := range keys {
+		if i >= 3 {
+			break
+		}
+		ids := sys.Corpus().SubconceptIDs(key)
+		for _, id := range ids[:2] {
+			examples = append(examples, rstar.ItemID(id))
+		}
+	}
+	res, st, err := sys.engine.QueryByExamples(examples, 40, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.IDs() {
+		g.QBE.IDs = append(g.QBE.IDs, id)
+	}
+	g.QBEReads = st.FinalReads
+
+	// Full feedback sessions: image mode plain, vector mode plain + weighted.
+	g.Session = runGoldenSession(sys, 99, false)
+	g.VecSession = runGoldenSession(vsys, 42, false)
+	wsess := runGoldenSession(vsys, 43, true)
+	g.VecWeighted = goldenQuery{IDs: wsess.ResultIDs, Scores: wsess.RankScores}
+
+	// Baselines: two rounds of search+feedback each, recording both searches.
+	rets := goldenBaselines(t, sys)
+	names := make([]string, 0, len(rets))
+	for name := range rets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ret := rets[name]
+		first := ret.Search(20)
+		ret.Feedback(first[:6])
+		second := ret.Search(20)
+		g.Baselines[name] = goldenQuery{IDs: append(append([]int{}, first...), second...)}
+	}
+	return g
+}
+
+// goldenBaselines constructs all six comparison retrievers against the image
+// fixture, keyed by a stable name.
+func goldenBaselines(t *testing.T, sys *System) map[string]baseline.FeedbackRetriever {
+	t.Helper()
+	const queryImage = 5
+	st := sys.Corpus().Store()
+	mvc, err := baseline.NewMVChannels(sys.Corpus().ChannelStores(), queryImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]baseline.FeedbackRetriever{
+		"plain":    baseline.NewPlainKNN(st, queryImage),
+		"qpm":      baseline.NewQPM(st, queryImage),
+		"treeknn":  baseline.NewTreeKNN(sys.RFS().Tree(), st, queryImage, &disk.Counter{}),
+		"mpq":      baseline.NewMPQ(st, queryImage, 4, rand.New(rand.NewSource(17))),
+		"qcluster": baseline.NewQcluster(st, queryImage, 4, rand.New(rand.NewSource(18))),
+		"mv-chan":  mvc,
+		"mv-sub":   baseline.NewMVSubspaces(st, queryImage),
+	}
+}
+
+func TestGoldenResults(t *testing.T) {
+	got := buildGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenResultsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenResultsPath)
+		return
+	}
+	data, err := os.ReadFile(goldenResultsPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.MarshalIndent(got, "", "  ")
+	wantJSON, _ := json.MarshalIndent(&want, "", "  ")
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("behaviour diverged from pre-refactor golden fixture:\n--- want\n%s\n--- got\n%s", wantJSON, gotJSON)
+	}
+}
+
+// TestGoldenArchiveV0 asserts a pre-refactor (version-0 gob) archive still
+// loads and answers queries identically to a freshly built system.
+func TestGoldenArchiveV0(t *testing.T) {
+	if *updateGolden {
+		sys, err := Build(goldenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SaveFile(goldenArchivePath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenArchivePath)
+		return
+	}
+	loaded, err := LoadFile(goldenArchivePath)
+	if err != nil {
+		t.Fatalf("version-0 archive no longer loads: %v", err)
+	}
+	fresh, err := Build(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != fresh.Len() || loaded.TreeHeight() != fresh.TreeHeight() ||
+		loaded.RepresentativeCount() != fresh.RepresentativeCount() {
+		t.Fatalf("v0 archive shape: len %d/%d height %d/%d reps %d/%d",
+			loaded.Len(), fresh.Len(), loaded.TreeHeight(), fresh.TreeHeight(),
+			loaded.RepresentativeCount(), fresh.RepresentativeCount())
+	}
+	// The MV channel tables must survive (including the deduped original).
+	if loaded.Corpus().ChannelVectors == nil {
+		t.Fatal("v0 archive lost channel vectors")
+	}
+	for _, sys := range []*System{loaded, fresh} {
+		if got := len(sys.Corpus().ChannelVectors); got != 4 {
+			t.Fatalf("%d channels after load", got)
+		}
+	}
+	a := runGoldenSession(loaded, 99, false)
+	b := runGoldenSession(fresh, 99, false)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("v0-archive session diverged from fresh build:\n%s\n%s", aj, bj)
+	}
+	ka, err := loaded.KNN(3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := fresh.KNN(3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("v0-archive kNN diverged at %d: %+v vs %+v", i, ka[i], kb[i])
+		}
+	}
+}

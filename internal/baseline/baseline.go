@@ -11,12 +11,14 @@
 // Every baseline follows the traditional model the paper critiques: each
 // round runs retrieval against the whole database, in contrast to QD, whose
 // feedback rounds touch only RFS representatives.
+//
+// The linear scans run over the corpus feature store's contiguous backing
+// array (internal/store) with partial-distance early exit, preserving the
+// exact candidate admission sequence of the earlier per-vector scans.
 package baseline
 
 import (
-	"container/heap"
-	"sort"
-
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -31,16 +33,11 @@ type FeedbackRetriever interface {
 	Feedback(relevant []int)
 }
 
-// scored pairs an image ID with its distance under the active query model.
-type scored struct {
-	id   int
-	dist float64
-}
-
 // topK selects the k smallest-distance images over the corpus by evaluating
 // dist for every ID in [0, n) — the "global computation over the entire
 // database" cost profile the paper attributes to traditional relevance
-// feedback. A max-heap of size k keeps selection O(n log k).
+// feedback. vec.TopK keeps selection O(n log k) with the same bounded
+// max-heap admission rule as before.
 func topK(n, k int, dist func(id int) float64) []int {
 	if k <= 0 || n == 0 {
 		return nil
@@ -48,53 +45,52 @@ func topK(n, k int, dist func(id int) float64) []int {
 	if k > n {
 		k = n
 	}
-	h := make(maxHeap, 0, k)
+	sel := vec.NewTopK(k)
 	for id := 0; id < n; id++ {
-		d := dist(id)
-		if len(h) < k {
-			heap.Push(&h, scored{id: id, dist: d})
-			continue
-		}
-		if d < h[0].dist {
-			h[0] = scored{id: id, dist: d}
-			heap.Fix(&h, 0)
-		}
+		sel.Add(dist(id), id)
 	}
-	out := make([]scored, len(h))
-	copy(out, h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].dist != out[j].dist {
-			return out[i].dist < out[j].dist
-		}
-		return out[i].id < out[j].id
-	})
-	ids := make([]int, len(out))
-	for i, s := range out {
-		ids[i] = s.id
-	}
-	return ids
+	return sel.AppendIDs(nil)
 }
 
-type maxHeap []scored
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	*h = old[:n-1]
-	return s
+// scanTopK selects the k nearest store rows to q, weighted by w when w is
+// non-nil. While the selector is filling it scores with the exact kernel;
+// once full it switches to the partial-distance capped kernel with the
+// selector's threshold as the limit, which preserves the exact admission
+// decisions and admitted values of a full-distance scan (see
+// vec.SquaredDistCapped) while skipping most of each rejected row.
+func scanTopK(st *store.FeatureStore, k int, q, w vec.Vector) []int {
+	n := st.Len()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	sel := vec.NewTopK(k)
+	id := 0
+	for ; id < n && sel.Len() < k; id++ {
+		if w == nil {
+			sel.Add(vec.SqL2(st.At(id), q), id)
+		} else {
+			sel.Add(vec.WeightedSqL2(st.At(id), q, w), id)
+		}
+	}
+	for ; id < n; id++ {
+		if w == nil {
+			sel.Add(vec.SquaredDistCapped(q, st.At(id), sel.Threshold()), id)
+		} else {
+			sel.Add(vec.WeightedSquaredDistCapped(q, st.At(id), w, sel.Threshold()), id)
+		}
+	}
+	return sel.AppendIDs(nil)
 }
 
-// gatherPoints maps ids to their vectors.
-func gatherPoints(points []vec.Vector, ids []int) []vec.Vector {
+// gatherPoints maps ids to their store row views, dropping out-of-range ids.
+func gatherPoints(st *store.FeatureStore, ids []int) []vec.Vector {
 	out := make([]vec.Vector, 0, len(ids))
 	for _, id := range ids {
-		if id >= 0 && id < len(points) {
-			out = append(out, points[id])
+		if id >= 0 && id < st.Len() {
+			out = append(out, st.At(id))
 		}
 	}
 	return out

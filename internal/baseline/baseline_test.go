@@ -9,6 +9,7 @@ import (
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -99,7 +100,7 @@ func TestTopKMatchesSort(t *testing.T) {
 func TestPlainKNNFindsOwnBlob(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := twoBlobs(rng, 50, 20, 4)
-	p := NewPlainKNN(pts, 0)
+	p := NewPlainKNN(store.FromVectors(pts), 0)
 	got := p.Search(20)
 	for _, id := range got {
 		if id >= 50 && id < 100 {
@@ -124,7 +125,7 @@ func TestQPMMovesTowardRelevant(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := twoBlobs(rng, 50, 0, 4)
 	// Start in blob 0; all feedback says blob 1 is relevant.
-	q := NewQPM(pts, 0)
+	q := NewQPM(store.FromVectors(pts), 0)
 	q.Feedback([]int{60, 61, 62, 63})
 	got := q.Search(20)
 	crossed := 0
@@ -145,7 +146,7 @@ func TestQPMWeightsEmphasizeAgreedDims(t *testing.T) {
 		{0, 0}, {0, 100}, {0.01, -100}, {0.02, 50},
 		{5, 0}, {90, 90},
 	}
-	q := NewQPM(pts, 0)
+	q := NewQPM(store.FromVectors(pts), 0)
 	q.Feedback([]int{0, 1, 2, 3})
 	if q.weights[0] <= q.weights[1] {
 		t.Errorf("weights = %v; low-variance dim should dominate", q.weights)
@@ -155,10 +156,10 @@ func TestQPMWeightsEmphasizeAgreedDims(t *testing.T) {
 func TestQPMDuplicateFeedbackIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := twoBlobs(rng, 30, 0, 3)
-	a := NewQPM(pts, 0)
+	a := NewQPM(store.FromVectors(pts), 0)
 	a.Feedback([]int{40, 41})
 	a.Feedback([]int{40, 41}) // same marks again
-	b := NewQPM(pts, 0)
+	b := NewQPM(store.FromVectors(pts), 0)
 	b.Feedback([]int{40, 41})
 	ra, rb := a.Search(10), b.Search(10)
 	for i := range ra {
@@ -180,8 +181,8 @@ func TestTreeKNNMatchesQPM(t *testing.T) {
 	tree := rstar.BulkLoad(4, rstar.Config{MaxFill: 16, MinFill: 6}, items, 14)
 
 	var acc disk.Counter
-	tk := NewTreeKNN(tree, pts, 0, &acc)
-	qp := NewQPM(pts, 0)
+	tk := NewTreeKNN(tree, store.FromVectors(pts), 0, &acc)
+	qp := NewQPM(store.FromVectors(pts), 0)
 	for round := 0; round < 3; round++ {
 		a := tk.Search(15)
 		b := qp.Search(15)
@@ -202,7 +203,7 @@ func TestTreeKNNMatchesQPM(t *testing.T) {
 func TestMPQExpandsContour(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	pts := twoBlobs(rng, 50, 0, 4)
-	m := NewMPQ(pts, 0, 5, rand.New(rand.NewSource(7)))
+	m := NewMPQ(store.FromVectors(pts), 0, 5, rand.New(rand.NewSource(7)))
 	if m.Name() != "MPQ" {
 		t.Errorf("name = %q", m.Name())
 	}
@@ -253,9 +254,9 @@ func TestMPQvsQclusterOnDistantClusters(t *testing.T) {
 	}
 	fb := []int{0, 1, 2, 45, 46, 47}
 
-	mpq := NewMPQ(pts, 0, 5, rand.New(rand.NewSource(9)))
+	mpq := NewMPQ(store.FromVectors(pts), 0, 5, rand.New(rand.NewSource(9)))
 	mpq.Feedback(fb)
-	qc := NewQcluster(pts, 0, 5, rand.New(rand.NewSource(9)))
+	qc := NewQcluster(store.FromVectors(pts), 0, 5, rand.New(rand.NewSource(9)))
 	qc.Feedback(fb)
 
 	inBlobs := func(ids []int) int {
@@ -280,7 +281,7 @@ func TestMPQvsQclusterOnDistantClusters(t *testing.T) {
 func TestMVSubspacesBasics(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	pts := twoBlobs(rng, 40, 20, feature.Dim)
-	m := NewMVSubspaces(pts, 0)
+	m := NewMVSubspaces(store.FromVectors(pts), 0)
 	if m.Name() != "MV" {
 		t.Errorf("name = %q", m.Name())
 	}
@@ -307,7 +308,7 @@ func TestMVSubspacesBasics(t *testing.T) {
 func TestMVSubspaceFallbackOnOddDim(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	pts := twoBlobs(rng, 20, 0, 8) // not 37-d
-	m := NewMVSubspaces(pts, 0)
+	m := NewMVSubspaces(store.FromVectors(pts), 0)
 	got := m.Search(10)
 	if len(got) != 10 {
 		t.Fatalf("Search returned %d", len(got))
@@ -317,7 +318,7 @@ func TestMVSubspaceFallbackOnOddDim(t *testing.T) {
 func TestMVChannels(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	pts := twoBlobs(rng, 30, 10, 6)
-	channels := map[img.Channel][]vec.Vector{}
+	channels := map[img.Channel]*store.FeatureStore{}
 	for _, ch := range img.AllChannels {
 		// Synthesize channel tables as perturbed copies.
 		tbl := make([]vec.Vector, len(pts))
@@ -326,7 +327,7 @@ func TestMVChannels(t *testing.T) {
 			q.ScaleInPlace(1 + 0.1*float64(ch))
 			tbl[i] = q
 		}
-		channels[ch] = tbl
+		channels[ch] = store.FromVectors(tbl)
 	}
 	m, err := NewMVChannels(channels, 0)
 	if err != nil {
@@ -367,7 +368,7 @@ func TestMVSingleViewpointConfinement(t *testing.T) {
 	// because each viewpoint's centroid collapses between them.
 	rng := rand.New(rand.NewSource(13))
 	pts := twoBlobs(rng, 40, 40, feature.Dim)
-	m := NewMVSubspaces(pts, 0)
+	m := NewMVSubspaces(store.FromVectors(pts), 0)
 	m.Feedback([]int{0, 1, 2, 45, 46, 47})
 	got := m.Search(40)
 	var blob0, blob1 int
@@ -391,7 +392,7 @@ func TestMVSingleViewpointConfinement(t *testing.T) {
 func TestMVSearchKLargerThanCorpus(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
 	pts := twoBlobs(rng, 5, 0, 4) // corpus of 10
-	m := NewMVSubspaces(pts, 0)
+	m := NewMVSubspaces(store.FromVectors(pts), 0)
 	got := m.Search(50)
 	// The interleaving loop must terminate once every ranking is exhausted
 	// and return each image exactly once.
@@ -410,7 +411,7 @@ func TestMVSearchKLargerThanCorpus(t *testing.T) {
 func TestMPQSingleRelevantImage(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	pts := twoBlobs(rng, 20, 0, 3)
-	m := NewMPQ(pts, 0, 5, rand.New(rand.NewSource(22)))
+	m := NewMPQ(store.FromVectors(pts), 0, 5, rand.New(rand.NewSource(22)))
 	m.Feedback([]int{25}) // one relevant image: one representative
 	if len(m.reps) != 1 {
 		t.Fatalf("%d reps from one relevant image", len(m.reps))

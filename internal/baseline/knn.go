@@ -3,6 +3,7 @@ package baseline
 import (
 	"qdcbir/internal/disk"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -10,14 +11,14 @@ import (
 // It is the k-NN model in its purest form — the technique whose single-
 // neighborhood confinement motivates the whole paper (§1.1).
 type PlainKNN struct {
-	points []vec.Vector
-	query  vec.Vector
+	st    *store.FeatureStore
+	query vec.Vector
 }
 
-// NewPlainKNN builds the baseline over the corpus vectors with the given
-// query image as the fixed query point.
-func NewPlainKNN(points []vec.Vector, queryImage int) *PlainKNN {
-	return &PlainKNN{points: points, query: points[queryImage].Clone()}
+// NewPlainKNN builds the baseline over the corpus feature store with the
+// given query image as the fixed query point.
+func NewPlainKNN(st *store.FeatureStore, queryImage int) *PlainKNN {
+	return &PlainKNN{st: st, query: st.At(queryImage).Clone()}
 }
 
 // Name implements FeedbackRetriever.
@@ -25,9 +26,7 @@ func (p *PlainKNN) Name() string { return "kNN" }
 
 // Search returns the top-k nearest images to the fixed query point.
 func (p *PlainKNN) Search(k int) []int {
-	return topK(len(p.points), k, func(id int) float64 {
-		return vec.SqL2(p.points[id], p.query)
-	})
+	return scanTopK(p.st, k, p.query, nil)
 }
 
 // Feedback is a no-op: plain k-NN does not learn.
@@ -39,7 +38,7 @@ func (p *PlainKNN) Feedback([]int) {}
 // relevant set, tightening the query contour along dimensions the relevant
 // images agree on.
 type QPM struct {
-	points   []vec.Vector
+	st       *store.FeatureStore
 	query    vec.Vector
 	weights  vec.Vector
 	relevant []int
@@ -47,15 +46,14 @@ type QPM struct {
 }
 
 // NewQPM builds the baseline with the given initial query image.
-func NewQPM(points []vec.Vector, queryImage int) *QPM {
-	dim := len(points[queryImage])
-	w := make(vec.Vector, dim)
+func NewQPM(st *store.FeatureStore, queryImage int) *QPM {
+	w := make(vec.Vector, st.Dim())
 	for i := range w {
 		w[i] = 1
 	}
 	return &QPM{
-		points:  points,
-		query:   points[queryImage].Clone(),
+		st:      st,
+		query:   st.At(queryImage).Clone(),
 		weights: w,
 		relSet:  make(map[int]bool),
 	}
@@ -66,20 +64,18 @@ func (q *QPM) Name() string { return "QPM" }
 
 // Search returns the top-k images under the current weighted query.
 func (q *QPM) Search(k int) []int {
-	return topK(len(q.points), k, func(id int) float64 {
-		return vec.WeightedSqL2(q.points[id], q.query, q.weights)
-	})
+	return scanTopK(q.st, k, q.query, q.weights)
 }
 
 // Feedback moves the query point and re-weights the metric.
 func (q *QPM) Feedback(relevant []int) {
 	for _, id := range relevant {
-		if id >= 0 && id < len(q.points) && !q.relSet[id] {
+		if id >= 0 && id < q.st.Len() && !q.relSet[id] {
 			q.relSet[id] = true
 			q.relevant = append(q.relevant, id)
 		}
 	}
-	pts := gatherPoints(q.points, q.relevant)
+	pts := gatherPoints(q.st, q.relevant)
 	if len(pts) == 0 {
 		return
 	}
@@ -103,7 +99,7 @@ func (q *QPM) Feedback(relevant []int) {
 // with honest index-assisted I/O counts rather than linear-scan costs.
 type TreeKNN struct {
 	tree    *rstar.Tree
-	points  []vec.Vector
+	st      *store.FeatureStore
 	query   vec.Vector
 	weights vec.Vector
 	rel     []int
@@ -112,16 +108,15 @@ type TreeKNN struct {
 }
 
 // NewTreeKNN builds the retriever. acc may be nil to disable I/O accounting.
-func NewTreeKNN(tree *rstar.Tree, points []vec.Vector, queryImage int, acc disk.Accounter) *TreeKNN {
-	dim := len(points[queryImage])
-	w := make(vec.Vector, dim)
+func NewTreeKNN(tree *rstar.Tree, st *store.FeatureStore, queryImage int, acc disk.Accounter) *TreeKNN {
+	w := make(vec.Vector, st.Dim())
 	for i := range w {
 		w[i] = 1
 	}
 	return &TreeKNN{
 		tree:    tree,
-		points:  points,
-		query:   points[queryImage].Clone(),
+		st:      st,
+		query:   st.At(queryImage).Clone(),
 		weights: w,
 		relSet:  make(map[int]bool),
 		acc:     acc,
@@ -144,12 +139,12 @@ func (t *TreeKNN) Search(k int) []int {
 // Feedback applies the QPM update.
 func (t *TreeKNN) Feedback(relevant []int) {
 	for _, id := range relevant {
-		if id >= 0 && id < len(t.points) && !t.relSet[id] {
+		if id >= 0 && id < t.st.Len() && !t.relSet[id] {
 			t.relSet[id] = true
 			t.rel = append(t.rel, id)
 		}
 	}
-	pts := gatherPoints(t.points, t.rel)
+	pts := gatherPoints(t.st, t.rel)
 	if len(pts) == 0 {
 		return
 	}

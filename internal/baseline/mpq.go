@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"qdcbir/internal/kmeans"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -15,7 +16,7 @@ import (
 // query contour — which still confines results to one (possibly stretched)
 // neighborhood, the limitation QD removes.
 type MPQ struct {
-	points   []vec.Vector
+	st       *store.FeatureStore
 	maxReps  int
 	rng      *rand.Rand
 	relevant []int
@@ -27,16 +28,16 @@ type MPQ struct {
 
 // NewMPQ builds the baseline. maxReps bounds the number of cluster
 // representatives per round (5 in common MARS configurations).
-func NewMPQ(points []vec.Vector, queryImage, maxReps int, rng *rand.Rand) *MPQ {
+func NewMPQ(st *store.FeatureStore, queryImage, maxReps int, rng *rand.Rand) *MPQ {
 	if maxReps < 1 {
 		maxReps = 5
 	}
 	return &MPQ{
-		points:     points,
+		st:         st,
 		maxReps:    maxReps,
 		rng:        rng,
 		relSet:     make(map[int]bool),
-		reps:       []vec.Vector{points[queryImage].Clone()},
+		reps:       []vec.Vector{st.At(queryImage).Clone()},
 		repWeights: []float64{1},
 	}
 }
@@ -46,10 +47,11 @@ func (m *MPQ) Name() string { return "MPQ" }
 
 // Search returns the top-k images under the weighted-combination distance.
 func (m *MPQ) Search(k int) []int {
-	return topK(len(m.points), k, func(id int) float64 {
+	return topK(m.st.Len(), k, func(id int) float64 {
 		var d float64
+		row := m.st.At(id)
 		for i, rep := range m.reps {
-			d += m.repWeights[i] * vec.L2(m.points[id], rep)
+			d += m.repWeights[i] * vec.L2(row, rep)
 		}
 		return d
 	})
@@ -58,12 +60,12 @@ func (m *MPQ) Search(k int) []int {
 // Feedback re-clusters the cumulative relevant set into representatives.
 func (m *MPQ) Feedback(relevant []int) {
 	for _, id := range relevant {
-		if id >= 0 && id < len(m.points) && !m.relSet[id] {
+		if id >= 0 && id < m.st.Len() && !m.relSet[id] {
 			m.relSet[id] = true
 			m.relevant = append(m.relevant, id)
 		}
 	}
-	pts := gatherPoints(m.points, m.relevant)
+	pts := gatherPoints(m.st, m.relevant)
 	if len(pts) == 0 {
 		return
 	}
@@ -100,8 +102,8 @@ type Qcluster struct {
 }
 
 // NewQcluster builds the baseline with the same parameters as NewMPQ.
-func NewQcluster(points []vec.Vector, queryImage, maxReps int, rng *rand.Rand) *Qcluster {
-	return &Qcluster{inner: *NewMPQ(points, queryImage, maxReps, rng)}
+func NewQcluster(st *store.FeatureStore, queryImage, maxReps int, rng *rand.Rand) *Qcluster {
+	return &Qcluster{inner: *NewMPQ(st, queryImage, maxReps, rng)}
 }
 
 // Name implements FeedbackRetriever.
@@ -110,10 +112,11 @@ func (q *Qcluster) Name() string { return "Qcluster" }
 // Search returns the top-k images under the min-over-representatives
 // disjunctive distance.
 func (q *Qcluster) Search(k int) []int {
-	return topK(len(q.inner.points), k, func(id int) float64 {
+	return topK(q.inner.st.Len(), k, func(id int) float64 {
 		best := -1.0
+		row := q.inner.st.At(id)
 		for _, rep := range q.inner.reps {
-			d := vec.SqL2(q.inner.points[id], rep)
+			d := vec.SqL2(row, rep)
 			if best < 0 || d < best {
 				best = d
 			}

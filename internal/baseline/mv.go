@@ -5,17 +5,18 @@ import (
 
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
 // Viewpoint is one of MV's query perspectives: a complete representation of
-// the database (its own vector table and optional dimension weights) plus the
-// viewpoint's current query point, which QPM-style feedback moves every
+// the database (its own feature store and optional dimension weights) plus
+// the viewpoint's current query point, which QPM-style feedback moves every
 // round.
 type Viewpoint struct {
 	Name    string
-	Vectors []vec.Vector // database representation under this viewpoint
-	Weights vec.Vector   // nil = unweighted Euclidean
+	Weights vec.Vector // nil = unweighted Euclidean
+	st      *store.FeatureStore
 	query   vec.Vector
 }
 
@@ -37,23 +38,23 @@ type MV struct {
 	relSet     map[int]bool
 }
 
-// NewMVChannels builds image-mode MV from per-channel corpus representations
-// (dataset.Corpus.ChannelVectors) and the initial query image. It returns an
-// error if a channel table is missing or sized inconsistently.
-func NewMVChannels(channels map[img.Channel][]vec.Vector, queryImage int) (*MV, error) {
+// NewMVChannels builds image-mode MV from per-channel corpus feature stores
+// (dataset.Corpus.ChannelStores) and the initial query image. It returns an
+// error if a channel store is missing or sized inconsistently.
+func NewMVChannels(channels map[img.Channel]*store.FeatureStore, queryImage int) (*MV, error) {
 	m := &MV{relSet: make(map[int]bool)}
 	for _, ch := range img.AllChannels {
-		vecs, ok := channels[ch]
-		if !ok {
+		st, ok := channels[ch]
+		if !ok || st == nil {
 			return nil, fmt.Errorf("baseline: missing channel %v", ch)
 		}
-		if queryImage < 0 || queryImage >= len(vecs) {
-			return nil, fmt.Errorf("baseline: query image %d outside corpus of %d", queryImage, len(vecs))
+		if queryImage < 0 || queryImage >= st.Len() {
+			return nil, fmt.Errorf("baseline: query image %d outside corpus of %d", queryImage, st.Len())
 		}
 		m.viewpoints = append(m.viewpoints, &Viewpoint{
-			Name:    ch.String(),
-			Vectors: vecs,
-			query:   vecs[queryImage].Clone(),
+			Name:  ch.String(),
+			st:    st,
+			query: st.At(queryImage).Clone(),
 		})
 	}
 	return m, nil
@@ -63,7 +64,7 @@ func NewMVChannels(channels map[img.Channel][]vec.Vector, queryImage int) (*MV, 
 // exist (synthetic vector corpora), the viewpoints are the three feature-
 // family subspaces plus the full space, following the subset-of-features
 // formulation of [5].
-func NewMVSubspaces(points []vec.Vector, queryImage int) *MV {
+func NewMVSubspaces(st *store.FeatureStore, queryImage int) *MV {
 	m := &MV{relSet: make(map[int]bool)}
 	families := []struct {
 		name string
@@ -74,19 +75,18 @@ func NewMVSubspaces(points []vec.Vector, queryImage int) *MV {
 		{"texture", feature.FamilyTexture.Mask()},
 		{"edge", feature.FamilyEdge.Mask()},
 	}
-	dim := len(points[queryImage])
 	for _, f := range families {
 		w := f.mask
-		if w != nil && len(w) != dim {
+		if w != nil && len(w) != st.Dim() {
 			// Non-37-d corpora (scalability sweeps) cannot use family masks;
 			// fall back to the full space for that viewpoint.
 			w = nil
 		}
 		m.viewpoints = append(m.viewpoints, &Viewpoint{
 			Name:    f.name,
-			Vectors: points,
 			Weights: w,
-			query:   points[queryImage].Clone(),
+			st:      st,
+			query:   st.At(queryImage).Clone(),
 		})
 	}
 	return m
@@ -111,16 +111,11 @@ func (m *MV) Search(k int) []int {
 		return nil
 	}
 	// Each viewpoint contributes its own top-k ranking; interleaving then
-	// needs at most k from each.
+	// needs at most k from each. Each ranking is a capped linear scan over
+	// the viewpoint's store.
 	rankings := make([][]int, len(m.viewpoints))
 	for i, v := range m.viewpoints {
-		dist := func(id int) float64 {
-			if v.Weights == nil {
-				return vec.SqL2(v.Vectors[id], v.query)
-			}
-			return vec.WeightedSqL2(v.Vectors[id], v.query, v.Weights)
-		}
-		rankings[i] = topK(len(v.Vectors), k, dist)
+		rankings[i] = scanTopK(v.st, k, v.query, v.Weights)
 	}
 	seen := make(map[int]bool, k)
 	out := make([]int, 0, k)
@@ -158,7 +153,7 @@ func (m *MV) Feedback(relevant []int) {
 		return
 	}
 	for _, v := range m.viewpoints {
-		pts := gatherPoints(v.Vectors, m.relevant)
+		pts := gatherPoints(v.st, m.relevant)
 		if len(pts) > 0 {
 			v.query = vec.Centroid(pts)
 		}

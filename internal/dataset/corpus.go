@@ -9,6 +9,7 @@ import (
 	"qdcbir/internal/feature"
 	"qdcbir/internal/img"
 	"qdcbir/internal/par"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -38,9 +39,57 @@ type Corpus struct {
 	// Extractor normalizes future raw extractions against this corpus.
 	Extractor *feature.Extractor
 
+	// store holds the corpus vectors in one contiguous backing array;
+	// Vectors aliases its rows as zero-copy views (see adoptStores). One
+	// more store exists per non-original MV channel; the original channel
+	// shares the main store, which is also what dedupes it out of archives.
+	store         *store.FeatureStore
+	channelStores map[img.Channel]*store.FeatureStore
+
 	bySubconcept map[string][]int
 	byCategory   map[string][]int
 }
+
+// adoptStores moves the corpus vector tables into flat feature stores and
+// rebinds the public slices to zero-copy views of the contiguous backing.
+// Every Build/Reassemble path ends here, so downstream consumers (RFS build,
+// baselines, persistence) can always scan contiguous memory. Rebinding also
+// restores the original-channel alias: even if ChannelVectors arrived with a
+// separately materialized original table (version-0 archives persisted the
+// duplicate), it leaves pointing at the main store.
+func (c *Corpus) adoptStores() {
+	c.store = store.FromVectors(c.Vectors)
+	c.Vectors = c.store.Views()
+	if c.ChannelVectors == nil {
+		return
+	}
+	c.channelStores = make(map[img.Channel]*store.FeatureStore, len(c.ChannelVectors))
+	for ch, vs := range c.ChannelVectors {
+		if ch == img.ChannelOriginal {
+			continue
+		}
+		st := store.FromVectors(vs)
+		c.channelStores[ch] = st
+		c.ChannelVectors[ch] = st.Views()
+	}
+	if _, ok := c.ChannelVectors[img.ChannelOriginal]; ok {
+		c.channelStores[img.ChannelOriginal] = c.store
+		c.ChannelVectors[img.ChannelOriginal] = c.Vectors
+	}
+}
+
+// Store returns the corpus's flat feature store (the main 37-d features, or
+// the raw vectors in vector mode), indexed by image ID.
+func (c *Corpus) Store() *store.FeatureStore { return c.store }
+
+// ChannelStore returns the flat feature store of one MV channel, or nil if
+// the corpus was built without channels. The original channel returns the
+// main store.
+func (c *Corpus) ChannelStore(ch img.Channel) *store.FeatureStore { return c.channelStores[ch] }
+
+// ChannelStores returns the per-channel store table (nil without channels).
+// The map must not be modified.
+func (c *Corpus) ChannelStores() map[img.Channel]*store.FeatureStore { return c.channelStores }
 
 // Options configures Build.
 type Options struct {
@@ -170,6 +219,7 @@ render:
 			c.ChannelVectors[ch] = vs
 		}
 	}
+	c.adoptStores()
 	return c, nil
 }
 
@@ -214,6 +264,7 @@ func BuildVectors(spec Spec, dim int, spread float64, seed int64) *Corpus {
 	if len(c.Vectors) == 0 {
 		panic("dataset: spec generates no images")
 	}
+	c.adoptStores()
 	return c
 }
 
@@ -235,6 +286,7 @@ func Reassemble(infos []Info, vectors []vec.Vector, channels map[img.Channel][]v
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	c.adoptStores()
 	return c, nil
 }
 

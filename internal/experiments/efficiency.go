@@ -122,7 +122,7 @@ func RunEfficiency(cfg Config, sizes []int, queries int) *EfficiencyReport {
 			// Traditional relevance feedback on the same intent: one global
 			// k-NN through the index per round.
 			var acc disk.Counter
-			tk := baseline.NewTreeKNN(sys.RFS.Tree(), sys.Corpus.Vectors,
+			tk := baseline.NewTreeKNN(sys.RFS.Tree(), sys.Corpus.Store(),
 				sys.Corpus.SubconceptIDs(q.Targets[0])[0], &acc)
 			gsim := user.New(q.Targets, sys.Corpus.SubconceptOf, rng)
 			for round := 0; round < 2; round++ {

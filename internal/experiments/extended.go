@@ -66,17 +66,17 @@ func RunExtended(sys *System) *ExtendedReport {
 			// Baselines share one QBE starting image and user model.
 			initial := pickInitialImage(sys.Corpus, q, rand.New(rand.NewSource(seed+2)))
 			var mv baseline.FeedbackRetriever
-			if m, err := baseline.NewMVChannels(sys.Corpus.ChannelVectors, initial); err == nil {
+			if m, err := baseline.NewMVChannels(sys.Corpus.ChannelStores(), initial); err == nil {
 				mv = m
 			} else {
-				mv = baseline.NewMVSubspaces(sys.Corpus.Vectors, initial)
+				mv = baseline.NewMVSubspaces(sys.Corpus.Store(), initial)
 			}
 			retrievers := map[string]baseline.FeedbackRetriever{
 				"MV":       mv,
-				"QPM":      baseline.NewQPM(sys.Corpus.Vectors, initial),
-				"MPQ":      baseline.NewMPQ(sys.Corpus.Vectors, initial, 5, rand.New(rand.NewSource(seed+3))),
-				"Qcluster": baseline.NewQcluster(sys.Corpus.Vectors, initial, 5, rand.New(rand.NewSource(seed+3))),
-				"kNN":      baseline.NewPlainKNN(sys.Corpus.Vectors, initial),
+				"QPM":      baseline.NewQPM(sys.Corpus.Store(), initial),
+				"MPQ":      baseline.NewMPQ(sys.Corpus.Store(), initial, 5, rand.New(rand.NewSource(seed+3))),
+				"Qcluster": baseline.NewQcluster(sys.Corpus.Store(), initial, 5, rand.New(rand.NewSource(seed+3))),
+				"kNN":      baseline.NewPlainKNN(sys.Corpus.Store(), initial),
 			}
 			for name, r := range retrievers {
 				sim := simFor(sys, q, seed+4)

@@ -77,9 +77,9 @@ func RunQualitative(sys *System) *QualitativeReport {
 		// --- MV ---
 		sim := simFor(sys, q, seed+1)
 		initial := pickInitialImage(sys.Corpus, q, rand.New(rand.NewSource(seed+2)))
-		mv, err := baseline.NewMVChannels(sys.Corpus.ChannelVectors, initial)
+		mv, err := baseline.NewMVChannels(sys.Corpus.ChannelStores(), initial)
 		if err != nil {
-			mv = baseline.NewMVSubspaces(sys.Corpus.Vectors, initial)
+			mv = baseline.NewMVSubspaces(sys.Corpus.Store(), initial)
 		}
 		var ids []int
 		for r := 0; r < sys.Cfg.Rounds; r++ {

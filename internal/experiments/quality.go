@@ -104,10 +104,10 @@ func RunQuality(sys *System) *QualityReport {
 			// --- MV session on the same corpus and intent ---
 			sim := simFor(sys, q, seed+1)
 			initial := pickInitialImage(sys.Corpus, q, rand.New(rand.NewSource(seed+2)))
-			mv, err := baseline.NewMVChannels(sys.Corpus.ChannelVectors, initial)
+			mv, err := baseline.NewMVChannels(sys.Corpus.ChannelStores(), initial)
 			if err != nil {
 				// Vector-mode corpus: fall back to subspace viewpoints.
-				mv = baseline.NewMVSubspaces(sys.Corpus.Vectors, initial)
+				mv = baseline.NewMVSubspaces(sys.Corpus.Store(), initial)
 			}
 			var lastIDs []int
 			for r := 0; r < cfg.Rounds; r++ {

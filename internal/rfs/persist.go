@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"qdcbir/internal/disk"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
 )
@@ -51,34 +50,8 @@ func FromSnapshot(snap *Snapshot) (*Structure, error) {
 		points: snap.Points,
 	}
 	s.index()
-	s.reps = make(map[disk.PageID][]rstar.ItemID)
-	s.repIsSet = make(map[rstar.ItemID]bool)
-	i := 0
-	var walkErr error
-	tree.Walk(func(n *rstar.Node, _ int) {
-		if walkErr != nil {
-			return
-		}
-		if i >= len(snap.RepsPreorder) {
-			walkErr = fmt.Errorf("rfs: snapshot has %d rep lists for more nodes", len(snap.RepsPreorder))
-			return
-		}
-		s.reps[n.ID()] = snap.RepsPreorder[i]
-		if n.IsLeaf() {
-			for _, id := range snap.RepsPreorder[i] {
-				if !s.repIsSet[id] {
-					s.repIsSet[id] = true
-					s.allReps = append(s.allReps, id)
-				}
-			}
-		}
-		i++
-	})
-	if walkErr != nil {
-		return nil, walkErr
-	}
-	if i != len(snap.RepsPreorder) {
-		return nil, fmt.Errorf("rfs: snapshot has %d rep lists for %d nodes", len(snap.RepsPreorder), i)
+	if err := s.attachReps(snap.RepsPreorder); err != nil {
+		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,67 @@
+package rstar
+
+// This file maintains the tree-owned flat point slab: one contiguous,
+// dimension-strided []float64 holding every indexed point in depth-first
+// leaf order. Each leaf's items alias their rows (zero-copy vec.Vector
+// views), and the leaf's block field exposes its row range so k-NN can score
+// a whole leaf with one vec.SquaredDistsTo call. The slab also collapses the
+// tree's point storage from one heap allocation per item to one per tree.
+
+// packBlocks (re)builds the slab from the current leaves. Item points are
+// copied into the slab and the items re-aimed at their rows, so whatever
+// memory the points previously referenced is released and callers' input
+// slices are never retained.
+func (t *Tree) packBlocks() {
+	if t.size == 0 {
+		t.blocksOK = false
+		return
+	}
+	slab := make([]float64, t.size*t.dim)
+	off := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			start := off
+			for i := range n.items {
+				row := slab[off : off+t.dim : off+t.dim]
+				copy(row, n.items[i].Point)
+				n.items[i].Point = row
+				off += t.dim
+			}
+			n.block = slab[start:off:off]
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	t.blocksOK = true
+}
+
+// invalidateBlocks drops the leaf-block acceleration before a structural
+// mutation. Item points keep aliasing the old slab (values stay valid; the
+// slab is only garbage once every item has migrated elsewhere), but the
+// per-leaf row correspondence is gone, so searches revert to per-item
+// scoring.
+func (t *Tree) invalidateBlocks() {
+	if !t.blocksOK {
+		return
+	}
+	t.blocksOK = false
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			n.block = nil
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// BlocksPacked reports whether the leaf-block acceleration is active
+// (exported for tests and diagnostics).
+func (t *Tree) BlocksPacked() bool { return t.blocksOK }

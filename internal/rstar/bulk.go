@@ -53,10 +53,11 @@ func BulkLoadCtx(ctx context.Context, dim int, cfg Config, items []Item, targetF
 		}
 	}
 
+	// The working copy shares the callers' point slices read-only; packBlocks
+	// below copies every point into the tree-owned slab, so the finished tree
+	// retains no caller memory and callers may reuse their slices.
 	own := make([]Item, len(items))
-	for i, it := range items {
-		own[i] = Item{ID: it.ID, Point: it.Point.Clone()}
-	}
+	copy(own, items)
 
 	chunks, err := tileItems(ctx, own, dim, targetFill, 0, par.N(parallelism))
 	if err != nil {
@@ -76,6 +77,7 @@ func BulkLoadCtx(ctx context.Context, dim int, cfg Config, items []Item, targetF
 	}
 	t.root = level[0]
 	t.size = len(items)
+	t.packBlocks()
 	return t, nil
 }
 

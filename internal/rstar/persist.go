@@ -1,6 +1,10 @@
 package rstar
 
-import "fmt"
+import (
+	"fmt"
+
+	"qdcbir/internal/vec"
+)
 
 // NodeSnapshot is the serializable form of one tree node. All fields are
 // exported for encoding/gob.
@@ -99,5 +103,111 @@ func FromSnapshot(s *TreeSnapshot) (*Tree, error) {
 	if err := t.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("rstar: snapshot violates invariants: %w", err)
 	}
+	t.packBlocks()
+	return t, nil
+}
+
+// TopologyNode is the point-free serializable form of one node: leaves carry
+// item IDs only. Together with an external point source (the flat feature
+// store) it reconstructs the tree without duplicating any vector data in the
+// archive.
+type TopologyNode struct {
+	Leaf     bool
+	IDs      []ItemID
+	Children []*TopologyNode
+}
+
+// Topology is the point-free serializable form of a whole tree.
+type Topology struct {
+	Dim      int
+	Cfg      Config
+	FromBulk bool
+	Root     *TopologyNode
+}
+
+// Topology captures the tree's structure without point payloads.
+func (t *Tree) Topology() *Topology {
+	var snap func(n *Node) *TopologyNode
+	snap = func(n *Node) *TopologyNode {
+		s := &TopologyNode{Leaf: n.leaf}
+		if n.leaf {
+			s.IDs = make([]ItemID, len(n.items))
+			for i, it := range n.items {
+				s.IDs[i] = it.ID
+			}
+			return s
+		}
+		for _, c := range n.children {
+			s.Children = append(s.Children, snap(c))
+		}
+		return s
+	}
+	return &Topology{Dim: t.dim, Cfg: t.cfg, FromBulk: t.fromBulk, Root: snap(t.root)}
+}
+
+// FromTopology reconstructs a tree from a point-free topology, resolving
+// each item ID through pointOf (typically store.FeatureStore.At). Like
+// FromSnapshot it reassigns page IDs in pre-order and recomputes MBRs, sizes,
+// and heights, so a topology restore of a tree is byte-identical to a
+// snapshot restore of the same tree. Points are copied into the tree-owned
+// slab by block packing, so the tree retains no pointOf memory.
+func FromTopology(topo *Topology, pointOf func(ItemID) vec.Vector) (*Tree, error) {
+	if topo == nil || topo.Root == nil {
+		return nil, fmt.Errorf("rstar: nil topology")
+	}
+	if topo.Dim <= 0 {
+		return nil, fmt.Errorf("rstar: topology dim %d", topo.Dim)
+	}
+	t := &Tree{dim: topo.Dim, cfg: topo.Cfg.withDefaults(), fromBulk: topo.FromBulk}
+
+	maxDepth := 0
+	var build func(sn *TopologyNode, parent *Node, depth int) (*Node, error)
+	build = func(sn *TopologyNode, parent *Node, depth int) (*Node, error) {
+		n := t.newNode(sn.Leaf)
+		n.parent = parent
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if sn.Leaf {
+			if len(sn.Children) != 0 {
+				return nil, fmt.Errorf("rstar: leaf topology with children")
+			}
+			n.items = make([]Item, len(sn.IDs))
+			for i, id := range sn.IDs {
+				p := pointOf(id)
+				if len(p) != t.dim {
+					return nil, fmt.Errorf("rstar: item %d dim %d != %d", id, len(p), t.dim)
+				}
+				n.items[i] = Item{ID: id, Point: p}
+				t.size++
+			}
+		} else {
+			if len(sn.IDs) != 0 {
+				return nil, fmt.Errorf("rstar: internal topology with items")
+			}
+			if len(sn.Children) == 0 {
+				return nil, fmt.Errorf("rstar: internal topology with no children")
+			}
+			for _, cs := range sn.Children {
+				c, err := build(cs, n, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				n.children = append(n.children, c)
+			}
+		}
+		n.rect = nodeMBR(n)
+		return n, nil
+	}
+	root, err := build(topo.Root, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = maxDepth + 1
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("rstar: topology violates invariants: %w", err)
+	}
+	t.packBlocks()
 	return t, nil
 }

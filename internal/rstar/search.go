@@ -1,10 +1,9 @@
 package rstar
 
 import (
-	"container/heap"
 	"context"
 	"math"
-	"sort"
+	"sync"
 
 	"qdcbir/internal/disk"
 	"qdcbir/internal/vec"
@@ -53,18 +52,72 @@ type pqEntry struct {
 	item   Item
 }
 
+// searchPQ is a binary min-heap of pqEntry ordered by distSq. It reproduces
+// container/heap's sift algorithms exactly — push is append+up(n-1), pop
+// swaps the root with the last element, sifts down over n-1, and removes the
+// tail — with the same strict < comparator the previous heap.Interface
+// implementation used. Identical swap sequences mean identical array layouts
+// and therefore an identical pop order among equal-distance entries, which
+// keeps retrieval output byte-for-byte stable; the rewrite only removes the
+// interface{} boxing that allocated on every push.
 type searchPQ []pqEntry
 
-func (p searchPQ) Len() int            { return len(p) }
-func (p searchPQ) Less(i, j int) bool  { return p[i].distSq < p[j].distSq }
-func (p searchPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *searchPQ) Push(x interface{}) { *p = append(*p, x.(pqEntry)) }
-func (p *searchPQ) Pop() interface{} {
-	old := *p
-	n := len(old)
-	e := old[n-1]
-	*p = old[:n-1]
+func (p *searchPQ) push(e pqEntry) {
+	*p = append(*p, e)
+	h := *p
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(h[j].distSq < h[i].distSq) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (p *searchPQ) pop() pqEntry {
+	h := *p
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].distSq < h[j1].distSq {
+			j = j2
+		}
+		if !(h[j].distSq < h[i].distSq) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	*p = h[:n]
 	return e
+}
+
+// searchScratch holds the per-search working memory — the priority queue and
+// the batch-kernel output buffer — pooled across searches so a steady-state
+// query allocates nothing inside the hot loop (the returned results slice is
+// the one allocation per search).
+type searchScratch struct {
+	pq    searchPQ
+	dists []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(searchScratch) }}
+
+// leafDists returns the buffer for one leaf's batch distances.
+func (sc *searchScratch) leafDists(n int) []float64 {
+	if cap(sc.dists) < n {
+		sc.dists = make([]float64, n)
+	}
+	return sc.dists[:n]
 }
 
 // KNN returns the k nearest items to q in the whole tree, ordered by
@@ -104,16 +157,18 @@ func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int
 	if acc == nil {
 		acc = disk.Nop{}
 	}
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
 	var pops, nodes, items uint64
-	pq := &searchPQ{{distSq: n.rect.MinDistSq(q), node: n}}
+	sc.pq = append(sc.pq[:0], pqEntry{distSq: n.rect.MinDistSq(q), node: n})
 	results := make([]Neighbor, 0, k)
-	for steps := 0; pq.Len() > 0; steps++ {
+	for steps := 0; len(sc.pq) > 0; steps++ {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		e := heap.Pop(pq).(pqEntry)
+		e := sc.pq.pop()
 		pops++
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
@@ -132,13 +187,25 @@ func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int
 		nodes++
 		if e.node.leaf {
 			items += uint64(len(e.node.items))
-			for _, it := range e.node.items {
-				heap.Push(pq, pqEntry{distSq: vec.SqL2(q, it.Point), item: it})
+			if t.blocksOK && e.node.block != nil {
+				// One batch kernel call scores the whole leaf off its
+				// contiguous block; the kernel preserves the scalar
+				// accumulation order, so each distSq is bit-identical to the
+				// per-item SqL2 below.
+				d := sc.leafDists(len(e.node.items))
+				vec.SquaredDistsTo(q, e.node.block, d)
+				for i, it := range e.node.items {
+					sc.pq.push(pqEntry{distSq: d[i], item: it})
+				}
+			} else {
+				for _, it := range e.node.items {
+					sc.pq.push(pqEntry{distSq: vec.SqL2(q, it.Point), item: it})
+				}
 			}
 			continue
 		}
 		for _, c := range e.node.children {
-			heap.Push(pq, pqEntry{distSq: c.rect.MinDistSq(q), node: c})
+			sc.pq.push(pqEntry{distSq: c.rect.MinDistSq(q), node: c})
 		}
 	}
 	stabilize(results)
@@ -189,16 +256,18 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 		}
 		return s
 	}
+	sc := scratchPool.Get().(*searchScratch)
+	defer scratchPool.Put(sc)
 	var pops, nodes, items uint64
-	pq := &searchPQ{{distSq: minDistSqW(n.rect), node: n}}
+	sc.pq = append(sc.pq[:0], pqEntry{distSq: minDistSqW(n.rect), node: n})
 	results := make([]Neighbor, 0, k)
-	for steps := 0; pq.Len() > 0; steps++ {
+	for steps := 0; len(sc.pq) > 0; steps++ {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		e := heap.Pop(pq).(pqEntry)
+		e := sc.pq.pop()
 		pops++
 		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
 			break
@@ -215,13 +284,21 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 		nodes++
 		if e.node.leaf {
 			items += uint64(len(e.node.items))
-			for _, it := range e.node.items {
-				heap.Push(pq, pqEntry{distSq: vec.WeightedSqL2(q, it.Point, weights), item: it})
+			if t.blocksOK && e.node.block != nil {
+				d := sc.leafDists(len(e.node.items))
+				vec.WeightedSquaredDistsTo(q, weights, e.node.block, d)
+				for i, it := range e.node.items {
+					sc.pq.push(pqEntry{distSq: d[i], item: it})
+				}
+			} else {
+				for _, it := range e.node.items {
+					sc.pq.push(pqEntry{distSq: vec.WeightedSqL2(q, it.Point, weights), item: it})
+				}
 			}
 			continue
 		}
 		for _, c := range e.node.children {
-			heap.Push(pq, pqEntry{distSq: minDistSqW(c.rect), node: c})
+			sc.pq.push(pqEntry{distSq: minDistSqW(c.rect), node: c})
 		}
 	}
 	stabilize(results)
@@ -229,14 +306,25 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 	return results, nil
 }
 
-// stabilize enforces a deterministic order on equal-distance neighbours.
+// stabilize enforces a deterministic order on equal-distance neighbours:
+// ascending (Dist, ID). IDs are unique within a tree, so the order is total
+// and this stable insertion sort yields the same permutation the previous
+// sort.SliceStable call did — without allocating a closure. The input
+// arrives nearly sorted (candidates pop in ascending distance order), so the
+// pass is effectively linear.
 func stabilize(ns []Neighbor) {
-	sort.SliceStable(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && neighborLess(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
 		}
-		return ns[i].ID < ns[j].ID
-	})
+	}
+}
+
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
 }
 
 // Search returns all items whose points fall inside r, in no particular

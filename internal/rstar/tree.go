@@ -29,6 +29,11 @@ type Node struct {
 	parent   *Node
 	children []*Node // populated iff !leaf
 	items    []Item  // populated iff leaf
+	// block is the leaf's contiguous dimension-strided copy of its item
+	// points, a subrange of the tree-owned slab built by packBlocks. Valid
+	// only while Tree.blocksOK holds; k-NN scores a whole leaf with one
+	// batch kernel call through it.
+	block []float64
 }
 
 // ID returns the node's simulated page ID.
@@ -118,6 +123,12 @@ type Tree struct {
 	// fromBulk marks trees built by BulkLoad; STR packing may leave one
 	// under-filled node per level, which CheckInvariants then tolerates.
 	fromBulk bool
+	// blocksOK reports that every leaf's block mirrors its items. Bulk load
+	// and snapshot restore establish it; Insert and Delete clear it globally,
+	// because splits and forced reinsertion move items across leaves and
+	// reorder them in place, breaking the row correspondence. Searches fall
+	// back to per-item scoring while it is false.
+	blocksOK bool
 }
 
 // New returns an empty tree for points of the given dimensionality.
@@ -184,6 +195,7 @@ func (t *Tree) Insert(id ItemID, p vec.Vector) {
 	if len(p) != t.dim {
 		panic(fmt.Sprintf("rstar: insert dim %d into %d-d tree", len(p), t.dim))
 	}
+	t.invalidateBlocks()
 	item := Item{ID: id, Point: p.Clone()}
 	// reinserted tracks which levels already used forced reinsertion during
 	// this insertion (R* OverflowTreatment is invoked at most once per level).
@@ -522,6 +534,7 @@ func (t *Tree) Delete(id ItemID, p vec.Vector) bool {
 	if leaf == nil {
 		return false
 	}
+	t.invalidateBlocks()
 	for i, it := range leaf.items {
 		if it.ID == id && it.Point.Equal(p) {
 			leaf.items = append(leaf.items[:i], leaf.items[i+1:]...)

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/vec"
+)
+
+func randVectors(rng *rand.Rand, n, dim int) []vec.Vector {
+	vs := make([]vec.Vector, n)
+	for i := range vs {
+		vs[i] = make(vec.Vector, dim)
+		for j := range vs[i] {
+			vs[i][j] = rng.NormFloat64()
+		}
+	}
+	return vs
+}
+
+func TestFromVectorsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vs := randVectors(rng, 17, 5)
+	s := FromVectors(vs)
+	if s.Len() != 17 || s.Dim() != 5 {
+		t.Fatalf("shape %d x %d", s.Len(), s.Dim())
+	}
+	for i, v := range vs {
+		if !s.At(i).Equal(v) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	views := s.Views()
+	for i := range views {
+		if &views[i][0] != &s.At(i)[0] {
+			t.Fatalf("view %d is not zero-copy", i)
+		}
+	}
+}
+
+func TestViewsAreCappedAtRowBoundary(t *testing.T) {
+	s := FromVectors(randVectors(rand.New(rand.NewSource(2)), 4, 3))
+	v := s.At(1)
+	if cap(v) != 3 {
+		t.Fatalf("view cap %d, want 3", cap(v))
+	}
+	grown := append(v, 99) // must reallocate, not clobber row 2
+	if s.At(2)[0] == 99 {
+		t.Fatal("append through a view corrupted the next row")
+	}
+	_ = grown
+}
+
+func TestFromBacking(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	s, err := FromBacking(3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || !s.At(1).Equal(vec.Vector{4, 5, 6}) {
+		t.Fatalf("bad rows: %v", s.At(1))
+	}
+	if &s.Backing()[0] != &data[0] {
+		t.Fatal("FromBacking copied")
+	}
+	if _, err := FromBacking(4, data); err == nil {
+		t.Fatal("accepted length not a multiple of dim")
+	}
+	empty, err := FromBacking(0, nil)
+	if err != nil || empty.Len() != 0 || empty.Dim() != 0 {
+		t.Fatalf("empty store: %v %d %d", err, empty.Len(), empty.Dim())
+	}
+}
+
+func TestBlockAndBatchScoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vs := randVectors(rng, 23, 7)
+	s := FromVectors(vs)
+	q := randVectors(rng, 1, 7)[0]
+	out := make([]float64, 9)
+	s.SquaredDistsTo(q, 5, 14, out)
+	for i := 0; i < 9; i++ {
+		want := vec.SqL2(q, vs[5+i])
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v want %v", 5+i, out[i], want)
+		}
+	}
+	if got := len(s.Block(5, 14)); got != 9*7 {
+		t.Fatalf("block length %d", got)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := FromVectors(nil)
+	if s.Len() != 0 || s.Dim() != 0 || len(s.Views()) != 0 {
+		t.Fatal("empty store misbehaved")
+	}
+}

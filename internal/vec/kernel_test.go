@@ -1,0 +1,378 @@
+package vec
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomVector draws components from a mix of regimes: ordinary values,
+// tiny/huge magnitudes, and (when special is true) NaN and ±Inf, so the
+// bit-identity property is exercised where floating point is least forgiving.
+func randomVector(rng *rand.Rand, dim int, special bool) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		switch rng.Intn(10) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = rng.NormFloat64() * 1e154 // squares overflow to +Inf
+		case 2:
+			v[i] = rng.NormFloat64() * 1e-154
+		case 3:
+			if special {
+				switch rng.Intn(3) {
+				case 0:
+					v[i] = math.NaN()
+				case 1:
+					v[i] = math.Inf(1)
+				default:
+					v[i] = math.Inf(-1)
+				}
+			} else {
+				v[i] = rng.NormFloat64()
+			}
+		default:
+			v[i] = rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestSquaredDistsToMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for dim := 1; dim <= 64; dim++ {
+		for trial := 0; trial < 20; trial++ {
+			special := trial%4 == 3
+			q := randomVector(rng, dim, special)
+			n := rng.Intn(9)
+			block := make([]float64, 0, n*dim)
+			rows := make([]Vector, n)
+			for r := 0; r < n; r++ {
+				rows[r] = randomVector(rng, dim, special)
+				block = append(block, rows[r]...)
+			}
+			out := make([]float64, n)
+			SquaredDistsTo(q, block, out)
+			for r := 0; r < n; r++ {
+				if want := SqL2(q, rows[r]); !sameBits(out[r], want) {
+					t.Fatalf("dim %d row %d: batch %x scalar %x",
+						dim, r, math.Float64bits(out[r]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedSquaredDistsToMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for dim := 1; dim <= 64; dim++ {
+		for trial := 0; trial < 20; trial++ {
+			special := trial%4 == 3
+			q := randomVector(rng, dim, special)
+			w := make(Vector, dim)
+			for i := range w {
+				w[i] = math.Abs(rng.NormFloat64())
+			}
+			n := 1 + rng.Intn(8)
+			block := make([]float64, 0, n*dim)
+			rows := make([]Vector, n)
+			for r := 0; r < n; r++ {
+				rows[r] = randomVector(rng, dim, special)
+				block = append(block, rows[r]...)
+			}
+			out := make([]float64, n)
+			WeightedSquaredDistsTo(q, w, block, out)
+			for r := 0; r < n; r++ {
+				if want := WeightedSqL2(q, rows[r], w); !sameBits(out[r], want) {
+					t.Fatalf("dim %d row %d: batch %x scalar %x",
+						dim, r, math.Float64bits(out[r]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// checkCapped asserts the SquaredDistCapped contract against the scalar
+// reference for one (q, v, limit) triple: below-limit equivalence, and
+// bit-identity whenever the capped result is below the limit.
+func checkCapped(t *testing.T, q, v Vector, limit float64) {
+	t.Helper()
+	exact := SqL2(q, v)
+	got := SquaredDistCapped(q, v, limit)
+	if (got < limit) != (exact < limit) {
+		t.Fatalf("capped decision diverged: got %v exact %v limit %v", got, exact, limit)
+	}
+	if got < limit && !sameBits(got, exact) {
+		t.Fatalf("admitted capped value not exact: got %x exact %x limit %v",
+			math.Float64bits(got), math.Float64bits(exact), limit)
+	}
+}
+
+func checkWeightedCapped(t *testing.T, q, v, w Vector, limit float64) {
+	t.Helper()
+	exact := WeightedSqL2(q, v, w)
+	got := WeightedSquaredDistCapped(q, v, w, limit)
+	if (got < limit) != (exact < limit) {
+		t.Fatalf("weighted capped decision diverged: got %v exact %v limit %v", got, exact, limit)
+	}
+	if got < limit && !sameBits(got, exact) {
+		t.Fatalf("admitted weighted capped value not exact: got %x exact %x limit %v",
+			math.Float64bits(got), math.Float64bits(exact), limit)
+	}
+}
+
+func TestSquaredDistCappedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for dim := 1; dim <= 64; dim++ {
+		for trial := 0; trial < 30; trial++ {
+			special := trial%4 == 3
+			q := randomVector(rng, dim, special)
+			v := randomVector(rng, dim, special)
+			exact := SqL2(q, v)
+			limits := []float64{
+				0, exact, // the boundary itself: exact < exact must be false both ways
+				math.Nextafter(exact, math.Inf(1)), // just above: admits exactly
+				exact / 2, exact * 2,
+				rng.Float64() * float64(dim) * 4,
+				math.Inf(1), math.Inf(-1), math.NaN(),
+			}
+			for _, limit := range limits {
+				checkCapped(t, q, v, limit)
+			}
+		}
+	}
+}
+
+func TestWeightedSquaredDistCappedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for dim := 1; dim <= 64; dim++ {
+		for trial := 0; trial < 30; trial++ {
+			special := trial%4 == 3
+			q := randomVector(rng, dim, special)
+			v := randomVector(rng, dim, special)
+			w := make(Vector, dim)
+			for i := range w {
+				w[i] = math.Abs(rng.NormFloat64())
+				if rng.Intn(8) == 0 {
+					w[i] = 0
+				}
+			}
+			exact := WeightedSqL2(q, v, w)
+			limits := []float64{
+				0, exact,
+				math.Nextafter(exact, math.Inf(1)),
+				exact / 2, exact * 2,
+				math.Inf(1), math.NaN(),
+			}
+			for _, limit := range limits {
+				checkWeightedCapped(t, q, v, w, limit)
+			}
+		}
+	}
+}
+
+// refHeap is the container/heap max-heap selector the baselines used before
+// TopK; TopK must reproduce its retained set exactly, ties included.
+type refEntry struct {
+	dist float64
+	id   int
+}
+type refHeap []refEntry
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEntry)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func refTopK(k int, dists []float64) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make(refHeap, 0, k)
+	for id, d := range dists {
+		if len(h) < k {
+			heap.Push(&h, refEntry{dist: d, id: id})
+			continue
+		}
+		if d < h[0].dist {
+			h[0] = refEntry{dist: d, id: id}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]refEntry, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]int, len(out))
+	for i, e := range out {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+func TestTopKMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(30)
+		dists := make([]float64, n)
+		hasNaN := false
+		for i := range dists {
+			// Few distinct values force heavy ties: the regime where heap
+			// tie behaviour could diverge.
+			dists[i] = float64(rng.Intn(5))
+			if rng.Intn(20) == 0 {
+				dists[i] = math.NaN()
+				hasNaN = true
+			}
+		}
+		want := refTopK(k, dists)
+		sel := NewTopK(k)
+		for id, d := range dists {
+			sel.Add(d, id)
+		}
+		got := sel.AppendIDs(nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d want %d", trial, len(got), len(want))
+		}
+		if hasNaN {
+			// NaN distances admit no total order, so the reference's
+			// sort.Slice permutation is algorithm-defined; only the retained
+			// set is contractual there.
+			gs, ws := append([]int{}, got...), append([]int{}, want...)
+			sort.Ints(gs)
+			sort.Ints(ws)
+			got, want = gs, ws
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): pos %d got %d want %d\ngot  %v\nwant %v",
+					trial, n, k, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+func TestTopKThresholdAdmission(t *testing.T) {
+	sel := NewTopK(2)
+	if thr := sel.Threshold(); !math.IsInf(thr, 1) {
+		t.Fatalf("empty threshold %v", thr)
+	}
+	sel.Add(4, 0)
+	sel.Add(1, 1)
+	if thr := sel.Threshold(); thr != 4 {
+		t.Fatalf("threshold %v want 4", thr)
+	}
+	sel.Add(4, 2) // not strictly below: rejected, like the heap's d < h[0]
+	sel.Add(3, 3)
+	if thr := sel.Threshold(); thr != 3 {
+		t.Fatalf("threshold %v want 3", thr)
+	}
+	got := sel.AppendIDs(nil)
+	want := []int{1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// bytesToVector reinterprets fuzz bytes as float64 components, keeping
+// whatever NaN/Inf/denormal patterns the fuzzer discovers.
+func bytesToVector(b []byte, dim int) Vector {
+	v := make(Vector, dim)
+	for i := 0; i < dim; i++ {
+		var bits uint64
+		for j := 0; j < 8; j++ {
+			idx := (i*8 + j) % len(b)
+			bits = bits<<8 | uint64(b[idx])
+		}
+		v[i] = math.Float64frombits(bits)
+	}
+	return v
+}
+
+func FuzzSquaredDistCapped(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(4), math.Pi)
+	f.Add([]byte{0xff, 0xf8, 0, 0, 0, 0, 0, 1}, uint8(1), 0.0) // NaN component
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0}, uint8(7), 1.0) // +Inf component
+	f.Fuzz(func(t *testing.T, raw []byte, dim uint8, limit float64) {
+		d := int(dim%64) + 1
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		q := bytesToVector(raw, d)
+		v := bytesToVector(append([]byte{0xa5}, raw...), d)
+		checkCapped(t, q, v, limit)
+		checkCapped(t, q, v, SqL2(q, v))
+		w := make(Vector, d)
+		for i := range w {
+			w[i] = math.Abs(q[i])
+			if math.IsNaN(w[i]) {
+				w[i] = 1
+			}
+		}
+		checkWeightedCapped(t, q, v, w, limit)
+	})
+}
+
+func FuzzSquaredDistsTo(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(3), uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, dim, rows uint8) {
+		d := int(dim%32) + 1
+		n := int(rows % 8)
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		q := bytesToVector(raw, d)
+		block := make([]float64, n*d)
+		for i := range block {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(raw[(i*8+j+3)%len(raw)])
+			}
+			block[i] = math.Float64frombits(bits)
+		}
+		out := make([]float64, n)
+		SquaredDistsTo(q, block, out)
+		for r := 0; r < n; r++ {
+			row := Vector(block[r*d : (r+1)*d])
+			if want := SqL2(q, row); !sameBits(out[r], want) {
+				t.Fatalf("row %d: %x vs %x", r, math.Float64bits(out[r]), math.Float64bits(want))
+			}
+		}
+	})
+}
+
+func TestTopKReset(t *testing.T) {
+	sel := NewTopK(3)
+	for i := 0; i < 10; i++ {
+		sel.Add(float64(10-i), i)
+	}
+	first := sel.AppendIDs(nil)
+	sel.Reset(2)
+	sel.Add(5, 7)
+	sel.Add(1, 2)
+	second := sel.AppendIDs(nil)
+	if len(first) != 3 || len(second) != 2 || second[0] != 2 || second[1] != 7 {
+		t.Fatalf("reset misbehaved: %v then %v", first, second)
+	}
+}

@@ -1,6 +1,8 @@
 package qdcbir
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -11,13 +13,22 @@ import (
 	"qdcbir/internal/img"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
-// archive is the gob wire format for a whole System. Rendered images are not
-// persisted (they are cheap to regenerate and only needed at build time);
-// channel vectors are kept when present so a reloaded system can still run
-// the MV baseline.
+// archiveMagic prefixes version-1 archives. The first byte (0xD1) can never
+// begin a gob stream — gob encodes the leading message length as a varint
+// whose first byte is either a small count (0x00..0x7F) or a length-of-length
+// marker (0xF8..0xFF) — so the magic unambiguously separates v1 archives from
+// the header-less version-0 gob archives Load still accepts.
+var archiveMagic = [4]byte{0xD1, 'Q', 'D', 0x01}
+
+// archive is the version-0 gob wire format for a whole System, kept so
+// archives written before the flat feature store still load. It stores every
+// corpus vector twice (once in the RFS snapshot's point table, once inside
+// the tree's leaf items) and the original colour channel a third time inside
+// ChannelVectors.
 type archive struct {
 	Cfg            Config
 	Infos          []dataset.Info
@@ -27,19 +38,52 @@ type archive struct {
 	NormMax        vec.Vector
 }
 
-// Save persists the system to w. The corpus vectors travel inside the RFS
-// snapshot; ground truth, configuration, and the feature normalizer travel
-// alongside, so a Load-ed system answers queries identically.
+// archiveV1 is the current wire format: the corpus feature vectors travel
+// once, as the flat store's backing array, and the RFS hierarchy travels
+// point-free (leaf item IDs only). Channels holds the backing arrays of the
+// derived colour channels; the original channel is the main Points array and
+// is re-aliased on load rather than stored again.
+type archiveV1 struct {
+	Cfg         Config
+	Infos       []dataset.Info
+	Dim         int
+	Points      []float64
+	HasChannels bool
+	Channels    map[img.Channel][]float64
+	RFS         *rfs.TopologySnapshot
+	NormMin     vec.Vector // extractor state (min-max normalizer)
+	NormMax     vec.Vector
+}
+
+// Save persists the system to w in the version-1 format: a 4-byte magic
+// header followed by the gob-encoded archiveV1. Ground truth, configuration,
+// and the feature normalizer travel alongside the store backing and the
+// point-free RFS topology, so a Load-ed system answers queries identically.
 func (s *System) Save(w io.Writer) error {
-	a := archive{
-		Cfg:            s.cfg,
-		Infos:          s.corpus.Infos,
-		RFS:            s.rfs.Snapshot(),
-		ChannelVectors: s.corpus.ChannelVectors,
+	st := s.corpus.Store()
+	a := archiveV1{
+		Cfg:         s.cfg,
+		Infos:       s.corpus.Infos,
+		Dim:         st.Dim(),
+		Points:      st.Backing(),
+		HasChannels: s.corpus.ChannelVectors != nil,
+		RFS:         s.rfs.TopologySnapshot(),
+	}
+	for ch, cst := range s.corpus.ChannelStores() {
+		if ch == img.ChannelOriginal {
+			continue // aliases the main store; re-aliased on load
+		}
+		if a.Channels == nil {
+			a.Channels = make(map[img.Channel][]float64)
+		}
+		a.Channels[ch] = cst.Backing()
 	}
 	if s.corpus.Extractor != nil {
 		min, max := s.corpus.Extractor.NormalizerBounds()
 		a.NormMin, a.NormMax = min, max
+	}
+	if _, err := w.Write(archiveMagic[:]); err != nil {
+		return fmt.Errorf("qdcbir: write header: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&a); err != nil {
 		return fmt.Errorf("qdcbir: encode: %w", err)
@@ -60,8 +104,66 @@ func (s *System) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reconstructs a system persisted by Save.
+// Load reconstructs a system persisted by Save. Both the current version-1
+// format and header-less version-0 gob archives are accepted; the format is
+// detected from the first bytes of the stream.
 func Load(r io.Reader) (*System, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(archiveMagic))
+	if err == nil && bytes.Equal(head, archiveMagic[:]) {
+		if _, err := br.Discard(len(archiveMagic)); err != nil {
+			return nil, fmt.Errorf("qdcbir: read header: %w", err)
+		}
+		return loadV1(br)
+	}
+	return loadV0(br)
+}
+
+// loadV1 decodes the store-backed format: the corpus adopts the decoded
+// backing array and the RFS structure is rebuilt over the corpus store's
+// row views.
+func loadV1(r io.Reader) (*System, error) {
+	var a archiveV1
+	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("qdcbir: decode: %w", err)
+	}
+	main, err := store.FromBacking(a.Dim, a.Points)
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: corpus store: %w", err)
+	}
+	vectors := main.Views()
+	var channelVectors map[img.Channel][]vec.Vector
+	if a.HasChannels {
+		channelVectors = map[img.Channel][]vec.Vector{
+			img.ChannelOriginal: vectors,
+		}
+		for ch, backing := range a.Channels {
+			cst, err := store.FromBacking(a.Dim, backing)
+			if err != nil {
+				return nil, fmt.Errorf("qdcbir: channel %v store: %w", ch, err)
+			}
+			channelVectors[ch] = cst.Views()
+		}
+	}
+	corpus, err := dataset.Reassemble(a.Infos, vectors, channelVectors)
+	if err != nil {
+		return nil, err
+	}
+	if a.NormMin != nil {
+		corpus.Extractor = feature.NewExtractorFromBounds(a.NormMin, a.NormMax)
+	}
+	structure, err := rfs.FromTopologySnapshot(a.RFS, corpus.Store())
+	if err != nil {
+		return nil, err
+	}
+	return assembleLoaded(a.Cfg, corpus, structure)
+}
+
+// loadV0 decodes the legacy gob format. The duplicated original channel in
+// old archives is discarded in favour of an alias when the corpus adopts its
+// feature store, so version-0 archives load into exactly the deduplicated
+// in-memory layout that version-1 archives produce.
+func loadV0(r io.Reader) (*System, error) {
 	var a archive
 	if err := gob.NewDecoder(r).Decode(&a); err != nil {
 		return nil, fmt.Errorf("qdcbir: decode: %w", err)
@@ -77,11 +179,7 @@ func Load(r io.Reader) (*System, error) {
 	if a.NormMin != nil {
 		corpus.Extractor = feature.NewExtractorFromBounds(a.NormMin, a.NormMax)
 	}
-	sys, err := assembleLoaded(a.Cfg, corpus, structure)
-	if err != nil {
-		return nil, err
-	}
-	return sys, nil
+	return assembleLoaded(a.Cfg, corpus, structure)
 }
 
 // LoadFile reconstructs a system from a file written by SaveFile.

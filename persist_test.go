@@ -2,6 +2,7 @@ package qdcbir
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 )
@@ -90,6 +91,89 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestArchiveV1Format pins the version-1 wire format: the magic header, the
+// size win over the version-0 encoding of the same system (points stored
+// once instead of twice, original channel aliased instead of duplicated),
+// and byte-identical retrieval — including simulated I/O counts — across the
+// round trip. It uses a channel-bearing corpus so the channel dedup path is
+// exercised.
+func TestArchiveV1Format(t *testing.T) {
+	cfg := Config{Seed: 7, Categories: 8, Images: 240, NodeCapacity: 24, RepFraction: 0.2, WithChannels: true}
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), archiveMagic[:]) {
+		t.Fatalf("archive does not start with the v1 magic: % x", buf.Bytes()[:8])
+	}
+
+	// The version-0 encoding of the same system, for the size comparison.
+	legacy := archive{
+		Cfg:            sys.cfg,
+		Infos:          sys.corpus.Infos,
+		RFS:            sys.rfs.Snapshot(),
+		ChannelVectors: sys.corpus.ChannelVectors,
+	}
+	if sys.corpus.Extractor != nil {
+		legacy.NormMin, legacy.NormMax = sys.corpus.Extractor.NormalizerBounds()
+	}
+	var legacyBuf bytes.Buffer
+	if err := gob.NewEncoder(&legacyBuf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	// With four channels the v0 encoding carries six vector tables (snapshot
+	// points, tree leaf items, four channels) against v1's four backing
+	// arrays, so the expected ratio is about 2/3; channel-less archives drop
+	// to about 1/2.
+	if ratio := float64(buf.Len()) / float64(legacyBuf.Len()); ratio > 0.70 {
+		t.Errorf("v1 archive is %d bytes, %.0f%% of the v0 encoding (%d bytes); want ≤70%%",
+			buf.Len(), 100*ratio, legacyBuf.Len())
+	}
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded original channel aliases the corpus store rather than
+	// carrying its own copy.
+	lc := loaded.Corpus()
+	if &lc.ChannelVectors[0][0][0] != &lc.Vectors[0][0] {
+		t.Error("loaded original channel is not an alias of the corpus vectors")
+	}
+
+	// Retrieval and simulated I/O are identical across the round trip.
+	run := func(s *System) ([]int, Stats) {
+		sess := s.NewSession(77)
+		c := sess.Candidates()
+		if err := sess.Feedback([]int{c[0].ID, c[2].ID, c[4].ID}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Finalize(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs(), sess.Stats()
+	}
+	aIDs, aStats := run(sys)
+	bIDs, bStats := run(loaded)
+	if len(aIDs) != len(bIDs) {
+		t.Fatalf("result sizes differ: %d vs %d", len(aIDs), len(bIDs))
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("round-trip results diverged at rank %d: %d vs %d", i, aIDs[i], bIDs[i])
+		}
+	}
+	if aStats != bStats {
+		t.Fatalf("round-trip I/O diverged: %+v vs %+v", aStats, bStats)
 	}
 }
 

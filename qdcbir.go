@@ -184,7 +184,7 @@ func BuildContext(ctx context.Context, cfg Config) (*System, error) {
 }
 
 func assemble(ctx context.Context, cfg Config, corpus *dataset.Corpus) (*System, error) {
-	structure, err := rfs.BuildCtx(ctx, corpus.Vectors, rfs.BuildConfig{
+	structure, err := rfs.BuildStoreCtx(ctx, corpus.Store(), rfs.BuildConfig{
 		RepFraction: cfg.RepFraction,
 		Tree:        rstar.Config{MaxFill: cfg.NodeCapacity},
 		TargetFill:  cfg.NodeCapacity * 93 / 100,

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+
+	"qdcbir/internal/benchjson"
+	"qdcbir/internal/benchsuite"
+)
+
+// runBenchMode runs the regression benchmark suite (-json / -compare).
+// Returns the process exit code: 0 on success, 1 on a regression or missing
+// benchmark, 2 on operational errors (bad filter, unreadable baseline).
+func runBenchMode(outPath, baselinePath string, threshold float64, filter string, log *slog.Logger) int {
+	if threshold <= 1 {
+		log.Error("invalid threshold", "threshold", threshold, "want", "> 1")
+		return 2
+	}
+	current, err := benchsuite.Run(benchsuite.Options{Filter: filter, Description: "qdbench regression-suite run"},
+		func(format string, args ...any) { log.Info("bench: " + fmt.Sprintf(format, args...)) })
+	if err != nil {
+		log.Error("benchmark suite failed", "err", err)
+		return 2
+	}
+	if outPath == "-" {
+		if err := current.Write(os.Stdout); err != nil {
+			log.Error("write results", "err", err)
+			return 2
+		}
+	} else if outPath != "" {
+		if err := current.WriteFile(outPath); err != nil {
+			log.Error("write results", "err", err)
+			return 2
+		}
+		log.Info("wrote benchmark results", "path", outPath, "benchmarks", len(current.Benchmarks))
+	}
+	if baselinePath == "" {
+		return 0
+	}
+	baseline, err := benchjson.Load(baselinePath)
+	if err != nil {
+		log.Error("load baseline", "err", err)
+		return 2
+	}
+	rep := benchjson.Compare(baseline, current, threshold)
+	rep.WriteText(os.Stderr, threshold)
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}

@@ -15,12 +15,20 @@
 //
 // -scale quick runs a reduced corpus in seconds; -scale paper reproduces the
 // full 15,000-image study (minutes).
+//
+// Regression-harness mode (mutually exclusive with -exp; see DESIGN.md §10):
+//
+//	qdbench -json current.json             # run the benchmark suite, write JSON
+//	qdbench -json c.json -compare base.json -threshold 1.15
+//	                                       # also diff against a baseline run;
+//	                                       # exit 1 if any benchmark regressed
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -40,8 +48,18 @@ func main() {
 		browse   = flag.Int("browse", 0, "random displays a user browses per round (0 = scale default; smaller values model impatient users and reproduce Table 2's gradual GTIR climb)")
 		parallel = flag.Int("parallelism", 0, "worker count for build and finalize pools (0 = one per CPU; reported numbers are identical at every setting)")
 		stats    = flag.String("stats", "", "write the run's metrics snapshot as JSON to this path ('-' = stderr)")
+
+		benchOut    = flag.String("json", "", "run the regression benchmark suite and write results as JSON to this path ('-' = stdout); skips -exp")
+		benchBase   = flag.String("compare", "", "compare a fresh suite run against this baseline JSON; exit 1 on any regression or missing benchmark")
+		threshold   = flag.Float64("threshold", 1.15, "regression threshold for -compare: fail when current ns/op exceeds threshold x baseline")
+		benchFilter = flag.String("benchfilter", "", "regexp selecting suite benchmarks for -json/-compare (empty = all)")
 	)
 	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *benchOut != "" || *benchBase != "" {
+		os.Exit(runBenchMode(*benchOut, *benchBase, *threshold, *benchFilter, log))
+	}
 
 	cfg := experiments.QuickConfig()
 	if *scale == "paper" {
@@ -70,12 +88,12 @@ func main() {
 
 	var sys *experiments.System
 	if needSystem {
-		fmt.Fprintf(os.Stderr, "building %d-image corpus (%d categories)...\n", cfg.TotalImages, cfg.Categories)
+		log.Info("building corpus", "images", cfg.TotalImages, "categories", cfg.Categories)
 		sys = experiments.BuildSystem(cfg)
 	}
 
 	if needQuality {
-		fmt.Fprintf(os.Stderr, "running quality study (%d users x 11 queries)...\n", cfg.Users)
+		log.Info("running quality study", "users", cfg.Users, "queries", 11)
 		rep := experiments.RunQuality(sys)
 		if has(*exp, "table1", "all") {
 			rep.WriteTable1(os.Stdout)
@@ -94,12 +112,12 @@ func main() {
 		experiments.RunQualitative(sys).WriteText(os.Stdout)
 	}
 	if has(*exp, "extended", "all") {
-		fmt.Fprintln(os.Stderr, "running extended baseline comparison...")
+		log.Info("running extended baseline comparison")
 		experiments.RunExtended(sys).WriteText(os.Stdout)
 		fmt.Println()
 	}
 	if has(*exp, "video", "all") {
-		fmt.Fprintln(os.Stderr, "running video extension experiment...")
+		log.Info("running video extension experiment")
 		vRep, err := experiments.RunVideo(cfg, 0, 0, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qdbench:", err)
@@ -109,7 +127,7 @@ func main() {
 		fmt.Println()
 	}
 	if has(*exp, "clientserver", "all") {
-		fmt.Fprintln(os.Stderr, "running client/server cost analysis...")
+		log.Info("running client/server cost analysis")
 		csRep, err := experiments.RunClientServer(cfg, 20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qdbench:", err)
@@ -119,7 +137,7 @@ func main() {
 		fmt.Println()
 	}
 	if needEfficiency {
-		fmt.Fprintf(os.Stderr, "running efficiency sweep over sizes %v...\n", sweep)
+		log.Info("running efficiency sweep", "sizes", fmt.Sprint(sweep))
 		rep := experiments.RunEfficiency(cfg, sweep, *queries)
 		if has(*exp, "fig10", "all") {
 			rep.WriteFig10(os.Stdout)
@@ -135,7 +153,7 @@ func main() {
 		}
 	}
 	if has(*exp, "ablations", "all") {
-		fmt.Fprintln(os.Stderr, "running ablations...")
+		log.Info("running ablations")
 		acfg := cfg
 		if acfg.Users > 4 {
 			acfg.Users = 4 // ablations sweep 12 settings; cap per-setting cost

@@ -13,7 +13,7 @@ import (
 	"encoding/gob"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 
 	"qdcbir/internal/dataset"
@@ -40,8 +40,9 @@ func main() {
 		hierarchy  = flag.String("hierarchy", "str", "clustering backbone: str|insert|kmeans")
 	)
 	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, os.Stderr)
+	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, log)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,14 +62,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%.1f MB)\n", *out, float64(info.Size())/(1<<20))
+	log.Info("wrote archive", "path", *out, "size_mb", fmt.Sprintf("%.1f", float64(info.Size())/(1<<20)))
 }
 
 // buildArchive generates the corpus, builds the RFS structure, and packages
 // both for persistence.
-func buildArchive(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, log io.Writer) (*Archive, error) {
+func buildArchive(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, log *slog.Logger) (*Archive, error) {
 	spec := dataset.SmallSpec(seed, categories, images)
-	fmt.Fprintf(log, "generating %d images in %d categories...\n", spec.TotalImages(), len(spec.Categories))
+	log.Info("generating corpus", "images", spec.TotalImages(), "categories", len(spec.Categories))
 	var corpus *dataset.Corpus
 	if vectors {
 		corpus = dataset.BuildVectors(spec, 37, 0.02, seed+1)
@@ -79,7 +80,7 @@ func buildArchive(seed int64, categories, images, capacity int, reps float64, ve
 		return nil, err
 	}
 
-	fmt.Fprintln(log, "building RFS structure...")
+	log.Info("building RFS structure", "hierarchy", hierarchy)
 	structure := rfs.Build(corpus.Vectors, rfs.BuildConfig{
 		RepFraction: reps,
 		Tree:        rstar.Config{MaxFill: capacity},
@@ -90,9 +91,10 @@ func buildArchive(seed int64, categories, images, capacity int, reps float64, ve
 	if err := structure.Validate(); err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(log, "tree: height %d, %d nodes, %d representatives (%.1f%% of corpus)\n",
-		structure.Tree().Height(), structure.Tree().NodeCount(), structure.RepCount(),
-		100*float64(structure.RepCount())/float64(corpus.Len()))
+	log.Info("tree built",
+		"height", structure.Tree().Height(), "nodes", structure.Tree().NodeCount(),
+		"representatives", structure.RepCount(),
+		"rep_pct", fmt.Sprintf("%.1f", 100*float64(structure.RepCount())/float64(corpus.Len())))
 	return &Archive{Infos: corpus.Infos, RFS: structure.Snapshot()}, nil
 }
 

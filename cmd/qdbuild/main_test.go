@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,7 +13,7 @@ import (
 )
 
 func TestBuildArchiveAndRoundTrip(t *testing.T) {
-	arch, err := buildArchive(1, 10, 300, 20, 0.2, false, "str", io.Discard)
+	arch, err := buildArchive(1, 10, 300, 20, 0.2, false, "str", slog.New(slog.NewTextHandler(io.Discard, nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestBuildArchiveAndRoundTrip(t *testing.T) {
 
 func TestBuildArchiveVectorMode(t *testing.T) {
 	var log bytes.Buffer
-	arch, err := buildArchive(2, 10, 400, 20, 0.1, true, "kmeans", &log)
+	arch, err := buildArchive(2, 10, 400, 20, 0.1, true, "kmeans", slog.New(slog.NewTextHandler(&log, nil)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,7 @@ import (
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/feature"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/user"
@@ -60,10 +61,15 @@ func main() {
 		path     = flag.String("db", "", "database file written by qdbuild (empty = build small corpus)")
 		seed     = flag.Int64("seed", 1, "session seed")
 		parallel = flag.Int("parallelism", 0, "worker count for build and finalize pools (0 = one per CPU)")
+		traceOut = flag.String("trace-out", "", "on exit, write the session's traces as Perfetto trace-event JSON to this path (open at ui.perfetto.dev)")
 	)
 	flag.Parse()
 
-	d, err := open(*path, *seed, *parallel)
+	var observer *obs.Observer
+	if *traceOut != "" {
+		observer = obs.New(obs.NewRegistry())
+	}
+	d, err := open(*path, *seed, *parallel, observer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdquery:", err)
 		os.Exit(1)
@@ -72,9 +78,34 @@ func main() {
 		len(d.infos), d.rfs.Tree().Height(), d.rfs.RepCount())
 
 	repl(d, rand.New(rand.NewSource(*seed)), os.Stdin, os.Stdout)
+
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, observer); err != nil {
+			fmt.Fprintln(os.Stderr, "qdquery: trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace(s) to %s\n", len(observer.Traces()), *traceOut)
+	}
 }
 
-func open(path string, seed int64, parallelism int) (*db, error) {
+// writeTraces dumps every retained trace as a Perfetto-loadable trace-event
+// file ('-' = stdout).
+func writeTraces(path string, o *obs.Observer) error {
+	if path == "-" {
+		return obs.WritePerfetto(os.Stdout, o.Traces())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePerfetto(f, o.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func open(path string, seed int64, parallelism int, observer *obs.Observer) (*db, error) {
 	var infos []dataset.Info
 	var structure *rfs.Structure
 	if path == "" {
@@ -111,7 +142,7 @@ func open(path string, seed int64, parallelism int) (*db, error) {
 	return &db{
 		infos:  infos,
 		rfs:    structure,
-		engine: core.NewEngine(structure, core.Config{Parallelism: parallelism}),
+		engine: core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}),
 	}, nil
 }
 

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
+	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 )
@@ -134,7 +138,7 @@ func TestREPLAutoSession(t *testing.T) {
 }
 
 func TestOpenInMemory(t *testing.T) {
-	d, err := open("", 9, 0)
+	d, err := open("", 9, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +151,47 @@ func TestOpenInMemory(t *testing.T) {
 }
 
 func TestOpenMissingFile(t *testing.T) {
-	if _, err := open("/nonexistent/file.gob", 1, 0); err == nil {
+	if _, err := open("/nonexistent/file.gob", 1, 0, nil); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestWriteTraces drives a session under an observer and checks the -trace-out
+// file is a loadable trace-event document covering the session's spans.
+func TestWriteTraces(t *testing.T) {
+	observer := obs.New(obs.NewRegistry())
+	d := smallDB(t)
+	observed := &db{
+		infos:  d.infos,
+		rfs:    d.rfs,
+		engine: core.NewEngine(d.rfs, core.Config{Observer: observer}),
+	}
+	var out bytes.Buffer
+	repl(observed, rand.New(rand.NewSource(5)), strings.NewReader("m 0 1 2\nf\ndone 6\n"), &out)
+	if !strings.Contains(out.String(), "result groups") {
+		t.Fatalf("session did not finalize: %q", out.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTraces(path, observer); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file obs.TraceEventFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace-out is not valid trace-event JSON: %v", err)
+	}
+	var names []string
+	for _, ev := range file.TraceEvents {
+		names = append(names, ev.Name)
+	}
+	joined := strings.Join(names, "\n")
+	for _, want := range []string{"session", "round 1", "finalize", "merge"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace-out missing %q event; have:\n%s", want, joined)
+		}
 	}
 }

@@ -16,10 +16,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -41,8 +43,10 @@ func main() {
 		ui       = flag.Bool("ui", false, "serve the browser front end at /ui (in-memory build only; keeps rendered images)")
 		parallel = flag.Int("parallelism", 0, "worker count for build and query pools (0 = one per CPU)")
 		debug    = flag.Bool("debug", false, "expose net/http/pprof profiling under /debug/pprof/")
+		digests  = flag.Duration("digest-interval", time.Minute, "how often to log the 1m windowed latency digests (0 disables)")
 	)
 	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	if *ui && *path != "" {
 		fmt.Fprintln(os.Stderr, "qdserve: -ui requires an in-memory build (archives do not store rasters)")
@@ -53,13 +57,14 @@ func main() {
 	observer := obs.New(obs.NewRegistry())
 	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel, observer)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qdserve:", err)
+		log.Error("load failed", "err", err)
 		os.Exit(1)
 	}
 	srv := server.New(eng, label)
+	srv.SetLogger(log)
 	if rasters != nil {
 		srv.SetImages(rasters)
-		fmt.Fprintf(os.Stderr, "web UI at http://localhost%s/ui\n", *addr)
+		log.Info("web UI enabled", "url", fmt.Sprintf("http://localhost%s/ui", *addr))
 	}
 	handler := srv.Handler()
 	if *debug {
@@ -71,11 +76,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		fmt.Fprintln(os.Stderr, "pprof at /debug/pprof/")
+		log.Info("pprof enabled", "path", "/debug/pprof/")
 	}
-	fmt.Fprintf(os.Stderr, "serving %d images (%d representatives) on %s\n",
-		eng.RFS().Len(), eng.RFS().RepCount(), *addr)
-	fmt.Fprintf(os.Stderr, "metrics at /metrics, runtime stats at /v1/stats, traces at /v1/traces\n")
+	bi := srv.BuildInfo()
+	log.Info("qdserve starting",
+		"addr", *addr,
+		"images", bi.Images, "representatives", eng.RFS().RepCount(), "tree_height", bi.TreeHeight,
+		"go", bi.GoVersion, "revision", bi.Revision, "vcs_modified", bi.VCSModified)
+	log.Info("observability endpoints",
+		"metrics", "/metrics", "stats", "/v1/stats", "traces", "/v1/traces",
+		"latency", "/v1/latency", "buildinfo", "/v1/buildinfo", "health", "/healthz")
 
 	// SIGINT/SIGTERM drain in-flight requests (whose contexts cancel any
 	// running localized subqueries) before exiting; the timeouts cap how long
@@ -88,20 +98,56 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *digests > 0 {
+		go logDigests(ctx, log, observer, *digests)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "qdserve:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		fmt.Fprintln(os.Stderr, "qdserve: shutting down")
+		log.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "qdserve: shutdown:", err)
+			log.Error("shutdown failed", "err", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// logDigests periodically summarizes the sliding-window latency digests to the
+// server log: one line per active digest covering the shortest default window
+// (skipping digests that saw no samples, so an idle server stays quiet). The
+// full three-window report stays available at /v1/latency.
+func logDigests(ctx context.Context, log *slog.Logger, o *obs.Observer, every time.Duration) {
+	window := obs.DefaultWindows[0]
+	label := obs.WindowLabel(window)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		rep := o.Windows().Report([]time.Duration{window})
+		names := make([]string, 0, len(rep))
+		for name := range rep {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := rep[name][label]
+			if st.Count == 0 {
+				continue
+			}
+			log.Info("latency digest",
+				"digest", name, "window", label, "count", st.Count,
+				"p50_ms", 1e3*st.P50, "p95_ms", 1e3*st.P95, "p99_ms", 1e3*st.P99)
 		}
 	}
 }

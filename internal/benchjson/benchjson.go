@@ -1,0 +1,206 @@
+// Package benchjson defines the benchmark-result JSON schema shared by the
+// BENCH_*.json documents in the repository root, `qdbench -json` output, and
+// `qdbench -compare` regression checking. One schema serves two shapes:
+// single-run files carry a Result per benchmark; before/after documents
+// (hand-curated across a refactor) carry Before and After. Compare accepts
+// either shape on either side.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Metrics are one benchmark's headline numbers, matching
+// testing.BenchmarkResult.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Benchmark is one named entry. Single-run files set Result; curated
+// before/after documents set Before and After (and usually Speedup).
+type Benchmark struct {
+	Name    string   `json:"name"`
+	Result  *Metrics `json:"result,omitempty"`
+	Before  *Metrics `json:"before,omitempty"`
+	After   *Metrics `json:"after,omitempty"`
+	Speedup float64  `json:"speedup,omitempty"`
+	Note    string   `json:"note,omitempty"`
+}
+
+// Current returns the entry's authoritative numbers: Result when present,
+// otherwise After (a curated document's current state). Nil when the entry
+// carries neither.
+func (b *Benchmark) Current() *Metrics {
+	if b.Result != nil {
+		return b.Result
+	}
+	return b.After
+}
+
+// File is one benchmark document.
+type File struct {
+	Description string      `json:"description,omitempty"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	CPU         string      `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// NewFile returns an empty document stamped with the host's identity.
+func NewFile(description string) *File {
+	return &File{
+		Description: description,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPU:         cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (Linux /proc/cpuinfo; empty
+// elsewhere — the field is informational).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, value, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(value)
+			}
+		}
+	}
+	return ""
+}
+
+// Load reads and validates a benchmark document.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	for i := range f.Benchmarks {
+		b := &f.Benchmarks[i]
+		if b.Name == "" {
+			return nil, fmt.Errorf("benchjson: %s: benchmark %d has no name", path, i)
+		}
+		if b.Current() == nil {
+			return nil, fmt.Errorf("benchjson: %s: %s carries neither result nor after", path, b.Name)
+		}
+	}
+	return &f, nil
+}
+
+// Write encodes the document as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the document to path.
+func (f *File) WriteFile(path string) error {
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// Comparison is one benchmark's baseline-vs-current verdict.
+type Comparison struct {
+	Name      string
+	Baseline  float64 // baseline ns/op
+	Current   float64 // current ns/op
+	Ratio     float64 // current / baseline (> 1 is slower)
+	Regressed bool
+}
+
+// Report is the outcome of comparing a current run against a baseline.
+type Report struct {
+	Comparisons []Comparison
+	// Missing lists baseline benchmarks absent from the current run — a
+	// silently dropped benchmark must not pass as "no regression".
+	Missing []string
+}
+
+// Regressions returns the entries whose slowdown exceeded the threshold.
+func (r *Report) Regressions() []Comparison {
+	var out []Comparison
+	for _, c := range r.Comparisons {
+		if c.Regressed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OK reports whether the comparison passed: no regression and no benchmark
+// missing.
+func (r *Report) OK() bool { return len(r.Regressions()) == 0 && len(r.Missing) == 0 }
+
+// Compare checks current against baseline: every baseline benchmark must be
+// present in current with ns/op at most threshold times the baseline's
+// (threshold 1.15 = 15% slower tolerated). Benchmarks only in current are
+// ignored — adding benchmarks is not a regression.
+func Compare(baseline, current *File, threshold float64) *Report {
+	rep := &Report{}
+	byName := make(map[string]*Metrics, len(current.Benchmarks))
+	for i := range current.Benchmarks {
+		byName[current.Benchmarks[i].Name] = current.Benchmarks[i].Current()
+	}
+	for i := range baseline.Benchmarks {
+		b := &baseline.Benchmarks[i]
+		base := b.Current()
+		cur, ok := byName[b.Name]
+		if !ok || cur == nil {
+			rep.Missing = append(rep.Missing, b.Name)
+			continue
+		}
+		c := Comparison{Name: b.Name, Baseline: base.NsPerOp, Current: cur.NsPerOp}
+		if base.NsPerOp > 0 {
+			c.Ratio = cur.NsPerOp / base.NsPerOp
+			c.Regressed = c.Ratio > threshold
+		}
+		rep.Comparisons = append(rep.Comparisons, c)
+	}
+	sort.Strings(rep.Missing)
+	return rep
+}
+
+// WriteText renders the report as an aligned human-readable table.
+func (r *Report) WriteText(w io.Writer, threshold float64) {
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, c := range r.Comparisons {
+		verdict := ""
+		if c.Regressed {
+			verdict = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %7.2fx%s\n", c.Name, c.Baseline, c.Current, c.Ratio, verdict)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "%-50s MISSING from current run\n", name)
+	}
+	if r.OK() {
+		fmt.Fprintf(w, "PASS: no benchmark slower than %.2fx baseline\n", threshold)
+	} else {
+		fmt.Fprintf(w, "FAIL: %d regression(s), %d missing (threshold %.2fx)\n",
+			len(r.Regressions()), len(r.Missing), threshold)
+	}
+}

@@ -1,0 +1,109 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile(ns float64) *File {
+	f := NewFile("test run")
+	f.Benchmarks = []Benchmark{
+		{Name: "BenchmarkA", Result: &Metrics{NsPerOp: ns, BytesPerOp: 64, AllocsPerOp: 2}},
+		{Name: "BenchmarkB", Result: &Metrics{NsPerOp: 500, BytesPerOp: 0, AllocsPerOp: 0}},
+	}
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	orig := sampleFile(1000)
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != orig.Description || got.GOOS != orig.GOOS || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if *got.Benchmarks[0].Result != *orig.Benchmarks[0].Result {
+		t.Errorf("metrics round trip: %+v vs %+v", got.Benchmarks[0].Result, orig.Benchmarks[0].Result)
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"syntax.json":  `{"benchmarks": [`,
+		"noname.json":  `{"benchmarks": [{"result": {"ns_per_op": 1}}]}`,
+		"nonums.json":  `{"benchmarks": [{"name": "X"}]}`,
+		"missing.json": "", // never written: Load must surface the open error
+	} {
+		path := filepath.Join(dir, name)
+		if body != "" {
+			if err := writeString(path, body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: Load accepted malformed input", name)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := sampleFile(1000)
+	// 10% slower on A: inside a 1.15 threshold, outside 1.05.
+	cur := sampleFile(1100)
+	if rep := Compare(base, cur, 1.15); !rep.OK() {
+		t.Errorf("10%% slowdown flagged at 1.15x: %+v", rep.Regressions())
+	}
+	rep := Compare(base, cur, 1.05)
+	if rep.OK() || len(rep.Regressions()) != 1 || rep.Regressions()[0].Name != "BenchmarkA" {
+		t.Errorf("10%% slowdown not flagged at 1.05x: %+v", rep)
+	}
+	// The curated before/after shape compares by After.
+	curated := NewFile("curated")
+	curated.Benchmarks = []Benchmark{
+		{Name: "BenchmarkA", Before: &Metrics{NsPerOp: 5000}, After: &Metrics{NsPerOp: 1000}},
+		{Name: "BenchmarkB", Before: &Metrics{NsPerOp: 800}, After: &Metrics{NsPerOp: 500}},
+	}
+	if rep := Compare(curated, cur, 1.15); !rep.OK() {
+		t.Errorf("curated baseline comparison failed: %+v", rep)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := sampleFile(1000)
+	cur := sampleFile(1000)
+	cur.Benchmarks = cur.Benchmarks[:1] // drop BenchmarkB
+	rep := Compare(base, cur, 1.5)
+	if rep.OK() || len(rep.Missing) != 1 || rep.Missing[0] != "BenchmarkB" {
+		t.Fatalf("dropped benchmark not reported: %+v", rep)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb, 1.5)
+	if !strings.Contains(sb.String(), "MISSING") || !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("report text: %s", sb.String())
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := sampleFile(0)
+	cur := sampleFile(99999)
+	// A zero baseline cannot form a ratio; the entry is compared but never
+	// flagged (and never divides by zero).
+	rep := Compare(base, cur, 1.15)
+	for _, c := range rep.Comparisons {
+		if c.Name == "BenchmarkA" && (c.Regressed || c.Ratio != 0) {
+			t.Errorf("zero baseline mishandled: %+v", c)
+		}
+	}
+}
+
+func writeString(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}

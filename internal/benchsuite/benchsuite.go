@@ -1,0 +1,239 @@
+// Package benchsuite is the regression-harness benchmark suite behind
+// `qdbench -json` / `-compare`: a fixed set of named benchmarks over the
+// retrieval system and the observability layer, run through testing.Benchmark
+// (legal outside `go test`) and emitted in the benchjson schema so runs can
+// be diffed across commits.
+//
+// The suite prices the paths this repository's PRs have promised to keep
+// fast: the global k-NN read path with and without an Observer (the
+// zero-cost-when-nil contract), the full feedback-session finalize fan-out,
+// and the sliding-window digest's observe and rotate operations.
+package benchsuite
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+	"time"
+
+	"qdcbir"
+	"qdcbir/internal/benchjson"
+	"qdcbir/internal/obs"
+	"qdcbir/internal/rstar"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Filter selects benchmarks by name (regexp; empty runs everything).
+	Filter string
+	// Description is stamped into the output document.
+	Description string
+}
+
+// entry is one suite benchmark. Engine benchmarks share the lazily built
+// fixture; digest benchmarks ignore it.
+type entry struct {
+	name string
+	fn   func(b *testing.B, fix *fixture)
+}
+
+// fixture is the shared system pair: one uninstrumented, one observed.
+type fixture struct {
+	plain    *qdcbir.System
+	observed *qdcbir.System
+	relevant []int // example panel spanning several subconcepts
+}
+
+// buildFixture constructs the benchmark corpus: small enough to build in
+// about a second, large enough for a multi-level hierarchy and a multi-group
+// finalize fan-out.
+func buildFixture() (*fixture, error) {
+	cfg := qdcbir.SmallConfig()
+	cfg.Categories = 8
+	cfg.Images = 400
+	sys, err := qdcbir.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fix := &fixture{
+		plain:    sys,
+		observed: sys.WithObserver(obs.New(obs.NewRegistry())),
+	}
+	for i, key := range sys.Corpus().Subconcepts() {
+		if i >= 4 {
+			break
+		}
+		for _, id := range sys.Corpus().SubconceptIDs(key)[:3] {
+			fix.relevant = append(fix.relevant, id)
+		}
+	}
+	return fix, nil
+}
+
+func benchKNN(sys *qdcbir.System) func(b *testing.B, fix *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.KNN(i%sys.Len(), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// suite returns the benchmark list over the given fixture-backed systems.
+func suite(fix *fixture) []entry {
+	return []entry{
+		{"BenchmarkSystemKNNObserver/none", benchKNN(fix.plain)},
+		{"BenchmarkSystemKNNObserver/live", benchKNN(fix.observed)},
+		{"BenchmarkQueryFinalize/observer=none", benchFinalize(fix.plain)},
+		{"BenchmarkQueryFinalize/observer=live", benchFinalize(fix.observed)},
+		{"BenchmarkWindowedDigestObserve", benchDigestObserve},
+		{"BenchmarkWindowedDigestRotate", benchDigestRotate},
+		{"BenchmarkPerfettoExport", benchPerfettoExport},
+	}
+}
+
+// benchFinalize prices the localized finalize fan-out via the engine's
+// one-shot query path (grouping, boundary expansion, parallel subqueries,
+// serial merge).
+func benchFinalize(sys *qdcbir.System) func(b *testing.B, fix *fixture) {
+	return func(b *testing.B, fix *fixture) {
+		ids := make([]rstar.ItemID, len(fix.relevant))
+		for i, id := range fix.relevant {
+			ids[i] = rstar.ItemID(id)
+		}
+		eng := sys.Engine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.QueryByExamples(ids, 60, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchDigestObserve prices the steady-state sample path: no rotation, one
+// mutex acquisition plus a bucket scan.
+func benchDigestObserve(b *testing.B, _ *fixture) {
+	w := obs.NewWindowedHistogram(nil, obs.DefaultSlotDuration, obs.DefaultSlots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(0.0042)
+	}
+}
+
+// benchDigestRotate prices the worst-case sample path: every observation
+// lands one tick past the previous one, forcing a slot rotation.
+func benchDigestRotate(b *testing.B, _ *fixture) {
+	w := obs.NewWindowedHistogram(nil, obs.DefaultSlotDuration, obs.DefaultSlots)
+	base := time.Unix(1_000_000, 0)
+	tick := 0
+	w.SetClock(func() time.Time {
+		return base.Add(time.Duration(tick) * obs.DefaultSlotDuration)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick++
+		w.Observe(0.0042)
+	}
+}
+
+// benchPerfettoExport prices rendering a full trace ring as trace-event JSON.
+func benchPerfettoExport(b *testing.B, _ *fixture) {
+	o := obs.New(nil)
+	for i := 0; i < obs.DefaultTraceCap; i++ {
+		tr := o.StartTrace("query")
+		o.FinalizeDone(tr, obs.FinalizeSpan{
+			K: 20, Subqueries: 3, DurationNS: 1e6,
+			Subspans: []obs.SubquerySpan{{Node: 1, DurationNS: 1e5}, {Node: 2, DurationNS: 2e5}, {Node: 3, DurationNS: 3e5}},
+		})
+	}
+	traces := o.Traces()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs := obs.PerfettoEvents(traces); len(evs) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// needsFixture reports whether any selected benchmark touches the engine
+// fixture, so filtered digest-only runs skip the corpus build.
+func needsFixture(names []string) bool {
+	for _, n := range names {
+		if n == "BenchmarkWindowedDigestObserve" || n == "BenchmarkWindowedDigestRotate" ||
+			n == "BenchmarkPerfettoExport" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Run executes the suite (optionally filtered) and returns the results as a
+// benchjson document. progress, when non-nil, receives one line per
+// benchmark.
+func Run(opts Options, progress func(format string, args ...any)) (*benchjson.File, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	var filter *regexp.Regexp
+	if opts.Filter != "" {
+		var err error
+		if filter, err = regexp.Compile(opts.Filter); err != nil {
+			return nil, fmt.Errorf("benchsuite: bad filter: %w", err)
+		}
+	}
+	// Select against a fixture-less suite first so a digest-only filter can
+	// skip the corpus build entirely.
+	var selected []string
+	for _, e := range suite(&fixture{}) {
+		if filter == nil || filter.MatchString(e.name) {
+			selected = append(selected, e.name)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("benchsuite: filter %q selects no benchmarks", opts.Filter)
+	}
+	fix := &fixture{}
+	if needsFixture(selected) {
+		progress("building benchmark corpus...")
+		var err error
+		if fix, err = buildFixture(); err != nil {
+			return nil, err
+		}
+	}
+	desc := opts.Description
+	if desc == "" {
+		desc = "qdbench regression-suite run"
+	}
+	out := benchjson.NewFile(desc)
+	sel := make(map[string]bool, len(selected))
+	for _, n := range selected {
+		sel[n] = true
+	}
+	for _, e := range suite(fix) {
+		if !sel[e.name] {
+			continue
+		}
+		fn := e.fn
+		progress("running %s...", e.name)
+		r := testing.Benchmark(func(b *testing.B) { fn(b, fix) })
+		out.Benchmarks = append(out.Benchmarks, benchjson.Benchmark{
+			Name: e.name,
+			Result: &benchjson.Metrics{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			},
+		})
+		progress("  %s: %d iterations, %.0f ns/op", e.name,
+			r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+	return out, nil
+}

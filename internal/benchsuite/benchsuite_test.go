@@ -1,0 +1,50 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFilteredDigestOnly runs the two digest benchmarks (no corpus build)
+// and checks the emitted document carries usable numbers.
+func TestRunFilteredDigestOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite run (seconds) skipped in -short")
+	}
+	var lines []string
+	f, err := Run(Options{Filter: "WindowedDigest"}, func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("filtered suite ran %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	for _, b := range f.Benchmarks {
+		if !strings.Contains(b.Name, "WindowedDigest") {
+			t.Errorf("filter leaked %q", b.Name)
+		}
+		if b.Result == nil || b.Result.NsPerOp <= 0 {
+			t.Errorf("%s: no result recorded: %+v", b.Name, b.Result)
+		}
+	}
+	// The corpus-build progress line must not appear for a digest-only run.
+	for _, l := range lines {
+		if strings.Contains(l, "corpus") {
+			t.Errorf("digest-only filter still built the corpus")
+		}
+	}
+	if f.GOOS == "" || f.GOARCH == "" {
+		t.Errorf("host identity missing: %+v", f)
+	}
+}
+
+func TestRunRejectsBadFilter(t *testing.T) {
+	if _, err := Run(Options{Filter: "("}, nil); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	if _, err := Run(Options{Filter: "NoSuchBenchmark"}, nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -150,6 +151,10 @@ func (e *Engine) NewSession(rng *rand.Rand) *Session {
 	}
 	return s
 }
+
+// Trace returns the session's trace span (nil when the engine has no
+// observer). Callers may attach a correlation label via Trace.SetLabel.
+func (s *Session) Trace() *obs.Trace { return s.trace }
 
 // Frontier returns the current subquery anchor nodes (shared slice; do not
 // modify).
@@ -293,7 +298,9 @@ func (s *Session) Feedback(marked []rstar.ItemID) error {
 	}
 	o := s.eng.cfg.Observer
 	var t0 time.Time
+	var offsetNS int64
 	if o != nil {
+		offsetNS = s.trace.SinceStart()
 		t0 = time.Now()
 	}
 	s.stats.Rounds++
@@ -340,6 +347,7 @@ func (s *Session) Feedback(marked []rstar.ItemID) error {
 		reads, accesses := s.feedbackIO.Reads(), s.feedbackIO.Accesses()
 		o.RoundDone(s.trace, obs.RoundSpan{
 			Round:        s.stats.Rounds,
+			OffsetNS:     offsetNS,
 			Marked:       len(marked),
 			Relevant:     len(s.relevant),
 			Subqueries:   len(s.frontier),
@@ -562,6 +570,7 @@ func (e *Engine) QueryByExamplesCtx(ctx context.Context, relevant []rstar.ItemID
 	var t *obs.Trace
 	if o := e.cfg.Observer; o != nil {
 		t = o.StartTrace("query")
+		t.SetLabel(obs.TraceLabelFromContext(ctx))
 	}
 	before := acc.Reads()
 	res, err := finalizeGroups(ctx, e, ids, assign, k, weights, acc, &stats, t)
@@ -574,9 +583,11 @@ func (e *Engine) QueryByExamplesCtx(ctx context.Context, relevant []rstar.ItemID
 func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, assign map[rstar.ItemID]*rstar.Node, k int, weights vec.Vector, finalIO disk.Accounter, stats *Stats, trace *obs.Trace) (*Result, error) {
 	o := eng.cfg.Observer
 	var t0 time.Time
+	var offsetNS int64
 	var readsBefore uint64
 	expBefore := stats.Expansions
 	if o != nil {
+		offsetNS = trace.SinceStart()
 		t0 = time.Now()
 		readsBefore = finalIO.Reads()
 	}
@@ -700,18 +711,20 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	neighborLists := make([][]rstar.Neighbor, len(order))
 	recorders := make([]*disk.Recorder, len(order))
 	var sqStats []rstar.SearchStats
-	var sqDur []int64
+	var sqDur, sqOff []int64
 	if o != nil {
 		sqStats = make([]rstar.SearchStats, len(order))
 		sqDur = make([]int64, len(order))
+		sqOff = make([]int64, len(order))
 	}
-	if err := par.Do(ctx, len(order), eng.cfg.Parallelism, func(i int) error {
+	subqueryBody := func(i int) error {
 		p := preps[order[i]]
 		rec := &disk.Recorder{}
 		var st *rstar.SearchStats
 		var start time.Time
 		if o != nil {
 			st = &sqStats[i]
+			sqOff[i] = trace.SinceStart()
 			start = time.Now()
 		}
 		ns, err := localKNN(ctx, eng, weights, rec, p.search, p.centroid, alloc[order[i]]+k, st)
@@ -724,13 +737,31 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 		neighborLists[i] = ns
 		recorders[i] = rec
 		return nil
-	}); err != nil {
+	}
+	runSubqueries := func() error {
+		return par.Do(ctx, len(order), eng.cfg.Parallelism, subqueryBody)
+	}
+	if o != nil {
+		// Tag the subquery pool so CPU profiles attribute samples to the
+		// finalize fan-out. pprof.Do costs a goroutine-label swap, so it is
+		// gated on the observer like every other instrumentation point.
+		inner := runSubqueries
+		runSubqueries = func() (err error) {
+			pprof.Do(ctx, pprof.Labels("phase", "subquery"), func(context.Context) {
+				err = inner()
+			})
+			return err
+		}
+	}
+	if err := runSubqueries(); err != nil {
 		return nil, err
 	}
 	var mergeStart time.Time
+	var mergeOffsetNS int64
 	var topupStats rstar.SearchStats
 	var topupSt *rstar.SearchStats
 	if o != nil {
+		mergeOffsetNS = trace.SinceStart()
 		mergeStart = time.Now()
 		topupSt = &topupStats
 	}
@@ -799,19 +830,22 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	sort.SliceStable(res.Groups, func(i, j int) bool { return res.Groups[i].RankScore < res.Groups[j].RankScore })
 	if o != nil {
 		span := obs.FinalizeSpan{
-			K:          k,
-			Subqueries: len(order),
-			Expansions: stats.Expansions - expBefore,
-			PageReads:  finalIO.Reads() - readsBefore,
-			HeapPops:   topupStats.HeapPops,
-			MergeNS:    time.Since(mergeStart).Nanoseconds(),
-			DurationNS: time.Since(t0).Nanoseconds(),
+			K:             k,
+			OffsetNS:      offsetNS,
+			Subqueries:    len(order),
+			Expansions:    stats.Expansions - expBefore,
+			PageReads:     finalIO.Reads() - readsBefore,
+			HeapPops:      topupStats.HeapPops,
+			MergeOffsetNS: mergeOffsetNS,
+			MergeNS:       time.Since(mergeStart).Nanoseconds(),
+			DurationNS:    time.Since(t0).Nanoseconds(),
 		}
 		for i, nodeID := range order {
 			p := preps[nodeID]
 			span.HeapPops += sqStats[i].HeapPops
 			span.Subspans = append(span.Subspans, obs.SubquerySpan{
 				Node:         uint64(nodeID),
+				OffsetNS:     sqOff[i],
 				QueryImages:  len(p.l.ids),
 				Allocated:    alloc[nodeID],
 				Expanded:     p.search != p.l.node,

@@ -124,6 +124,67 @@ func TestObserverDoesNotPerturbResults(t *testing.T) {
 	}
 }
 
+// TestObserverBlockScalarAgreement runs the same observed session with the
+// PR 3 leaf-block batch kernels enabled and disabled and requires identical
+// results, session stats, observer counters, and per-subquery trace effort —
+// the two scoring paths must be indistinguishable to every telemetry surface.
+func TestObserverBlockScalarAgreement(t *testing.T) {
+	run := func(blocks bool) (*Result, Stats, obs.Snapshot, *obs.FinalizeSpan) {
+		o := obs.New(nil)
+		eng, blobOf := observedFixture(t, o)
+		eng.RFS().Tree().SetBlockScoring(blocks)
+		if got := eng.RFS().Tree().BlocksPacked(); got != blocks {
+			t.Fatalf("SetBlockScoring(%v) left BlocksPacked=%v", blocks, got)
+		}
+		sess := eng.NewSession(rand.New(rand.NewSource(9)))
+		markBlobs(t, sess, blobOf, map[int]bool{1: true, 3: true, 5: true}, 3)
+		res, err := sess.Finalize(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := o.Traces()
+		if len(traces) != 1 || traces[0].Finalize == nil {
+			t.Fatalf("trace shape: %+v", traces)
+		}
+		return res, sess.Stats(), o.Registry().Snapshot(), traces[0].Finalize
+	}
+	bRes, bStats, bSnap, bFin := run(true)
+	sRes, sStats, sSnap, sFin := run(false)
+
+	if bStats != sStats {
+		t.Errorf("session stats diverge: block %+v scalar %+v", bStats, sStats)
+	}
+	a, b := bRes.IDs(), sRes.IDs()
+	if len(a) != len(b) {
+		t.Fatalf("result sizes diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d diverges: %d vs %d", i, a[i], b[i])
+		}
+	}
+	for _, name := range []string{obs.MetricFeedbackReads, obs.MetricFinalReads, obs.MetricExpansions} {
+		if bSnap.Counters[name] != sSnap.Counters[name] {
+			t.Errorf("counter %s diverges: block %d scalar %d", name, bSnap.Counters[name], sSnap.Counters[name])
+		}
+	}
+	if bFin.Subqueries != sFin.Subqueries || len(bFin.Subspans) != len(sFin.Subspans) {
+		t.Fatalf("fan-out diverges: block %d/%d scalar %d/%d",
+			bFin.Subqueries, len(bFin.Subspans), sFin.Subqueries, len(sFin.Subspans))
+	}
+	if bFin.PageReads != sFin.PageReads || bFin.HeapPops != sFin.HeapPops {
+		t.Errorf("finalize effort diverges: block reads=%d pops=%d scalar reads=%d pops=%d",
+			bFin.PageReads, bFin.HeapPops, sFin.PageReads, sFin.HeapPops)
+	}
+	for i := range bFin.Subspans {
+		bs, ss := bFin.Subspans[i], sFin.Subspans[i]
+		if bs.Node != ss.Node || bs.HeapPops != ss.HeapPops || bs.NodesRead != ss.NodesRead ||
+			bs.PageAccesses != ss.PageAccesses {
+			t.Errorf("subquery %d effort diverges:\n  block  %+v\n  scalar %+v", i, bs, ss)
+		}
+	}
+}
+
 // TestQueryByExamplesTrace checks the one-shot query path records a "query"
 // trace whose finalize span accounts the call's reads.
 func TestQueryByExamplesTrace(t *testing.T) {

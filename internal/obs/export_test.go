@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// exportFixtureTrace builds a completed 3-round feedback-session trace
+// through the Observer API, with realistic span offsets.
+func exportFixtureTrace(t *testing.T) (*Observer, *Trace) {
+	t.Helper()
+	o := New(nil)
+	tr := o.StartTrace("session")
+	tr.SetLabel("req-42")
+	off := int64(0)
+	for r := 1; r <= 3; r++ {
+		tr.AddDisplayed(21)
+		o.RoundDone(tr, RoundSpan{
+			Round: r, OffsetNS: off, DurationNS: 1e6,
+			Marked: 2, Relevant: 2 * r, Subqueries: r, PageReads: 3,
+		})
+		off += 2e6
+	}
+	fin := FinalizeSpan{
+		K: 20, OffsetNS: off, Subqueries: 2, PageReads: 9, HeapPops: 40,
+		Subspans: []SubquerySpan{
+			{Node: 7, OffsetNS: off + 1e5, DurationNS: 2e6, QueryImages: 3, Allocated: 12, HeapPops: 25, NodesRead: 4, PageAccesses: 4},
+			{Node: 9, OffsetNS: off + 2e5, DurationNS: 3e6, QueryImages: 3, Allocated: 8, HeapPops: 15, NodesRead: 3, PageAccesses: 3},
+		},
+		MergeOffsetNS: off + 4e6,
+		MergeNS:       5e5,
+		DurationNS:    5e6,
+	}
+	o.FinalizeDone(tr, fin)
+	traces := o.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces", len(traces))
+	}
+	// FinalizeDone stamped the real (sub-microsecond) wall time; stretch the
+	// root to cover the synthetic child offsets, as a live engine's would.
+	traces[0].DurationNS = off + 6e6
+	return o, traces[0]
+}
+
+// eventFor finds the first "X" event whose name matches.
+func eventFor(events []TraceEvent, name string) *TraceEvent {
+	for i := range events {
+		if events[i].Ph == "X" && events[i].Name == name {
+			return &events[i]
+		}
+	}
+	return nil
+}
+
+// contains reports whether outer's [ts, ts+dur] covers inner's.
+func contains(outer, inner *TraceEvent) bool {
+	return outer.TS <= inner.TS && inner.TS+inner.Dur <= outer.TS+outer.Dur
+}
+
+func TestPerfettoExportNesting(t *testing.T) {
+	_, tr := exportFixtureTrace(t)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, []*Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	// The export must parse as trace-event JSON.
+	var file TraceEventFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	events := file.TraceEvents
+	for _, e := range events {
+		if e.Ph != "X" && e.Ph != "M" {
+			t.Errorf("unexpected phase %q in %+v", e.Ph, e)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("negative duration: %+v", e)
+		}
+	}
+
+	session := eventFor(events, "session")
+	if session == nil {
+		t.Fatal("no session event")
+	}
+	// Rounds nest within the session.
+	for _, name := range []string{"round 1", "round 2", "round 3"} {
+		r := eventFor(events, name)
+		if r == nil {
+			t.Fatalf("missing %q event", name)
+		}
+		if !contains(session, r) {
+			t.Errorf("%s [%v +%v] not within session [%v +%v]", name, r.TS, r.Dur, session.TS, session.Dur)
+		}
+	}
+	// Finalize nests within the session; subqueries and merge within finalize.
+	fin := eventFor(events, "finalize")
+	if fin == nil {
+		t.Fatal("no finalize event")
+	}
+	if !contains(session, fin) {
+		t.Error("finalize not within session")
+	}
+	subs := 0
+	for i := range events {
+		e := &events[i]
+		if e.Ph == "X" && e.Cat == "subquery" {
+			subs++
+			if !contains(fin, e) {
+				t.Errorf("subquery %q not within finalize", e.Name)
+			}
+			if e.TID == mainTID {
+				t.Errorf("parallel subquery %q on the main track", e.Name)
+			}
+		}
+	}
+	if subs != 2 {
+		t.Errorf("subquery events = %d, want 2", subs)
+	}
+	merge := eventFor(events, "merge")
+	if merge == nil || !contains(fin, merge) {
+		t.Error("merge event missing or not within finalize")
+	}
+	// The correlation label survives into the track name and args.
+	if session.Args["label"] != "req-42" {
+		t.Errorf("session args label = %v", session.Args["label"])
+	}
+}
+
+func TestPerfettoExportEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file TraceEventFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.TraceEvents == nil || len(file.TraceEvents) != 0 {
+		t.Errorf("empty export events = %#v", file.TraceEvents)
+	}
+	// Nil traces inside the slice are skipped.
+	if evs := PerfettoEvents([]*Trace{nil}); len(evs) != 0 {
+		t.Errorf("nil trace produced events: %v", evs)
+	}
+	// A query-kind trace without rounds exports cleanly.
+	o := New(nil)
+	tr := o.StartTrace("query")
+	o.FinalizeDone(tr, FinalizeSpan{K: 5, Subqueries: 1, DurationNS: 1e6, Subspans: []SubquerySpan{{Node: 1, DurationNS: 1e5}}})
+	evs := PerfettoEvents(o.Traces())
+	if eventFor(evs, "query") == nil {
+		t.Error("query trace missing root event")
+	}
+}
+
+func TestTracesFiltered(t *testing.T) {
+	o := New(nil)
+	for i := 0; i < 5; i++ {
+		kind := "session"
+		if i%2 == 1 {
+			kind = "query"
+		}
+		tr := o.StartTrace(kind)
+		o.FinalizeDone(tr, FinalizeSpan{K: 1, DurationNS: int64(i)})
+	}
+	all := o.TracesFiltered("", 0)
+	if len(all) != 5 {
+		t.Fatalf("unfiltered = %d traces", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID < all[i].ID {
+			t.Fatalf("not newest-first: %d before %d", all[i-1].ID, all[i].ID)
+		}
+	}
+	if got := o.TracesFiltered("", 2); len(got) != 2 || got[0].ID != all[0].ID {
+		t.Errorf("limit=2 returned %d traces starting at %v", len(got), got[0].ID)
+	}
+	queries := o.TracesFiltered("query", 0)
+	if len(queries) != 2 {
+		t.Fatalf("kind=query returned %d", len(queries))
+	}
+	for _, tr := range queries {
+		if tr.Kind != "query" {
+			t.Errorf("kind filter leaked %q", tr.Kind)
+		}
+	}
+	if got := o.TracesFiltered("session", 1); len(got) != 1 || got[0].Kind != "session" {
+		t.Errorf("kind+limit = %+v", got)
+	}
+	var nilObs *Observer
+	if nilObs.TracesFiltered("", 0) != nil {
+		t.Error("nil observer returned traces")
+	}
+}

@@ -30,6 +30,14 @@ const (
 // DefaultTraceCap bounds the completed-trace ring.
 const DefaultTraceCap = 64
 
+// Windowed-digest names the Observer feeds: per-phase sliding-window latency
+// histograms behind /v1/latency and the qdserve log summaries.
+const (
+	DigestRound    = "phase:round"
+	DigestFinalize = "phase:finalize"
+	DigestKNN      = "phase:knn"
+)
+
 // Observer receives engine telemetry: it folds span records into the metrics
 // registry and retains recently completed traces. One Observer may serve any
 // number of engines, sessions, and servers concurrently.
@@ -55,6 +63,10 @@ type Observer struct {
 	finalizeSeconds *Histogram
 	knnSeconds      *Histogram
 	subqueryFanout  *Histogram
+
+	// windows holds the sliding-window latency digests (per engine phase
+	// here; the HTTP server adds per-endpoint digests to the same set).
+	windows *WindowSet
 
 	nextID   atomic.Uint64
 	traceMu  sync.Mutex
@@ -85,8 +97,18 @@ func New(reg *Registry) *Observer {
 		finalizeSeconds: reg.Histogram(MetricFinalizeSeconds, "Finalize-phase latency in seconds.", DefBuckets),
 		knnSeconds:      reg.Histogram(MetricKNNSeconds, "Global k-NN latency in seconds.", DefBuckets),
 		subqueryFanout:  reg.Histogram(MetricSubqueryFanout, "Localized subqueries per finalized query.", FanoutBuckets),
+		windows:         NewWindowSet(0, 0),
 		traceCap:        DefaultTraceCap,
 	}
+}
+
+// Windows returns the observer's sliding-window latency digests (nil for a
+// nil observer; every WindowSet method tolerates nil).
+func (o *Observer) Windows() *WindowSet {
+	if o == nil {
+		return nil
+	}
+	return o.windows
 }
 
 // Registry returns the observer's metrics registry (nil for a nil observer).
@@ -163,7 +185,9 @@ func (o *Observer) RoundDone(t *Trace, span RoundSpan) {
 	}
 	o.feedbackRounds.Inc()
 	o.feedbackReads.Add(span.PageReads)
-	o.roundSeconds.Observe(float64(span.DurationNS) / 1e9)
+	sec := float64(span.DurationNS) / 1e9
+	o.roundSeconds.Observe(sec)
+	o.windows.Observe(DigestRound, sec)
 }
 
 // FinalizeDone records a completed finalize phase and retires the trace into
@@ -176,7 +200,9 @@ func (o *Observer) FinalizeDone(t *Trace, span FinalizeSpan) {
 	o.finalReads.Add(span.PageReads)
 	o.expansions.Add(uint64(span.Expansions))
 	o.heapPops.Add(span.HeapPops)
-	o.finalizeSeconds.Observe(float64(span.DurationNS) / 1e9)
+	sec := float64(span.DurationNS) / 1e9
+	o.finalizeSeconds.Observe(sec)
+	o.windows.Observe(DigestFinalize, sec)
 	o.subqueryFanout.Observe(float64(span.Subqueries))
 	if t != nil {
 		t.Finalize = &span
@@ -193,6 +219,7 @@ func (o *Observer) KNNDone(d time.Duration, pageReads uint64) {
 	o.knns.Inc()
 	o.knnReads.Add(pageReads)
 	o.knnSeconds.Observe(d.Seconds())
+	o.windows.Observe(DigestKNN, d.Seconds())
 }
 
 // retain pushes a completed trace into the bounded ring.
@@ -217,5 +244,28 @@ func (o *Observer) Traces() []*Trace {
 	defer o.traceMu.Unlock()
 	out := make([]*Trace, len(o.traces))
 	copy(out, o.traces)
+	return out
+}
+
+// TracesFiltered returns up to limit retained traces, newest first,
+// optionally restricted to one kind ("session" or "query"; empty keeps all).
+// limit <= 0 returns every match. Nil observers return nil.
+func (o *Observer) TracesFiltered(kind string, limit int) []*Trace {
+	if o == nil {
+		return nil
+	}
+	o.traceMu.Lock()
+	defer o.traceMu.Unlock()
+	var out []*Trace
+	for i := len(o.traces) - 1; i >= 0; i-- {
+		t := o.traces[i]
+		if kind != "" && t.Kind != kind {
+			continue
+		}
+		out = append(out, t)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
 	return out
 }

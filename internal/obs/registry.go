@@ -291,29 +291,39 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
-// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// within the bucket containing it, mirroring Prometheus's histogram_quantile.
-// Samples beyond the last finite bound clamp to that bound. Returns 0 when
-// the histogram is empty.
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing it, mirroring Prometheus's histogram_quantile. q is
+// clamped to [0, 1]; q=0 yields the lower edge of the first bucket holding
+// mass and q=1 the upper edge of the last. Samples in the +Inf overflow
+// bucket (beyond the last finite bound) clamp to that bound, since no finite
+// interpolation point exists past it. Returns 0 when the histogram is empty.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Buckets) == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(h.Count)
 	lower := 0.0
 	prev := uint64(0)
 	for _, b := range h.Buckets {
-		if float64(b.Count) >= rank {
-			width := b.UpperBound - lower
-			inBucket := float64(b.Count - prev)
-			if inBucket == 0 {
-				return b.UpperBound
+		// Empty buckets cannot contain the quantile: skip them so a rank on
+		// their boundary lands in the nearest bucket that holds mass instead
+		// of snapping to an arbitrary empty bound (the q=0 edge case).
+		if inBucket := float64(b.Count - prev); inBucket > 0 && float64(b.Count) >= rank {
+			r := rank - float64(prev)
+			if r < 0 {
+				r = 0 // rank fell in a preceding empty bucket: clamp to this one's lower edge
 			}
-			return lower + width*(rank-float64(prev))/inBucket
+			return lower + (b.UpperBound-lower)*r/inBucket
 		}
 		lower = b.UpperBound
 		prev = b.Count
 	}
+	// All remaining mass sits in the +Inf overflow bucket.
 	return h.Buckets[len(h.Buckets)-1].UpperBound
 }
 

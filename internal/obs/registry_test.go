@@ -172,3 +172,90 @@ func TestQuantile(t *testing.T) {
 		t.Fatalf("empty histogram quantile = %v, want 0", q)
 	}
 }
+
+// snapFor builds a cumulative snapshot directly from per-bucket masses.
+func snapFor(bounds []float64, perBucket []uint64, overflow uint64) HistogramSnapshot {
+	hs := HistogramSnapshot{}
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += perBucket[i]
+		hs.Buckets = append(hs.Buckets, Bucket{UpperBound: b, Count: cum})
+	}
+	hs.Count = cum + overflow
+	return hs
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+
+	t.Run("empty", func(t *testing.T) {
+		empty := snapFor(bounds, []uint64{0, 0, 0}, 0)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := empty.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single bucket mass", func(t *testing.T) {
+		// All mass in the middle bucket (1, 2].
+		hs := snapFor(bounds, []uint64{0, 8, 0}, 0)
+		if got := hs.Quantile(0); got != 1 {
+			t.Errorf("q=0 = %v, want lower edge 1 (not an empty bucket's bound)", got)
+		}
+		if got := hs.Quantile(1); got != 2 {
+			t.Errorf("q=1 = %v, want upper edge 2", got)
+		}
+		if got := hs.Quantile(0.5); got != 1.5 {
+			t.Errorf("median = %v, want midpoint 1.5", got)
+		}
+	})
+
+	t.Run("q0 and q1 clamp to mass", func(t *testing.T) {
+		hs := snapFor(bounds, []uint64{4, 0, 4}, 0)
+		if got := hs.Quantile(0); got != 0 {
+			t.Errorf("q=0 = %v, want 0 (first bucket's lower edge)", got)
+		}
+		if got := hs.Quantile(1); got != 4 {
+			t.Errorf("q=1 = %v, want 4 (last occupied bucket's bound)", got)
+		}
+		// The empty middle bucket must never be an answer: the median of 8
+		// samples sits at rank 4 = the first bucket's full mass.
+		if got := hs.Quantile(0.5); got != 1 {
+			t.Errorf("median across empty bucket = %v, want 1", got)
+		}
+		// Out-of-range q clamps instead of extrapolating.
+		if got := hs.Quantile(-3); got != 0 {
+			t.Errorf("q=-3 = %v, want 0", got)
+		}
+		if got := hs.Quantile(7); got != 4 {
+			t.Errorf("q=7 = %v, want 4", got)
+		}
+	})
+
+	t.Run("overflow bucket clamps to last finite bound", func(t *testing.T) {
+		// 2 finite samples, 6 in the +Inf overflow bucket: any quantile past
+		// the finite mass clamps to the last finite bound (no interpolation
+		// point exists beyond it).
+		hs := snapFor(bounds, []uint64{2, 0, 0}, 6)
+		if got := hs.Quantile(0.99); got != 4 {
+			t.Errorf("p99 with overflow mass = %v, want last finite bound 4", got)
+		}
+		if got := hs.Quantile(0.1); got != 0.4 {
+			t.Errorf("p10 = %v, want 0.4 (within the finite mass)", got)
+		}
+		// Everything in overflow: still the last finite bound, not 0 or +Inf.
+		all := snapFor(bounds, []uint64{0, 0, 0}, 5)
+		if got := all.Quantile(0.5); got != 4 {
+			t.Errorf("median of overflow-only mass = %v, want 4", got)
+		}
+	})
+
+	t.Run("interpolation within a bucket", func(t *testing.T) {
+		hs := snapFor(bounds, []uint64{0, 10, 0}, 0)
+		// Rank 2.5 of 10 in bucket (1, 2]: 1 + 1*2.5/10.
+		if got := hs.Quantile(0.25); got != 1.25 {
+			t.Errorf("q=0.25 = %v, want 1.25", got)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Trace is the span record of one query's lifetime: every feedback round's
 // descent plus the finalize phase. Traces are produced by the engine (one per
@@ -19,10 +22,47 @@ type Trace struct {
 	DurationNS int64         `json:"duration_ns"`
 	Rounds     []RoundSpan   `json:"rounds,omitempty"`
 	Finalize   *FinalizeSpan `json:"finalize,omitempty"`
+	// Label is an optional correlation key (the server's request or session
+	// id) linking this trace to log lines and response headers.
+	Label string `json:"label,omitempty"`
 
 	// displayed accumulates representatives shown since the last feedback
 	// round; RoundDone folds it into the round's span.
 	displayed int
+}
+
+// SetLabel attaches a correlation key to the trace; nil-safe.
+func (t *Trace) SetLabel(label string) {
+	if t != nil {
+		t.Label = label
+	}
+}
+
+// SinceStart returns the nanoseconds elapsed since the trace opened — the
+// offset a span starting now should record. Returns 0 on a nil trace, so
+// uninstrumented paths can compute offsets unconditionally cheaply guarded by
+// the observer nil-check.
+func (t *Trace) SinceStart() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.Start).Nanoseconds()
+}
+
+// traceLabelKey carries a correlation label through a context.
+type traceLabelKey struct{}
+
+// WithTraceLabel returns a context carrying a correlation label (the server's
+// request id). The engine copies it onto any trace it opens under that
+// context, linking the trace to the request's log lines and response headers.
+func WithTraceLabel(ctx context.Context, label string) context.Context {
+	return context.WithValue(ctx, traceLabelKey{}, label)
+}
+
+// TraceLabelFromContext extracts the correlation label, or "" when absent.
+func TraceLabelFromContext(ctx context.Context) string {
+	label, _ := ctx.Value(traceLabelKey{}).(string)
+	return label
 }
 
 // AddDisplayed notes n representatives shown to the user (one Candidates
@@ -38,6 +78,7 @@ func (t *Trace) AddDisplayed(n int) {
 // I/O — the per-round quantities the paper's §5.2.2 cost model bounds.
 type RoundSpan struct {
 	Round         int    `json:"round"`          // 1-based
+	OffsetNS      int64  `json:"offset_ns"`      // span start relative to the trace start
 	Marked        int    `json:"marked"`         // images marked this round
 	Relevant      int    `json:"relevant"`       // panel size after the round
 	Subqueries    int    `json:"subqueries"`     // frontier width after the round
@@ -50,6 +91,7 @@ type RoundSpan struct {
 // SubquerySpan records one localized k-NN subquery of the finalize phase.
 type SubquerySpan struct {
 	Node         uint64 `json:"node"`          // page ID of the anchor subcluster
+	OffsetNS     int64  `json:"offset_ns"`     // span start relative to the trace start
 	QueryImages  int    `json:"query_images"`  // relevant images forming the local multipoint query
 	Allocated    int    `json:"allocated"`     // result slots allocated (§3.4 proportional share)
 	Expanded     bool   `json:"expanded"`      // §3.3 boundary expansion widened the search
@@ -63,11 +105,15 @@ type SubquerySpan struct {
 // effort, and the serial merge.
 type FinalizeSpan struct {
 	K          int            `json:"k"`
+	OffsetNS   int64          `json:"offset_ns"`  // span start relative to the trace start
 	Subqueries int            `json:"subqueries"` // fan-out (number of localized subqueries)
 	Expansions int            `json:"expansions"` // §3.3 boundary expansions
 	PageReads  uint64         `json:"page_reads"` // simulated disk reads of the whole phase (incl. top-up)
 	HeapPops   uint64         `json:"heap_pops"`  // queue pops across all subqueries (incl. top-up)
 	Subspans   []SubquerySpan `json:"subqueries_detail,omitempty"`
-	MergeNS    int64          `json:"merge_ns"` // serial merge + top-up wall time
-	DurationNS int64          `json:"duration_ns"`
+	// MergeOffsetNS is the serial merge + top-up start relative to the trace
+	// start; MergeNS is its wall time.
+	MergeOffsetNS int64 `json:"merge_offset_ns"`
+	MergeNS       int64 `json:"merge_ns"`
+	DurationNS    int64 `json:"duration_ns"`
 }

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file implements the continuous-profiling digests: sliding-window
+// latency histograms that answer "what is the p99 over the last minute",
+// which the registry's cumulative histograms cannot (their counts never
+// reset, so a morning latency spike dominates the quantiles all day).
+//
+// A WindowedHistogram is a ring of fixed-bucket sub-histograms. Each slot
+// covers one coarse monotonic tick (SlotDuration of wall time); Observe folds
+// the sample into the slot for the current tick, rotating the ring forward —
+// and clearing slots whose ticks have passed — when the clock has moved on.
+// A windowed read merges the slots young enough to fall inside the requested
+// window into one HistogramSnapshot, so quantile estimation reuses the exact
+// interpolation the cumulative histograms use. Rotation is O(slots skipped)
+// and reads are O(slots·buckets); both are far off the hot path (one Observe
+// per feedback round / finalize / HTTP request, one read per /v1/latency
+// poll or log summary).
+
+// Default windowed-digest geometry: 61 slots of 15s cover the longest
+// supported window (15 minutes) plus the currently filling slot.
+const (
+	// DefaultSlotDuration is one ring slot's share of wall time.
+	DefaultSlotDuration = 15 * time.Second
+	// DefaultSlots is the ring length: 15 minutes of history plus the slot
+	// currently being filled.
+	DefaultSlots = 15*60/15 + 1
+)
+
+// DefaultWindows are the lookback horizons /v1/latency and the qdserve log
+// summaries report, shortest first.
+var DefaultWindows = []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute}
+
+// windowSlot is one tick's sub-histogram. Counts are per-bucket (not
+// cumulative); merging converts to the cumulative Snapshot form.
+type windowSlot struct {
+	tick   int64 // monotonic tick this slot holds samples for; -1 = empty
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// WindowedHistogram is a sliding-window histogram: a ring of per-tick
+// sub-histograms merged at read time. All methods are safe for concurrent
+// use; a single mutex suffices because every caller is already off the
+// engine's hot path (a nil Observer never reaches a digest).
+type WindowedHistogram struct {
+	mu       sync.Mutex
+	bounds   []float64 // ascending upper bounds; implicit +Inf bucket follows
+	slotDur  time.Duration
+	slots    []windowSlot
+	head     int  // ring position of headTick
+	hasTick  bool // false until the first Observe
+	headTick int64
+
+	now func() time.Time // injectable for tests
+}
+
+// NewWindowedHistogram returns a sliding-window histogram with the given
+// bucket bounds (nil selects DefBuckets) and ring geometry (non-positive
+// values select the defaults).
+func NewWindowedHistogram(bounds []float64, slotDur time.Duration, slots int) *WindowedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	if !sort.Float64sAreSorted(b) {
+		panic("obs: windowed histogram bounds must be sorted ascending")
+	}
+	if slotDur <= 0 {
+		slotDur = DefaultSlotDuration
+	}
+	if slots <= 1 {
+		slots = DefaultSlots
+	}
+	w := &WindowedHistogram{
+		bounds:  b,
+		slotDur: slotDur,
+		slots:   make([]windowSlot, slots),
+		now:     time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].tick = -1
+		w.slots[i].counts = make([]uint64, len(b)+1)
+	}
+	return w
+}
+
+// SetClock replaces the wall clock driving ring rotation (tests and
+// benchmarks only; production digests run on time.Now).
+func (w *WindowedHistogram) SetClock(now func() time.Time) {
+	w.mu.Lock()
+	w.now = now
+	w.mu.Unlock()
+}
+
+// tickAt converts a wall time to a coarse monotonic tick.
+func (w *WindowedHistogram) tickAt(t time.Time) int64 {
+	return t.UnixNano() / int64(w.slotDur)
+}
+
+// rotate advances the ring to the given tick, clearing every slot whose tick
+// has passed out from under it. Caller holds w.mu.
+func (w *WindowedHistogram) rotate(tick int64) {
+	if !w.hasTick {
+		w.hasTick = true
+		w.headTick = tick
+		w.slots[w.head].reset(tick)
+		return
+	}
+	if tick <= w.headTick {
+		return // same slot, or a clock step backwards: keep filling head
+	}
+	steps := tick - w.headTick
+	if steps > int64(len(w.slots)) {
+		steps = int64(len(w.slots)) // everything expired; clear one full lap
+	}
+	for i := int64(0); i < steps; i++ {
+		w.head = (w.head + 1) % len(w.slots)
+		w.slots[w.head].reset(w.headTick + i + 1)
+	}
+	w.headTick = tick
+	// After a long gap the head slot's recorded tick lags the clamped walk;
+	// pin it to the current tick so fresh samples age correctly.
+	w.slots[w.head].tick = tick
+}
+
+// reset clears a slot for reuse under a new tick.
+func (s *windowSlot) reset(tick int64) {
+	s.tick = tick
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.sum = 0
+	s.count = 0
+}
+
+// Observe records one sample into the current tick's slot.
+func (w *WindowedHistogram) Observe(v float64) {
+	w.mu.Lock()
+	w.rotate(w.tickAt(w.now()))
+	s := &w.slots[w.head]
+	i := 0
+	for i < len(w.bounds) && v > w.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	w.mu.Unlock()
+}
+
+// Snapshot merges every slot younger than the window into one cumulative
+// HistogramSnapshot (the same shape /v1/stats exposes, so Quantile applies).
+// A window shorter than one slot still covers the currently filling slot.
+func (w *WindowedHistogram) Snapshot(window time.Duration) HistogramSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hs := HistogramSnapshot{Buckets: make([]Bucket, len(w.bounds))}
+	for i, bound := range w.bounds {
+		hs.Buckets[i].UpperBound = bound
+	}
+	if !w.hasTick {
+		return hs
+	}
+	nowTick := w.tickAt(w.now())
+	span := int64(window / w.slotDur)
+	if span < 1 {
+		span = 1
+	}
+	oldest := nowTick - span + 1
+	for si := range w.slots {
+		s := &w.slots[si]
+		if s.tick < oldest || s.tick > nowTick || s.count == 0 {
+			continue
+		}
+		for bi := range w.bounds {
+			hs.Buckets[bi].Count += s.counts[bi]
+		}
+		hs.Sum += s.sum
+		hs.Count += s.count
+	}
+	// Convert per-bucket counts to the cumulative Prometheus form.
+	cum := uint64(0)
+	for bi := range hs.Buckets {
+		cum += hs.Buckets[bi].Count
+		hs.Buckets[bi].Count = cum
+	}
+	return hs
+}
+
+// LatencyStats summarizes one digest over one window.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// statsFor reduces a merged snapshot to the headline quantiles.
+func statsFor(hs HistogramSnapshot) LatencyStats {
+	return LatencyStats{
+		Count: hs.Count,
+		Sum:   hs.Sum,
+		P50:   hs.Quantile(0.50),
+		P95:   hs.Quantile(0.95),
+		P99:   hs.Quantile(0.99),
+	}
+}
+
+// WindowSet is a named collection of windowed digests: one per engine phase
+// ("phase:round", "phase:finalize", "phase:knn") plus one per HTTP endpoint
+// ("endpoint:/v1/query", ...), created on first use.
+type WindowSet struct {
+	mu      sync.Mutex
+	byName  map[string]*WindowedHistogram
+	order   []string
+	slotDur time.Duration
+	slots   int
+}
+
+// NewWindowSet returns an empty digest collection with the given ring
+// geometry for each digest it creates (non-positive values select defaults).
+func NewWindowSet(slotDur time.Duration, slots int) *WindowSet {
+	return &WindowSet{byName: make(map[string]*WindowedHistogram), slotDur: slotDur, slots: slots}
+}
+
+// Digest returns (creating if needed) the named digest. Nil-safe: a nil set
+// returns nil, and Observe on the result is then a no-op via the nil check in
+// WindowSet.Observe — callers on instrumented paths always hold a real set.
+func (ws *WindowSet) Digest(name string) *WindowedHistogram {
+	if ws == nil {
+		return nil
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	w, ok := ws.byName[name]
+	if !ok {
+		w = NewWindowedHistogram(DefBuckets, ws.slotDur, ws.slots)
+		ws.byName[name] = w
+		ws.order = append(ws.order, name)
+	}
+	return w
+}
+
+// Observe records one sample (in seconds) into the named digest.
+func (ws *WindowSet) Observe(name string, seconds float64) {
+	if ws == nil {
+		return
+	}
+	ws.Digest(name).Observe(seconds)
+}
+
+// setClock pins every current digest's clock (tests only).
+func (ws *WindowSet) setClock(now func() time.Time) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for _, w := range ws.byName {
+		w.SetClock(now)
+	}
+}
+
+// LatencyReport is the /v1/latency body: digest name -> window label ("1m",
+// "5m", "15m") -> quantile summary.
+type LatencyReport map[string]map[string]LatencyStats
+
+// WindowLabel renders a lookback horizon the way LatencyReport keys it
+// ("1m", "5m", "15m", "90s").
+func WindowLabel(d time.Duration) string {
+	if d >= time.Minute && d%time.Minute == 0 {
+		return strconv.FormatInt(int64(d/time.Minute), 10) + "m"
+	}
+	return d.String()
+}
+
+// Report summarizes every digest over the given windows (nil selects
+// DefaultWindows). Digests appear in creation order under their names.
+func (ws *WindowSet) Report(windows []time.Duration) LatencyReport {
+	if ws == nil {
+		return LatencyReport{}
+	}
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	ws.mu.Lock()
+	names := make([]string, len(ws.order))
+	copy(names, ws.order)
+	digests := make([]*WindowedHistogram, len(names))
+	for i, n := range names {
+		digests[i] = ws.byName[n]
+	}
+	ws.mu.Unlock()
+	out := make(LatencyReport, len(names))
+	for i, name := range names {
+		per := make(map[string]LatencyStats, len(windows))
+		for _, win := range windows {
+			per[WindowLabel(win)] = statsFor(digests[i].Snapshot(win))
+		}
+		out[name] = per
+	}
+	return out
+}

@@ -65,3 +65,17 @@ func (t *Tree) invalidateBlocks() {
 // BlocksPacked reports whether the leaf-block acceleration is active
 // (exported for tests and diagnostics).
 func (t *Tree) BlocksPacked() bool { return t.blocksOK }
+
+// SetBlockScoring toggles the leaf-block batch kernels at runtime. Disabling
+// reverts every search to per-item scalar scoring; re-enabling repacks the
+// slab. Results, SearchStats, and Accounter traffic are identical either way —
+// the agreement tests rely on this switch to compare the two paths.
+func (t *Tree) SetBlockScoring(enabled bool) {
+	if enabled {
+		if !t.blocksOK {
+			t.packBlocks()
+		}
+		return
+	}
+	t.invalidateBlocks()
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+
+	"qdcbir/internal/obs"
+)
+
+// This file holds the operational endpoints: liveness (/healthz), build
+// identification (/v1/buildinfo), and the sliding-window latency digests
+// (/v1/latency) that answer "what is the p99 right now" where the cumulative
+// histograms in /v1/stats answer "what has it been since boot".
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// chain is serving. It deliberately touches no engine state, so it stays
+// cheap and cannot fail while the server can still answer at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// BuildInfoResponse identifies the running binary and the corpus it serves.
+type BuildInfoResponse struct {
+	GoVersion   string `json:"go_version"`
+	Revision    string `json:"revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	Images      int    `json:"images"`
+	TreeHeight  int    `json:"tree_height"`
+}
+
+// buildInfo assembles the response (separated from the handler so qdserve can
+// log the same facts at startup).
+func (s *Server) buildInfo() BuildInfoResponse {
+	out := BuildInfoResponse{
+		Images:     s.engine.RFS().Len(),
+		TreeHeight: s.engine.RFS().Tree().Height(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				out.Revision = kv.Value
+			case "vcs.time":
+				out.VCSTime = kv.Value
+			case "vcs.modified":
+				out.VCSModified = kv.Value == "true"
+			}
+		}
+	}
+	return out
+}
+
+// BuildInfo reports the served binary's build identification and corpus shape
+// (exported for qdserve's startup log).
+func (s *Server) BuildInfo() BuildInfoResponse { return s.buildInfo() }
+
+// handleBuildInfo serves the binary/corpus identification.
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildInfo())
+}
+
+// LatencyResponse is the /v1/latency body: for every digest (engine phases
+// and HTTP endpoints), quantile summaries over each lookback window.
+type LatencyResponse struct {
+	Windows []string          `json:"windows"`
+	Digests obs.LatencyReport `json:"digests"`
+}
+
+// handleLatency serves the sliding-window latency digests.
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	labels := make([]string, len(obs.DefaultWindows))
+	for i, win := range obs.DefaultWindows {
+		labels[i] = obs.WindowLabel(win)
+	}
+	writeJSON(w, http.StatusOK, LatencyResponse{
+		Windows: labels,
+		Digests: s.obs.Windows().Report(nil),
+	})
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/core"
+	"qdcbir/internal/obs"
+)
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var out struct {
+		Status string `json:"status"`
+	}
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, out)
+	}
+}
+
+func TestBuildInfoEndpoint(t *testing.T) {
+	_, ts, corpus := newTestServer(t)
+	var out BuildInfoResponse
+	resp := getJSON(t, ts.URL+"/v1/buildinfo", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buildinfo: status %d", resp.StatusCode)
+	}
+	if out.Images != corpus.Len() {
+		t.Errorf("buildinfo images = %d, corpus = %d", out.Images, corpus.Len())
+	}
+	if out.TreeHeight < 1 {
+		t.Errorf("buildinfo tree height = %d", out.TreeHeight)
+	}
+	// Under `go test` the build info may carry no VCS stamp, but the Go
+	// version is always present.
+	if !strings.HasPrefix(out.GoVersion, "go") {
+		t.Errorf("buildinfo go version = %q", out.GoVersion)
+	}
+}
+
+// TestLatencyEndpoint drives a query, then checks the phase digest and the
+// endpoint digest both carry the sample in every default window.
+func TestLatencyEndpoint(t *testing.T) {
+	_, ts := newObservedServer(t)
+	var qr QueryResponse
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Relevant: []int{0, 1, 2}, K: 10}, &qr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d", resp.StatusCode)
+	}
+	var out LatencyResponse
+	if r := getJSON(t, ts.URL+"/v1/latency", &out); r.StatusCode != http.StatusOK {
+		t.Fatalf("latency: status %d", r.StatusCode)
+	}
+	if len(out.Windows) != len(obs.DefaultWindows) {
+		t.Fatalf("windows = %v", out.Windows)
+	}
+	fin, ok := out.Digests[obs.DigestFinalize]
+	if !ok {
+		t.Fatalf("no finalize digest; digests = %v", out.Digests)
+	}
+	for _, label := range out.Windows {
+		if fin[label].Count == 0 {
+			t.Errorf("finalize digest window %q empty", label)
+		}
+	}
+	ep, ok := out.Digests["endpoint:/v1/query"]
+	if !ok {
+		t.Fatalf("no /v1/query endpoint digest; digests = %v", out.Digests)
+	}
+	if ep["15m"].Count != 1 {
+		t.Errorf("endpoint digest count = %d, want 1", ep["15m"].Count)
+	}
+	if ep["15m"].P95 <= 0 {
+		t.Errorf("endpoint digest p95 = %v", ep["15m"].P95)
+	}
+}
+
+// finalizedSessionServer runs n full sessions plus one stateless query so the
+// trace ring holds n "session" traces and one "query" trace.
+func finalizedSessionServer(t *testing.T, n int) string {
+	t.Helper()
+	_, ts := newObservedServer(t)
+	for i := 0; i < n; i++ {
+		id := createSession(t, ts.URL, int64(7+i))
+		cands, _ := getCandidates(t, ts.URL, id)
+		postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/feedback", ts.URL, id),
+			FeedbackRequest{Relevant: cands[:2]}, nil)
+		postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/finalize", ts.URL, id),
+			map[string]int{"k": 10}, nil)
+	}
+	postJSON(t, ts.URL+"/v1/query", QueryRequest{Relevant: []int{0, 1}, K: 5}, nil)
+	return ts.URL
+}
+
+func TestTracesFilteringAndOrder(t *testing.T) {
+	base := finalizedSessionServer(t, 3)
+	var out struct {
+		Traces []*obs.Trace `json:"traces"`
+	}
+	getJSON(t, base+"/v1/traces", &out)
+	if len(out.Traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(out.Traces))
+	}
+	// Newest first: the stateless query ran last.
+	if out.Traces[0].Kind != "query" {
+		t.Errorf("first trace kind = %q, want the newest (query)", out.Traces[0].Kind)
+	}
+	for i := 1; i < len(out.Traces); i++ {
+		if out.Traces[i-1].ID < out.Traces[i].ID {
+			t.Errorf("traces not newest-first at %d", i)
+		}
+	}
+	// Sessions carry their API handle as the correlation label.
+	var sessions struct {
+		Traces []*obs.Trace `json:"traces"`
+	}
+	getJSON(t, base+"/v1/traces?kind=session", &sessions)
+	if len(sessions.Traces) != 3 {
+		t.Fatalf("kind=session traces = %d, want 3", len(sessions.Traces))
+	}
+	for _, tr := range sessions.Traces {
+		if !strings.HasPrefix(tr.Label, "session-") {
+			t.Errorf("session trace label = %q, want session-<id>", tr.Label)
+		}
+	}
+	var limited struct {
+		Traces []*obs.Trace `json:"traces"`
+	}
+	getJSON(t, base+"/v1/traces?limit=2", &limited)
+	if len(limited.Traces) != 2 || limited.Traces[0].ID != out.Traces[0].ID {
+		t.Errorf("limit=2 returned %d traces", len(limited.Traces))
+	}
+	if resp := getJSON(t, base+"/v1/traces?limit=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, base+"/v1/traces?format=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format: status %d", resp.StatusCode)
+	}
+}
+
+func TestTracesPerfettoFormat(t *testing.T) {
+	base := finalizedSessionServer(t, 1)
+	resp, err := http.Get(base + "/v1/traces?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var file obs.TraceEventFile
+	if err := json.NewDecoder(resp.Body).Decode(&file); err != nil {
+		t.Fatalf("perfetto body is not trace-event JSON: %v", err)
+	}
+	var names []string
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" {
+			names = append(names, e.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"session", "round 1", "finalize"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("perfetto events missing %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestRequestIDCorrelation checks the middleware's three correlation
+// surfaces: the response header, the structured log line, and the trace label
+// of a query opened under the request.
+func TestRequestIDCorrelation(t *testing.T) {
+	eng, corpus := testSystem(t)
+	cfg := eng.Config()
+	cfg.Observer = obs.New(nil)
+	srv := New(core.NewEngine(eng.RFS(), cfg), corpus.SubconceptOf)
+	var logBuf bytes.Buffer
+	srv.SetLogger(slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(hts.Close)
+	ts := hts.URL
+
+	// A supplied X-Request-Id is propagated verbatim.
+	req, _ := http.NewRequest(http.MethodGet, ts+"/v1/info", nil)
+	req.Header.Set("X-Request-Id", "corr-xyz")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "corr-xyz" {
+		t.Errorf("echoed request id = %q", got)
+	}
+
+	// An absent header is filled in, and the id lands on the query's trace.
+	body, _ := json.Marshal(QueryRequest{Relevant: []int{0, 1}, K: 5})
+	qresp, err := http.Post(ts+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, qresp.Body)
+	qresp.Body.Close()
+	reqID := qresp.Header.Get("X-Request-Id")
+	if !strings.HasPrefix(reqID, "req-") {
+		t.Fatalf("generated request id = %q", reqID)
+	}
+	traces := srv.Observer().TracesFiltered("query", 1)
+	if len(traces) != 1 || traces[0].Label != reqID {
+		t.Fatalf("query trace label = %+v, want %q", traces, reqID)
+	}
+	// Every request logged one line carrying its id.
+	logs := logBuf.String()
+	for _, want := range []string{`"request_id":"corr-xyz"`, `"request_id":"` + reqID + `"`, `"path":"/v1/query"`, `"status":200`} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log output missing %s in:\n%s", want, logs)
+		}
+	}
+}
+
+func TestEndpointOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/info":                    "/v1/info",
+		"/v1/sessions":                "/v1/sessions",
+		"/v1/sessions/42":             "/v1/sessions/{id}",
+		"/v1/sessions/42/feedback":    "/v1/sessions/{id}/feedback",
+		"/v1/image/17":                "/v1/image/{id}",
+		"/healthz":                    "/healthz",
+		"/v1/traces":                  "/v1/traces",
+		"/v1/sessions/9/finalize":     "/v1/sessions/{id}/finalize",
+		"/v1/sessions/10/candidates":  "/v1/sessions/{id}/candidates",
+		"/v1/image/0":                 "/v1/image/{id}",
+		"/v1/sessions/":               "/v1/sessions/{id}",
+		"/v1/sessions/77/candidates/": "/v1/sessions/{id}/candidates/",
+	} {
+		if got := endpointOf(path); got != want {
+			t.Errorf("endpointOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

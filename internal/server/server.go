@@ -25,11 +25,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qdcbir/internal/core"
 	"qdcbir/internal/img"
@@ -60,6 +64,12 @@ type Server struct {
 	obs      *obs.Observer
 	httpReqs *obs.Counter
 	httpErrs *obs.Counter
+
+	// log receives one structured line per request, keyed by request id (nil
+	// disables request logging; telemetry counters still run).
+	log *slog.Logger
+	// reqSeq numbers requests that arrive without an X-Request-Id header.
+	reqSeq atomic.Uint64
 
 	mu       sync.Mutex
 	sessions map[string]*hostedSession
@@ -108,6 +118,12 @@ func New(engine *core.Engine, label Labeler) *Server {
 
 // Observer returns the server's telemetry sink (never nil).
 func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// SetLogger installs a structured request logger. Every request then emits
+// one line carrying the correlation id also returned in the X-Request-Id
+// response header (and attached to any trace the request opens). A nil logger
+// (the default) disables request logging.
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
 
 // SetMaxSessions overrides the hosted-session cap (values < 1 keep the
 // default). Call before serving traffic.
@@ -210,8 +226,11 @@ type StatsResponse struct {
 // ---- handler ----
 
 // Handler returns the HTTP handler serving the v1 API plus the observability
-// endpoints (/metrics in Prometheus text format, /v1/stats and /v1/traces as
-// JSON). Every request passing through the handler is counted.
+// endpoints (/metrics in Prometheus text format; /v1/stats, /v1/traces,
+// /v1/latency, and /v1/buildinfo as JSON; /healthz for liveness probes).
+// Every request passing through the handler is counted, tagged with a
+// correlation id, timed into the per-endpoint latency digests, and labeled
+// for CPU profiles.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/info", s.handleInfo)
@@ -222,6 +241,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/image/", s.handleImage)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/latency", s.handleLatency)
+	mux.HandleFunc("/v1/buildinfo", s.handleBuildInfo)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/ui", s.handleUI)
 	return s.instrument(mux)
@@ -238,14 +260,57 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument counts every request and every error response.
+// endpointOf collapses a request path to its route template so per-endpoint
+// telemetry (latency digests, pprof labels) does not fan out per session or
+// image id.
+func endpointOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/sessions/"):
+		rest := strings.TrimPrefix(path, "/v1/sessions/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return "/v1/sessions/{id}/" + rest[i+1:]
+		}
+		return "/v1/sessions/{id}"
+	case strings.HasPrefix(path, "/v1/image/"):
+		return "/v1/image/{id}"
+	default:
+		return path
+	}
+}
+
+// instrument is the telemetry middleware: it counts every request and every
+// error response, assigns (or propagates) the X-Request-Id correlation id,
+// stamps it on the response and on any trace the request opens, times the
+// request into the per-endpoint sliding-window digests, labels the handler
+// goroutine for CPU profiles, and emits one structured log line.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.httpReqs.Inc()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = "req-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		endpoint := endpointOf(r.URL.Path)
+		ctx := obs.WithTraceLabel(r.Context(), reqID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
+		start := time.Now()
+		pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
+			next.ServeHTTP(sw, r.WithContext(ctx))
+		})
+		elapsed := time.Since(start)
+		s.obs.Windows().Observe("endpoint:"+endpoint, elapsed.Seconds())
 		if sw.status >= 400 {
 			s.httpErrs.Inc()
+		}
+		if s.log != nil {
+			s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("request_id", reqID),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+			)
 		}
 	})
 }
@@ -284,19 +349,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTraces serves the retained per-query trace spans, oldest first.
+// DefaultTraceLimit is how many retained traces /v1/traces returns when the
+// request does not set ?limit=N (limit=0 requests the whole ring).
+const DefaultTraceLimit = 32
+
+// handleTraces serves the retained per-query trace spans, newest first.
+// Query parameters: ?limit=N caps the count (default DefaultTraceLimit,
+// 0 = all), ?kind= filters by trace kind ("session" or "query"), and
+// ?format=perfetto renders Chrome/Perfetto trace-event JSON instead of the
+// native span form — load it at https://ui.perfetto.dev.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	traces := s.obs.Traces()
+	q := r.URL.Query()
+	limit := DefaultTraceLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		limit = n
+	}
+	kind := q.Get("kind")
+	traces := s.obs.TracesFiltered(kind, limit)
 	if traces == nil {
 		traces = []*obs.Trace{}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Traces []*obs.Trace `json:"traces"`
-	}{traces})
+	switch format := q.Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, struct {
+			Traces []*obs.Trace `json:"traces"`
+		}{traces})
+	case "perfetto":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WritePerfetto(w, traces)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q", format)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -431,6 +523,9 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.obs.SessionEvicted()
 	}
 	hs := &hostedSession{sess: s.engine.NewSession(rand.New(rand.NewSource(seed)))}
+	// Correlate the session's trace with its API handle so /v1/traces output
+	// can be joined against client logs.
+	hs.sess.Trace().SetLabel("session-" + id)
 	hs.el = s.lru.PushBack(id)
 	s.sessions[id] = hs
 	s.mu.Unlock()

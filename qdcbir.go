@@ -357,3 +357,8 @@ func (s *System) Corpus() *dataset.Corpus { return s.corpus }
 
 // RFS grants read access to the underlying RFS structure.
 func (s *System) RFS() *rfs.Structure { return s.rfs }
+
+// Engine grants access to the underlying query-decomposition engine for
+// advanced use (the server package and the benchmark suite drive it
+// directly).
+func (s *System) Engine() *core.Engine { return s.engine }

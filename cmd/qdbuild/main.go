@@ -19,13 +19,17 @@ import (
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 )
 
 // Archive is the on-disk form: ground truth plus the RFS snapshot (which
-// carries the vectors).
+// carries the vectors). Quant is the optional SQ8 quantizer of a -quantize
+// build; gob ignores unknown fields, so archives with it load fine in older
+// readers and archives without it leave the pointer nil here.
 type Archive struct {
 	Infos []dataset.Info
 	RFS   *rfs.Snapshot
+	Quant *store.QuantParts
 }
 
 func main() {
@@ -38,11 +42,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		vectors    = flag.Bool("vectors", false, "vector mode (skip rendering)")
 		hierarchy  = flag.String("hierarchy", "str", "clustering backbone: str|insert|kmeans")
+		quantize   = flag.Bool("quantize", false, "train and embed the SQ8 quantizer (8x smaller scan tables; identical results)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, log)
+	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, *quantize, log)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,7 +72,7 @@ func main() {
 
 // buildArchive generates the corpus, builds the RFS structure, and packages
 // both for persistence.
-func buildArchive(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, log *slog.Logger) (*Archive, error) {
+func buildArchive(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, quantize bool, log *slog.Logger) (*Archive, error) {
 	spec := dataset.SmallSpec(seed, categories, images)
 	log.Info("generating corpus", "images", spec.TotalImages(), "categories", len(spec.Categories))
 	var corpus *dataset.Corpus
@@ -95,7 +100,19 @@ func buildArchive(seed int64, categories, images, capacity int, reps float64, ve
 		"height", structure.Tree().Height(), "nodes", structure.Tree().NodeCount(),
 		"representatives", structure.RepCount(),
 		"rep_pct", fmt.Sprintf("%.1f", 100*float64(structure.RepCount())/float64(corpus.Len())))
-	return &Archive{Infos: corpus.Infos, RFS: structure.Snapshot()}, nil
+	arch := &Archive{Infos: corpus.Infos, RFS: structure.Snapshot()}
+	if quantize {
+		qz, err := store.Quantize(corpus.Store())
+		if err != nil {
+			return nil, fmt.Errorf("quantize: %w", err)
+		}
+		parts := qz.Parts()
+		arch.Quant = &parts
+		log.Info("trained SQ8 quantizer",
+			"codes_bytes", len(parts.Codes),
+			"float_bytes", 8*len(parts.Codes))
+	}
+	return arch, nil
 }
 
 func fatal(err error) {

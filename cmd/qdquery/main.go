@@ -39,6 +39,7 @@ import (
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/user"
 	"qdcbir/internal/vec"
 )
@@ -62,6 +63,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "session seed")
 		parallel = flag.Int("parallelism", 0, "worker count for build and finalize pools (0 = one per CPU)")
 		traceOut = flag.String("trace-out", "", "on exit, write the session's traces as Perfetto trace-event JSON to this path (open at ui.perfetto.dev)")
+		quantize = flag.Bool("quantized", false, "run k-NN phases through the SQ8 two-phase scan (adopts the archive's quantizer when present, else trains one; results are identical)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,7 @@ func main() {
 	if *traceOut != "" {
 		observer = obs.New(obs.NewRegistry())
 	}
-	d, err := open(*path, *seed, *parallel, observer)
+	d, err := open(*path, *seed, *parallel, *quantize, observer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qdquery:", err)
 		os.Exit(1)
@@ -105,7 +107,7 @@ func writeTraces(path string, o *obs.Observer) error {
 	return f.Close()
 }
 
-func open(path string, seed int64, parallelism int, observer *obs.Observer) (*db, error) {
+func open(path string, seed int64, parallelism int, quantize bool, observer *obs.Observer) (*db, error) {
 	var infos []dataset.Info
 	var structure *rfs.Structure
 	if path == "" {
@@ -129,6 +131,7 @@ func open(path string, seed int64, parallelism int, observer *obs.Observer) (*db
 		var arch struct {
 			Infos []dataset.Info
 			RFS   *rfs.Snapshot
+			Quant *store.QuantParts
 		}
 		if err := gob.NewDecoder(f).Decode(&arch); err != nil {
 			return nil, fmt.Errorf("decode %s: %w", path, err)
@@ -138,11 +141,22 @@ func open(path string, seed int64, parallelism int, observer *obs.Observer) (*db
 			return nil, err
 		}
 		infos = arch.Infos
+		if quantize && arch.Quant != nil {
+			qz, err := store.FromParts(*arch.Quant)
+			if err != nil {
+				return nil, fmt.Errorf("quantizer: %w", err)
+			}
+			if err := structure.AdoptQuantized(qz); err != nil {
+				return nil, fmt.Errorf("quantizer: %w", err)
+			}
+		}
 	}
+	// An unadopted quantized structure trains its quantizer inside
+	// core.NewEngine (Config.Quantized).
 	return &db{
 		infos:  infos,
 		rfs:    structure,
-		engine: core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}),
+		engine: core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize}),
 	}, nil
 }
 

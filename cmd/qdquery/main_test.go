@@ -138,7 +138,7 @@ func TestREPLAutoSession(t *testing.T) {
 }
 
 func TestOpenInMemory(t *testing.T) {
-	d, err := open("", 9, 0, nil)
+	d, err := open("", 9, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestOpenInMemory(t *testing.T) {
 }
 
 func TestOpenMissingFile(t *testing.T) {
-	if _, err := open("/nonexistent/file.gob", 1, 0, nil); err == nil {
+	if _, err := open("/nonexistent/file.gob", 1, 0, false, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

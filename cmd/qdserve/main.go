@@ -32,6 +32,7 @@ import (
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/server"
+	"qdcbir/internal/store"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "worker count for build and query pools (0 = one per CPU)")
 		debug    = flag.Bool("debug", false, "expose net/http/pprof profiling under /debug/pprof/")
 		digests  = flag.Duration("digest-interval", time.Minute, "how often to log the 1m windowed latency digests (0 disables)")
+		quantize = flag.Bool("quantized", false, "run k-NN phases through the SQ8 two-phase scan (adopts the archive's quantizer when present, else trains one; results are identical)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -55,7 +57,7 @@ func main() {
 	// One observer for the process: the engine reports session/query telemetry
 	// into it and the server adopts it, so /metrics and /v1/stats see both.
 	observer := obs.New(obs.NewRegistry())
-	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel, observer)
+	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel, *quantize, observer)
 	if err != nil {
 		log.Error("load failed", "err", err)
 		os.Exit(1)
@@ -152,7 +154,7 @@ func logDigests(ctx context.Context, log *slog.Logger, o *obs.Observer, every ti
 	}
 }
 
-func load(path string, images int, seed int64, keepImages bool, parallelism int, observer *obs.Observer) (*core.Engine, server.Labeler, []*img.Image, error) {
+func load(path string, images int, seed int64, keepImages bool, parallelism int, quantize bool, observer *obs.Observer) (*core.Engine, server.Labeler, []*img.Image, error) {
 	if path == "" {
 		spec := dataset.SmallSpec(seed, 25, images)
 		corpus := dataset.Build(spec, dataset.Options{
@@ -167,7 +169,7 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 			Seed:        seed + 2,
 			Parallelism: parallelism,
 		})
-		return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}), corpus.SubconceptOf, corpus.Images, nil
+		return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize}), corpus.SubconceptOf, corpus.Images, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -177,6 +179,7 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 	var arch struct {
 		Infos []dataset.Info
 		RFS   *rfs.Snapshot
+		Quant *store.QuantParts
 	}
 	if err := gob.NewDecoder(f).Decode(&arch); err != nil {
 		return nil, nil, nil, fmt.Errorf("decode %s: %w", path, err)
@@ -185,6 +188,15 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if quantize && arch.Quant != nil {
+		qz, err := store.FromParts(*arch.Quant)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("quantizer: %w", err)
+		}
+		if err := structure.AdoptQuantized(qz); err != nil {
+			return nil, nil, nil, fmt.Errorf("quantizer: %w", err)
+		}
+	}
 	infos := arch.Infos
 	label := func(id int) string {
 		if id < 0 || id >= len(infos) {
@@ -192,5 +204,7 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 		}
 		return infos[id].Subconcept
 	}
-	return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer}), label, nil, nil
+	// An unadopted quantized structure trains its quantizer inside
+	// core.NewEngine (Config.Quantized).
+	return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize}), label, nil, nil
 }

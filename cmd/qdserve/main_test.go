@@ -8,7 +8,7 @@ import (
 )
 
 func TestLoadInMemoryAndServe(t *testing.T) {
-	eng, label, rasters, err := load("", 400, 1, true, 0, nil)
+	eng, label, rasters, err := load("", 400, 1, true, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestLoadInMemoryAndServe(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, _, _, err := load("/nonexistent.gob", 0, 1, false, 0, nil); err == nil {
+	if _, _, _, err := load("/nonexistent.gob", 0, 1, false, 0, false, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

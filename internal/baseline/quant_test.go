@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+// TestScanTopKQuantMatchesExact: the two-phase store scan must return exactly
+// the ids of the exact scan, across corpus shapes, ks, and query positions.
+func TestScanTopKQuantMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	corpora := [][]vec.Vector{
+		twoBlobs(rng, 40, 20, 6),
+		twoBlobs(rng, 150, 50, 12),
+	}
+	for ci, pts := range corpora {
+		st := store.FromVectors(pts)
+		qz, err := store.Quantize(st)
+		if err != nil {
+			t.Fatalf("corpus %d: quantize: %v", ci, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			var q vec.Vector
+			if trial%2 == 0 {
+				q = st.At(rng.Intn(st.Len()))
+			} else {
+				q = make(vec.Vector, st.Dim())
+				for j := range q {
+					q[j] = rng.Float64() * 120
+				}
+			}
+			for _, k := range []int{1, 7, 25, st.Len() + 5} {
+				exact := scanTopK(st, k, q, nil)
+				quant := scanTopKQuant(st, qz, k, q, 0)
+				if len(exact) != len(quant) {
+					t.Fatalf("corpus %d trial %d k=%d: sizes %d vs %d", ci, trial, k, len(quant), len(exact))
+				}
+				for i := range exact {
+					if exact[i] != quant[i] {
+						t.Fatalf("corpus %d trial %d k=%d: pos %d id %d, exact %d",
+							ci, trial, k, i, quant[i], exact[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScanTopKQuantFallbacks: unclean corpora, NaN queries, and nil or
+// mismatched quantizers must all route to the exact scan.
+func TestScanTopKQuantFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := twoBlobs(rng, 30, 10, 4)
+	st := store.FromVectors(pts)
+	q := st.At(3)
+
+	exact := scanTopK(st, 9, q, nil)
+	check := func(label string, got []int) {
+		t.Helper()
+		if len(got) != len(exact) {
+			t.Fatalf("%s: sizes %d vs %d", label, len(got), len(exact))
+		}
+		for i := range exact {
+			if got[i] != exact[i] {
+				t.Fatalf("%s: pos %d id %d, exact %d", label, i, got[i], exact[i])
+			}
+		}
+	}
+	check("nil quantizer", scanTopKQuant(st, nil, 9, q, 0))
+	short, _ := store.QuantizeBacking(st.Dim(), st.Backing()[:st.Dim()*5])
+	check("stale quantizer", scanTopKQuant(st, short, 9, q, 0))
+
+	dirty := append([]vec.Vector{}, pts...)
+	dirty[7] = dirty[7].Clone()
+	dirty[7][0] = math.Inf(1)
+	dst := store.FromVectors(dirty)
+	dqz, _ := store.Quantize(dst)
+	if dqz.Clean() {
+		t.Fatal("dirty corpus reported clean")
+	}
+	dexact := scanTopK(dst, 9, q, nil)
+	dquant := scanTopKQuant(dst, dqz, 9, q, 0)
+	for i := range dexact {
+		if dexact[i] != dquant[i] {
+			t.Fatalf("unclean corpus: pos %d diverges", i)
+		}
+	}
+}
+
+// TestPlainKNNQuantized: the retriever facade must produce identical searches
+// with and without EnableQuantized, including the degenerate rerank factor 1
+// (which forces guarantee-driven widening on clustered data).
+func TestPlainKNNQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := twoBlobs(rng, 60, 30, 8)
+	st := store.FromVectors(pts)
+	for _, rf := range []int{0, 1, 4} {
+		exact := NewPlainKNN(st, 2)
+		quant := NewPlainKNN(st, 2)
+		if err := quant.EnableQuantized(nil, rf); err != nil {
+			t.Fatalf("rf %d: enable: %v", rf, err)
+		}
+		for _, k := range []int{1, 10, 40} {
+			a, b := exact.Search(k), quant.Search(k)
+			if len(a) != len(b) {
+				t.Fatalf("rf %d k=%d: sizes %d vs %d", rf, k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("rf %d k=%d: pos %d id %d, exact %d", rf, k, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}

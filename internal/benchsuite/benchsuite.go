@@ -20,6 +20,8 @@ import (
 	"qdcbir/internal/benchjson"
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
 )
 
 // Options configures a suite run.
@@ -37,11 +39,13 @@ type entry struct {
 	fn   func(b *testing.B, fix *fixture)
 }
 
-// fixture is the shared system pair: one uninstrumented, one observed.
+// fixture is the shared system set: one uninstrumented, one observed, and
+// one running the SQ8 two-phase scan, all over the same corpus.
 type fixture struct {
-	plain    *qdcbir.System
-	observed *qdcbir.System
-	relevant []int // example panel spanning several subconcepts
+	plain     *qdcbir.System
+	observed  *qdcbir.System
+	quantized *qdcbir.System
+	relevant  []int // example panel spanning several subconcepts
 }
 
 // buildFixture constructs the benchmark corpus: small enough to build in
@@ -55,9 +59,16 @@ func buildFixture() (*fixture, error) {
 	if err != nil {
 		return nil, err
 	}
+	qcfg := cfg
+	qcfg.Quantized = true
+	qsys, err := qdcbir.Build(qcfg)
+	if err != nil {
+		return nil, err
+	}
 	fix := &fixture{
-		plain:    sys,
-		observed: sys.WithObserver(obs.New(obs.NewRegistry())),
+		plain:     sys,
+		observed:  sys.WithObserver(obs.New(obs.NewRegistry())),
+		quantized: qsys,
 	}
 	for i, key := range sys.Corpus().Subconcepts() {
 		if i >= 4 {
@@ -86,6 +97,12 @@ func suite(fix *fixture) []entry {
 	return []entry{
 		{"BenchmarkSystemKNNObserver/none", benchKNN(fix.plain)},
 		{"BenchmarkSystemKNNObserver/live", benchKNN(fix.observed)},
+		{"BenchmarkSystemKNNScan/exact", benchKNN(fix.plain)},
+		{"BenchmarkSystemKNNScan/sq8", benchKNN(fix.quantized)},
+		{"BenchmarkLeafScanKernel/exact", benchLeafScanExact},
+		{"BenchmarkLeafScanKernel/sq8", benchLeafScanSQ8},
+		{"BenchmarkScanTableFootprint/exact", benchScanTableExact},
+		{"BenchmarkScanTableFootprint/sq8", benchScanTableSQ8},
 		{"BenchmarkQueryFinalize/observer=none", benchFinalize(fix.plain)},
 		{"BenchmarkQueryFinalize/observer=live", benchFinalize(fix.observed)},
 		{"BenchmarkWindowedDigestObserve", benchDigestObserve},
@@ -110,6 +127,98 @@ func benchFinalize(sys *qdcbir.System) func(b *testing.B, fix *fixture) {
 			if _, _, err := eng.QueryByExamples(ids, 60, nil, nil); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// The leaf-scan kernel benchmarks price one full leaf-block distance sweep —
+// the inner loop of every k-NN — over a synthetic slab shaped like the
+// paper's corpus (37-d features), large enough to stream from memory the way
+// a big leaf run does. One op = one distance per row, every row.
+const (
+	leafScanRows = 4096
+	leafScanDim  = 37
+)
+
+// leafScanBlock builds the deterministic synthetic slab and a query drawn
+// from the same distribution.
+func leafScanBlock() ([]float64, vec.Vector) {
+	data := make([]float64, leafScanRows*leafScanDim)
+	// Cheap deterministic LCG: no seeding differences across runs.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := range data {
+		data[i] = next()
+	}
+	q := make(vec.Vector, leafScanDim)
+	for i := range q {
+		q[i] = next()
+	}
+	return data, q
+}
+
+// benchLeafScanExact prices the float64 batch kernel over the slab.
+func benchLeafScanExact(b *testing.B, _ *fixture) {
+	data, q := leafScanBlock()
+	out := make([]float64, leafScanRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.SquaredDistsTo(q, data, out)
+	}
+}
+
+// benchLeafScanSQ8 prices the uint8 batch kernel over the same rows: the
+// quantized sweep the SQ8 path substitutes for the float kernel.
+func benchLeafScanSQ8(b *testing.B, _ *fixture) {
+	data, q := leafScanBlock()
+	qz, err := store.QuantizeBacking(leafScanDim, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qc, _ := qz.EncodeQuery(q, nil)
+	out := make([]int32, leafScanRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.Uint8SquaredDistsTo(qc, qz.Codes(), out)
+	}
+}
+
+// benchScanTableExact materializes the float64 scan table each op; its B/op
+// is the per-table memory footprint of the exact path.
+func benchScanTableExact(b *testing.B, _ *fixture) {
+	data, _ := leafScanBlock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := make([]float64, len(data))
+		copy(tbl, data)
+		if tbl[0] != data[0] {
+			b.Fatal("copy failed")
+		}
+	}
+}
+
+// benchScanTableSQ8 materializes the SQ8 codes table each op; comparing its
+// B/op against the exact variant shows the 8x footprint reduction.
+func benchScanTableSQ8(b *testing.B, _ *fixture) {
+	data, _ := leafScanBlock()
+	qz, err := store.QuantizeBacking(leafScanDim, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := qz.Codes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := make([]uint8, len(codes))
+		copy(tbl, codes)
+		if tbl[0] != codes[0] {
+			b.Fatal("copy failed")
 		}
 	}
 }
@@ -162,15 +271,26 @@ func benchPerfettoExport(b *testing.B, _ *fixture) {
 	}
 }
 
+// fixtureFree names the benchmarks that never touch the engine fixture
+// (digest, export, and synthetic-block kernels), so filtered runs over them
+// skip the corpus build.
+var fixtureFree = map[string]bool{
+	"BenchmarkWindowedDigestObserve":    true,
+	"BenchmarkWindowedDigestRotate":     true,
+	"BenchmarkPerfettoExport":           true,
+	"BenchmarkLeafScanKernel/exact":     true,
+	"BenchmarkLeafScanKernel/sq8":       true,
+	"BenchmarkScanTableFootprint/exact": true,
+	"BenchmarkScanTableFootprint/sq8":   true,
+}
+
 // needsFixture reports whether any selected benchmark touches the engine
-// fixture, so filtered digest-only runs skip the corpus build.
+// fixture, so filtered fixture-free runs skip the corpus build.
 func needsFixture(names []string) bool {
 	for _, n := range names {
-		if n == "BenchmarkWindowedDigestObserve" || n == "BenchmarkWindowedDigestRotate" ||
-			n == "BenchmarkPerfettoExport" {
-			continue
+		if !fixtureFree[n] {
+			return true
 		}
-		return true
 	}
 	return false
 }

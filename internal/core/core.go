@@ -52,6 +52,17 @@ type Config struct {
 	// no clock reads, no atomics, and no allocation. Results are identical
 	// either way.
 	Observer *obs.Observer
+	// Quantized routes unweighted localized k-NN searches through the SQ8
+	// two-phase scan (quantized sweep + exact rerank; see
+	// rstar.KNNQuantFromStatsCtx). Results are bit-identical to the exact
+	// path — the rerank guarantee falls back rather than approximate.
+	// NewEngine trains the tree's quantizer if none is installed yet.
+	// Weighted searches (§6 feature importance) always use the exact path.
+	Quantized bool
+	// RerankFactor is the quantized scan's candidate multiplier: the sweep
+	// retains RerankFactor*k rows for exact reranking. <= 0 uses
+	// rstar.DefaultRerankFactor.
+	RerankFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,9 +81,21 @@ type Engine struct {
 	cfg Config
 }
 
-// NewEngine returns a QD engine over the structure.
+// NewEngine returns a QD engine over the structure. When cfg.Quantized is
+// set and the structure's tree has no quantizer installed yet (an archive
+// restore installs one via AdoptQuantized), the tree trains one here; like
+// construction itself, this requires exclusion against concurrent searches.
 func NewEngine(s *rfs.Structure, cfg Config) *Engine {
-	return &Engine{rfs: s, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	if cfg.Quantized && !s.Tree().QuantizedScoring() {
+		if err := s.Tree().SetQuantizedScoring(true); err != nil {
+			// Quantization is a pure optimization: an untrainable corpus
+			// (e.g. dimensionality past the SQ8 limit) reverts to exact
+			// scoring rather than failing engine construction.
+			cfg.Quantized = false
+		}
+	}
+	return &Engine{rfs: s, cfg: cfg}
 }
 
 // RFS returns the engine's structure.
@@ -714,6 +737,9 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	var sqDur, sqOff []int64
 	if o != nil {
 		sqStats = make([]rstar.SearchStats, len(order))
+		for i := range sqStats {
+			sqStats[i].Timed = true // per-phase scan/rerank wall time for the spans
+		}
 		sqDur = make([]int64, len(order))
 		sqOff = make([]int64, len(order))
 	}
@@ -830,29 +856,35 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	sort.SliceStable(res.Groups, func(i, j int) bool { return res.Groups[i].RankScore < res.Groups[j].RankScore })
 	if o != nil {
 		span := obs.FinalizeSpan{
-			K:             k,
-			OffsetNS:      offsetNS,
-			Subqueries:    len(order),
-			Expansions:    stats.Expansions - expBefore,
-			PageReads:     finalIO.Reads() - readsBefore,
-			HeapPops:      topupStats.HeapPops,
-			MergeOffsetNS: mergeOffsetNS,
-			MergeNS:       time.Since(mergeStart).Nanoseconds(),
-			DurationNS:    time.Since(t0).Nanoseconds(),
+			K:               k,
+			OffsetNS:        offsetNS,
+			Subqueries:      len(order),
+			Expansions:      stats.Expansions - expBefore,
+			PageReads:       finalIO.Reads() - readsBefore,
+			HeapPops:        topupStats.HeapPops,
+			RerankFallbacks: topupStats.RerankFallbacks,
+			MergeOffsetNS:   mergeOffsetNS,
+			MergeNS:         time.Since(mergeStart).Nanoseconds(),
+			DurationNS:      time.Since(t0).Nanoseconds(),
 		}
 		for i, nodeID := range order {
 			p := preps[nodeID]
 			span.HeapPops += sqStats[i].HeapPops
+			span.RerankFallbacks += sqStats[i].RerankFallbacks
 			span.Subspans = append(span.Subspans, obs.SubquerySpan{
-				Node:         uint64(nodeID),
-				OffsetNS:     sqOff[i],
-				QueryImages:  len(p.l.ids),
-				Allocated:    alloc[nodeID],
-				Expanded:     p.search != p.l.node,
-				HeapPops:     sqStats[i].HeapPops,
-				NodesRead:    sqStats[i].NodesRead,
-				PageAccesses: uint64(len(recorders[i].Trace())),
-				DurationNS:   sqDur[i],
+				Node:            uint64(nodeID),
+				OffsetNS:        sqOff[i],
+				QueryImages:     len(p.l.ids),
+				Allocated:       alloc[nodeID],
+				Expanded:        p.search != p.l.node,
+				HeapPops:        sqStats[i].HeapPops,
+				NodesRead:       sqStats[i].NodesRead,
+				PageAccesses:    uint64(len(recorders[i].Trace())),
+				Quantized:       sqStats[i].CodesScanned > 0,
+				ScanNS:          sqStats[i].ScanNS,
+				RerankNS:        sqStats[i].RerankNS,
+				RerankFallbacks: sqStats[i].RerankFallbacks,
+				DurationNS:      sqDur[i],
 			})
 		}
 		o.FinalizeDone(trace, span)
@@ -866,6 +898,9 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int, st *rstar.SearchStats) ([]rstar.Neighbor, error) {
 	if weights != nil {
 		return eng.rfs.Tree().KNNWeightedFromStatsCtx(ctx, n, q, weights, k, acc, st)
+	}
+	if eng.cfg.Quantized {
+		return eng.rfs.Tree().KNNQuantFromStatsCtx(ctx, n, q, k, eng.cfg.RerankFactor, acc, st)
 	}
 	return eng.rfs.Tree().KNNFromStatsCtx(ctx, n, q, k, acc, st)
 }

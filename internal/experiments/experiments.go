@@ -55,6 +55,14 @@ type Config struct {
 	// Observer, when non-nil, collects metrics and traces from every engine
 	// the run constructs (cmd/qdbench -stats exposes the snapshot).
 	Observer *obs.Observer
+
+	// Quantized runs every global and localized k-NN through the SQ8
+	// two-phase scan (results are bit-identical to the exact path, so all
+	// reported accuracy numbers are unchanged; wall-clock and the rerank
+	// counters move). RerankFactor tunes the candidate multiplier (<= 0 =
+	// default).
+	Quantized    bool
+	RerankFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +173,8 @@ func assemble(cfg Config, corpus *dataset.Corpus) *System {
 		BoundaryThreshold: cfg.Threshold,
 		Parallelism:       cfg.Parallelism,
 		Observer:          cfg.Observer,
+		Quantized:         cfg.Quantized,
+		RerankFactor:      cfg.RerankFactor,
 	})
 	return &System{Cfg: cfg, Corpus: corpus, RFS: structure, Engine: engine}
 }

@@ -98,19 +98,30 @@ type SubquerySpan struct {
 	HeapPops     uint64 `json:"heap_pops"`     // best-first queue pops
 	NodesRead    uint64 `json:"nodes_read"`    // tree nodes expanded
 	PageAccesses uint64 `json:"page_accesses"` // page-access trace length (replayed into the session cache)
-	DurationNS   int64  `json:"duration_ns"`
+	// Quantized marks a subquery answered by the SQ8 two-phase scan; ScanNS
+	// and RerankNS split its wall time into the quantized sweep and the
+	// exact rerank, and RerankFallbacks counts guarantee failures that
+	// widened the candidate set.
+	Quantized       bool   `json:"quantized,omitempty"`
+	ScanNS          int64  `json:"scan_ns,omitempty"`
+	RerankNS        int64  `json:"rerank_ns,omitempty"`
+	RerankFallbacks uint64 `json:"rerank_fallbacks,omitempty"`
+	DurationNS      int64  `json:"duration_ns"`
 }
 
 // FinalizeSpan records the final localized k-NN phase: fan-out, per-subquery
 // effort, and the serial merge.
 type FinalizeSpan struct {
-	K          int            `json:"k"`
-	OffsetNS   int64          `json:"offset_ns"`  // span start relative to the trace start
-	Subqueries int            `json:"subqueries"` // fan-out (number of localized subqueries)
-	Expansions int            `json:"expansions"` // §3.3 boundary expansions
-	PageReads  uint64         `json:"page_reads"` // simulated disk reads of the whole phase (incl. top-up)
-	HeapPops   uint64         `json:"heap_pops"`  // queue pops across all subqueries (incl. top-up)
-	Subspans   []SubquerySpan `json:"subqueries_detail,omitempty"`
+	K          int    `json:"k"`
+	OffsetNS   int64  `json:"offset_ns"`  // span start relative to the trace start
+	Subqueries int    `json:"subqueries"` // fan-out (number of localized subqueries)
+	Expansions int    `json:"expansions"` // §3.3 boundary expansions
+	PageReads  uint64 `json:"page_reads"` // simulated disk reads of the whole phase (incl. top-up)
+	HeapPops   uint64 `json:"heap_pops"`  // queue pops across all subqueries (incl. top-up)
+	// RerankFallbacks totals the quantized-scan guarantee failures across
+	// all subqueries and the top-up pass (zero on exact-path engines).
+	RerankFallbacks uint64         `json:"rerank_fallbacks,omitempty"`
+	Subspans        []SubquerySpan `json:"subqueries_detail,omitempty"`
 	// MergeOffsetNS is the serial merge + top-up start relative to the trace
 	// start; MergeNS is its wall time.
 	MergeOffsetNS int64 `json:"merge_offset_ns"`

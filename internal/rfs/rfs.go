@@ -26,6 +26,7 @@ import (
 	"qdcbir/internal/kmtree"
 	"qdcbir/internal/par"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -333,6 +334,15 @@ func (s *Structure) clusterSelect(pool []rstar.ItemID, k int, rng *rand.Rand) []
 
 // Tree exposes the underlying R*-tree.
 func (s *Structure) Tree() *rstar.Tree { return s.tree }
+
+// EnableQuantizedScan trains and installs the SQ8 quantized-scan path on the
+// structure's tree (see rstar.SetQuantizedScoring). Like structure
+// construction, it requires exclusion against concurrent searches.
+func (s *Structure) EnableQuantizedScan() error { return s.tree.SetQuantizedScoring(true) }
+
+// AdoptQuantized installs a persisted store-ordered quantizer on the tree
+// (archive restores use this to skip retraining; see rstar.AdoptQuantized).
+func (s *Structure) AdoptQuantized(q *store.Quantized) error { return s.tree.AdoptQuantized(q) }
 
 // Root returns the hierarchy root.
 func (s *Structure) Root() *rstar.Node { return s.tree.Root() }

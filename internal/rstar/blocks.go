@@ -14,6 +14,7 @@ package rstar
 func (t *Tree) packBlocks() {
 	if t.size == 0 {
 		t.blocksOK = false
+		t.slab = nil
 		return
 	}
 	slab := make([]float64, t.size*t.dim)
@@ -36,6 +37,7 @@ func (t *Tree) packBlocks() {
 		}
 	}
 	walk(t.root)
+	t.slab = slab
 	t.blocksOK = true
 }
 
@@ -45,10 +47,15 @@ func (t *Tree) packBlocks() {
 // per-leaf row correspondence is gone, so searches revert to per-item
 // scoring.
 func (t *Tree) invalidateBlocks() {
+	// The quantized codes mirror the slab row-for-row, so they die with it;
+	// quantized searches then report not-ready and callers fall back to the
+	// exact path until SetQuantizedScoring repacks.
+	t.invalidateQuantized()
 	if !t.blocksOK {
 		return
 	}
 	t.blocksOK = false
+	t.slab = nil
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n.leaf {

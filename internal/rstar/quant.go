@@ -1,0 +1,367 @@
+package rstar
+
+// This file wires the SQ8 compressed representation (store.Quantized, the
+// int32 kernels in internal/vec) into the tree as a two-phase k-NN:
+//
+//  1. Scan. Because packBlocks lays leaves out in depth-first order, every
+//     subtree owns one contiguous slab row range [qlo, qhi). The quantized
+//     codes mirror the slab row-for-row, so a subtree-restricted search is a
+//     single linear sweep of uint8 code rows feeding a bounded
+//     vec.QuantTopK of size rerankFactor*k, with partial-distance early
+//     exit against its threshold.
+//  2. Rerank. The retained candidates are re-scored with the exact float
+//     kernels against their slab rows and sorted ascending (Dist, ItemID) —
+//     the same values and ordering the exact search produces.
+//
+// Exactness guarantee. Let delta be the quantizer step, qErr the query's
+// measured decode error, dbErr = (delta/2)*sqrt(dim) the per-point bound, and
+// T the selector's final threshold. QuantTopK admission thresholds only
+// decrease, so every row NOT retained had code distance >= T, i.e. decoded
+// distance >= delta*sqrt(T). By the triangle inequality its true distance to
+// the query is at least
+//
+//	lower = delta*sqrt(T) - qErr - dbErr
+//
+// If the k-th reranked exact distance d_k satisfies d_k < lower (with a small
+// relative safety margin absorbing float rounding), no excluded row can enter
+// the top-k and the reranked result equals the exact search's bit-for-bit.
+// When the check fails the search widens the candidate set (doubling
+// rerankFactor*k) and ultimately reranks every row in the range — trivially
+// exact — so the quantized path NEVER returns an approximate answer; failures
+// only cost time and are counted as RerankFallbacks.
+//
+// Unclean corpora (NaN/±Inf components) have dbErr = +Inf and are routed to
+// the exact search up front; a NaN query defeats the bound the same way and
+// falls back likewise.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"qdcbir/internal/disk"
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+// DefaultRerankFactor is the candidate multiplier used when a caller passes
+// rerankFactor <= 0: the quantized scan retains DefaultRerankFactor*k rows
+// for exact reranking. See DESIGN.md §11 for the tuning argument.
+const DefaultRerankFactor = 4
+
+// quantCtxInterval is how many code rows the quantized sweep scores between
+// context polls (the rows are far cheaper than heap pops, so the interval is
+// correspondingly larger than ctxCheckInterval).
+const quantCtxInterval = 1024
+
+// quantSafety is the relative margin applied to the exactness comparison so
+// float rounding in sqrt/delta arithmetic can never certify a candidate set
+// the real-number inequality would reject.
+const quantSafety = 1e-9
+
+// setQuantRanges assigns every node's slab row range [qlo, qhi) and builds
+// the slab-ordered item ID table. Leaves are walked in the same depth-first
+// order packBlocks used, so row r of the slab belongs to item qids[r].
+// Requires blocksOK.
+func (t *Tree) setQuantRanges() {
+	t.qids = make([]ItemID, 0, t.size)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.qlo = len(t.qids)
+		if n.leaf {
+			for _, it := range n.items {
+				t.qids = append(t.qids, it.ID)
+			}
+		} else {
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+		n.qhi = len(t.qids)
+	}
+	walk(t.root)
+}
+
+// SetQuantizedScoring toggles the SQ8 two-phase scan. Enabling packs the leaf
+// blocks if needed and trains a quantizer over the tree's own slab (the slab
+// is a permutation of the indexed points, and min/max training is
+// order-independent, so the parameters are identical to training over the
+// points in any other order). Disabling drops the codes; KNNQuant* then
+// delegates to the exact search. Enabling an empty tree is a no-op. Like all
+// mutations, the toggle requires external exclusion against readers.
+func (t *Tree) SetQuantizedScoring(enabled bool) error {
+	if !enabled {
+		t.invalidateQuantized()
+		return nil
+	}
+	if t.quantOK || t.size == 0 {
+		return nil
+	}
+	if !t.blocksOK {
+		t.packBlocks()
+	}
+	qz, err := store.QuantizeBacking(t.dim, t.slab)
+	if err != nil {
+		return err
+	}
+	t.setQuantRanges()
+	t.qcodes = qz.Codes()
+	t.quant = qz
+	t.quantOK = true
+	return nil
+}
+
+// AdoptQuantized installs a quantizer whose rows are indexed by ItemID (the
+// store-ordered quantizer an archive persists), permuting its codes into slab
+// order. Encoding is deterministic per point, so the adopted codes are
+// byte-identical to what SetQuantizedScoring would retrain; archives restore
+// through this to skip the training pass. Every indexed ItemID must be a
+// valid row of qz.
+func (t *Tree) AdoptQuantized(qz *store.Quantized) error {
+	if qz == nil {
+		return fmt.Errorf("rstar: adopt nil quantizer")
+	}
+	if qz.Dim() != t.dim {
+		return fmt.Errorf("rstar: quantizer dim %d != tree dim %d", qz.Dim(), t.dim)
+	}
+	if t.size == 0 {
+		return nil
+	}
+	if !t.blocksOK {
+		t.packBlocks()
+	}
+	t.setQuantRanges()
+	codes := make([]uint8, t.size*t.dim)
+	for row, id := range t.qids {
+		if int(id) < 0 || int(id) >= qz.Len() {
+			t.invalidateQuantized()
+			return fmt.Errorf("rstar: item %d outside quantizer rows [0, %d)", id, qz.Len())
+		}
+		copy(codes[row*t.dim:(row+1)*t.dim], qz.Row(int(id)))
+	}
+	t.qcodes = codes
+	t.quant = qz
+	t.quantOK = true
+	return nil
+}
+
+// QuantizedScoring reports whether the SQ8 scan path is active.
+func (t *Tree) QuantizedScoring() bool { return t.quantOK }
+
+// invalidateQuantized drops the quantized-scan state. Node qlo/qhi values go
+// stale rather than being rewalked; quantOK guards every use of them.
+func (t *Tree) invalidateQuantized() {
+	t.quantOK = false
+	t.qcodes = nil
+	t.qids = nil
+	t.quant = nil
+}
+
+// quantScratch is the pooled working memory of one quantized search: the
+// encoded query, the candidate selector, and the rerank buffers.
+type quantScratch struct {
+	qcodes []uint8
+	sel    vec.QuantTopK
+	ids    []int
+	cands  []Neighbor
+	dists  []int32
+}
+
+var quantScratchPool = sync.Pool{New: func() interface{} { return new(quantScratch) }}
+
+func (sc *quantScratch) candBuf(n int) []Neighbor {
+	if cap(sc.cands) < n {
+		sc.cands = make([]Neighbor, n)
+	}
+	return sc.cands[:n]
+}
+
+func (sc *quantScratch) distBuf(n int) []int32 {
+	if cap(sc.dists) < n {
+		sc.dists = make([]int32, n)
+	}
+	return sc.dists[:n]
+}
+
+// KNNQuant returns the k nearest items to q using the two-phase quantized
+// scan over the whole tree. Results are identical to KNN (see the exactness
+// guarantee above); when quantized scoring is not active it simply delegates
+// to the exact search.
+func (t *Tree) KNNQuant(q vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	ns, _ := t.KNNQuantFromStatsCtx(context.Background(), t.root, q, k, 0, acc, nil)
+	return ns
+}
+
+// KNNQuantFromStatsCtx runs the two-phase quantized k-NN restricted to the
+// subtree rooted at n: an SQ8 sweep of the subtree's code rows selects
+// rerankFactor*k candidates (rerankFactor <= 0 uses DefaultRerankFactor),
+// the exact float kernels re-rank them, and the candidate set widens until
+// the rerank guarantee certifies the result. Output is bit-identical to
+// KNNFromStatsCtx. Leaf pages in the scanned range are reported to acc once;
+// effort lands in st's CodesScanned/Reranked/RerankFallbacks counters, with
+// per-phase wall time in ScanNS/RerankNS when st.Timed is set. Searches over
+// trees without quantized scoring, unclean corpora, or NaN queries delegate
+// to the exact path.
+func (t *Tree) KNNQuantFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k, rerankFactor int, acc disk.Accounter, st *SearchStats) ([]Neighbor, error) {
+	if k <= 0 || n == nil || n.Len() == 0 {
+		return nil, ctx.Err()
+	}
+	if !t.quantOK || !t.quant.Clean() {
+		return t.KNNFromStatsCtx(ctx, n, q, k, acc, st)
+	}
+	if rerankFactor <= 0 {
+		rerankFactor = DefaultRerankFactor
+	}
+	if acc == nil {
+		acc = disk.Nop{}
+	}
+	sc := quantScratchPool.Get().(*quantScratch)
+	defer quantScratchPool.Put(sc)
+	var qErr float64
+	sc.qcodes, qErr = t.quant.EncodeQuery(q, sc.qcodes)
+	if math.IsNaN(qErr) {
+		if st != nil {
+			st.RerankFallbacks++
+		}
+		return t.KNNFromStatsCtx(ctx, n, q, k, acc, st)
+	}
+
+	lo, hi := n.qlo, n.qhi
+	rows := hi - lo
+	if k > rows {
+		k = rows
+	}
+	// The sweep reads every leaf's code rows (and the rerank its slab rows),
+	// so each leaf page in the range is charged exactly once, retries
+	// included — re-reads hit memory the first pass already paid for.
+	var nodes uint64
+	var chargeLeaves func(nd *Node)
+	chargeLeaves = func(nd *Node) {
+		if nd.leaf {
+			acc.Access(nd.id)
+			nodes++
+			return
+		}
+		for _, c := range nd.children {
+			chargeLeaves(c)
+		}
+	}
+	chargeLeaves(n)
+
+	timed := st != nil && st.Timed
+	dim := t.dim
+	codes := t.qcodes
+	m := k * rerankFactor
+	if m > rows || m < k { // m < k: multiplication overflow
+		m = rows
+	}
+	var fellBack bool
+	var codesScanned, reranked uint64
+	var scanNS, rerankNS int64
+	var results []Neighbor
+	for {
+		// Phase 1: quantized sweep of the subtree's code rows.
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		sel := &sc.sel
+		sel.Reset(m)
+		if vec.HasAcceleratedUint8Batch() {
+			// Chunked batch sweep: score a block of rows with the SIMD batch
+			// kernel, then filter against the selector threshold. Capped and
+			// full distances admit the same rows (the capped contract), so the
+			// retained set and final threshold are identical to the per-row
+			// path below.
+			for base := lo; base < hi; base += quantCtxInterval {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				end := base + quantCtxInterval
+				if end > hi {
+					end = hi
+				}
+				dists := sc.distBuf(end - base)
+				vec.Uint8SquaredDistsTo(sc.qcodes, codes[base*dim:end*dim], dists)
+				thr := sel.Threshold()
+				for i, d := range dists {
+					if d < thr {
+						sel.Add(d, base+i)
+						thr = sel.Threshold()
+					}
+				}
+			}
+		} else {
+			for r := lo; r < hi; r++ {
+				if (r-lo)%quantCtxInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				row := codes[r*dim : r*dim+dim : r*dim+dim]
+				d := vec.Uint8SquaredDistCapped(sc.qcodes, row, sel.Threshold())
+				sel.Add(d, r)
+			}
+		}
+		codesScanned += uint64(rows)
+		threshold := sel.Threshold()
+		if timed {
+			scanNS += time.Since(t0).Nanoseconds()
+			t0 = time.Now()
+		}
+
+		// Phase 2: exact rerank. SqL2 over a slab row computes the identical
+		// value the exact search's batch kernel produces for that item, and
+		// (Dist, ID) ordering matches stabilize, so the certified output is
+		// bit-for-bit the exact search's.
+		sc.ids = sel.AppendIDs(sc.ids[:0])
+		cands := sc.candBuf(len(sc.ids))
+		for i, r := range sc.ids {
+			rowF := t.slab[r*dim : r*dim+dim : r*dim+dim]
+			cands[i] = Neighbor{ID: t.qids[r], Point: rowF, Dist: math.Sqrt(vec.SqL2(q, rowF))}
+		}
+		reranked += uint64(len(cands))
+		sort.Slice(cands, func(i, j int) bool { return neighborLess(cands[i], cands[j]) })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		if timed {
+			rerankNS += time.Since(t0).Nanoseconds()
+		}
+
+		if m >= rows {
+			// Every row in range was reranked exactly; nothing was excluded.
+			results = cands
+			break
+		}
+		dk := cands[len(cands)-1].Dist
+		lower := t.quant.DecodedDist(threshold) - qErr - t.quant.DBErr()
+		if dk*(1+quantSafety) < lower*(1-quantSafety) {
+			results = cands
+			break
+		}
+		fellBack = true
+		if m > rows/2 {
+			m = rows
+		} else {
+			m *= 2
+		}
+	}
+	out := make([]Neighbor, len(results))
+	copy(out, results)
+	if st != nil {
+		st.NodesRead += nodes
+		st.ItemsScored += reranked
+		st.CodesScanned += codesScanned
+		st.Reranked += reranked
+		st.ScanNS += scanNS
+		st.RerankNS += rerankNS
+		if fellBack {
+			st.RerankFallbacks++
+		}
+	}
+	return out, nil
+}

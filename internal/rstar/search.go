@@ -32,6 +32,20 @@ type SearchStats struct {
 	HeapPops    uint64 // best-first queue pops (nodes + item candidates)
 	NodesRead   uint64 // tree nodes expanded (== accounter accesses)
 	ItemsScored uint64 // exact item distances computed
+
+	// Quantized-scan effort (KNNQuantFromStatsCtx only; zero on exact
+	// searches). A fallback is one search whose candidate set failed the
+	// rerank guarantee at the requested factor and had to widen (or, for a
+	// NaN query, delegate to the exact path outright).
+	CodesScanned    uint64 // SQ8 code distances computed
+	Reranked        uint64 // candidates re-scored with the exact kernels
+	RerankFallbacks uint64 // searches that widened past rerankFactor*k
+
+	// Timed, when set by the caller before the search, makes the quantized
+	// path record per-phase wall time below; unset it costs nothing.
+	Timed    bool
+	ScanNS   int64 // time in quantized sweeps
+	RerankNS int64 // time in exact reranks
 }
 
 // accumulate folds one search's local counters in; nil-safe.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"qdcbir/internal/disk"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -34,6 +35,11 @@ type Node struct {
 	// only while Tree.blocksOK holds; k-NN scores a whole leaf with one
 	// batch kernel call through it.
 	block []float64
+	// qlo and qhi delimit the subtree's slab rows [qlo, qhi): leaves are
+	// packed in depth-first order, so every subtree owns one contiguous row
+	// range and the quantized scan of a subtree is a single linear sweep.
+	// Valid only while Tree.quantOK holds (set by packQuantized).
+	qlo, qhi int
 }
 
 // ID returns the node's simulated page ID.
@@ -129,6 +135,18 @@ type Tree struct {
 	// reorder them in place, breaking the row correspondence. Searches fall
 	// back to per-item scoring while it is false.
 	blocksOK bool
+	// slab is the flat point storage behind the leaf blocks (depth-first leaf
+	// order), retained so the quantized scan path can train codes over it and
+	// re-rank candidates against the exact rows. Valid while blocksOK holds.
+	slab []float64
+
+	// Quantized-scan state (see quant.go): the SQ8 codes mirroring slab
+	// row-for-row, the slab-ordered item IDs, and the trained quantizer.
+	// Valid while quantOK holds; any structural mutation clears all of it.
+	quantOK bool
+	qcodes  []uint8
+	qids    []ItemID
+	quant   *store.Quantized
 }
 
 // New returns an empty tree for points of the given dimensionality.

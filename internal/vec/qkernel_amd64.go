@@ -1,0 +1,23 @@
+//go:build amd64 && gc && !purego
+
+package vec
+
+// hasAVX2 reports whether the CPU and OS support AVX2 (CPUID feature bit plus
+// OS-enabled YMM state via XGETBV). Implemented in qkernel_amd64.s.
+func hasAVX2() bool
+
+// uint8SqDistsAVX2 is the AVX2 batch kernel behind Uint8SquaredDistsTo:
+// out[r] = Σ_i (q[i]−block[r*dim+i])² for r in [0, rows). Each 16-code chunk
+// widens to int16 lanes (VPMOVZXBW), differences square-and-pair-sum into
+// int32 lanes (VPMADDWD), and the ≤15-code tail runs scalar in the same
+// function — all integer, so the result is bit-identical to the Go loop.
+// Implemented in qkernel_amd64.s.
+//
+//go:noescape
+func uint8SqDistsAVX2(q *uint8, dim int, block *uint8, out *int32, rows int)
+
+func init() {
+	if hasAVX2() {
+		uint8BatchKernel = uint8SqDistsAVX2
+	}
+}

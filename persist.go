@@ -17,12 +17,25 @@ import (
 	"qdcbir/internal/vec"
 )
 
-// archiveMagic prefixes version-1 archives. The first byte (0xD1) can never
+// Versioned archives open with a 4-byte header: the 3-byte family prefix
+// 0xD1 'Q' 'D' followed by a version byte. The first byte (0xD1) can never
 // begin a gob stream — gob encodes the leading message length as a varint
 // whose first byte is either a small count (0x00..0x7F) or a length-of-length
-// marker (0xF8..0xFF) — so the magic unambiguously separates v1 archives from
-// the header-less version-0 gob archives Load still accepts.
-var archiveMagic = [4]byte{0xD1, 'Q', 'D', 0x01}
+// marker (0xF8..0xFF) — so the prefix unambiguously separates headered
+// archives from the header-less version-0 gob archives Load still accepts.
+var archivePrefix = [3]byte{0xD1, 'Q', 'D'}
+
+// Archive versions this build reads (Save always writes the newest).
+const (
+	archiveVersionV1  = 1 // flat feature store, point-free RFS topology
+	archiveVersionV2  = 2 // v1 plus the optional SQ8 quantizer sidecar
+	archiveVersionMax = archiveVersionV2
+)
+
+// archiveHeader returns the 4-byte header of the given archive version.
+func archiveHeader(version byte) []byte {
+	return []byte{archivePrefix[0], archivePrefix[1], archivePrefix[2], version}
+}
 
 // archive is the version-0 gob wire format for a whole System, kept so
 // archives written before the flat feature store still load. It stores every
@@ -38,7 +51,7 @@ type archive struct {
 	NormMax        vec.Vector
 }
 
-// archiveV1 is the current wire format: the corpus feature vectors travel
+// archiveV1 is the version-1 wire format: the corpus feature vectors travel
 // once, as the flat store's backing array, and the RFS hierarchy travels
 // point-free (leaf item IDs only). Channels holds the backing arrays of the
 // derived colour channels; the original channel is the main Points array and
@@ -55,11 +68,26 @@ type archiveV1 struct {
 	NormMax     vec.Vector
 }
 
-// Save persists the system to w in the version-1 format: a 4-byte magic
-// header followed by the gob-encoded archiveV1. Ground truth, configuration,
-// and the feature normalizer travel alongside the store backing and the
-// point-free RFS topology, so a Load-ed system answers queries identically.
-func (s *System) Save(w io.Writer) error {
+// archiveV2 is the current wire format: every archiveV1 field (same names,
+// same encodings — gob matches fields by name, so a v1 payload decodes into
+// this struct with Quant left nil) plus the optional SQ8 quantizer of a
+// Config.Quantized system, persisted so loads skip retraining.
+type archiveV2 struct {
+	Cfg         Config
+	Infos       []dataset.Info
+	Dim         int
+	Points      []float64
+	HasChannels bool
+	Channels    map[img.Channel][]float64
+	RFS         *rfs.TopologySnapshot
+	NormMin     vec.Vector // extractor state (min-max normalizer)
+	NormMax     vec.Vector
+	Quant       *store.QuantParts // nil unless the system is quantized
+}
+
+// archiveBody captures the system's persistent state in the version-1
+// layout, which version 2 extends field-for-field.
+func (s *System) archiveBody() archiveV1 {
 	st := s.corpus.Store()
 	a := archiveV1{
 		Cfg:         s.cfg,
@@ -82,7 +110,32 @@ func (s *System) Save(w io.Writer) error {
 		min, max := s.corpus.Extractor.NormalizerBounds()
 		a.NormMin, a.NormMax = min, max
 	}
-	if _, err := w.Write(archiveMagic[:]); err != nil {
+	return a
+}
+
+// Save persists the system to w in the version-2 format: a 4-byte header
+// followed by the gob-encoded archiveV2. Ground truth, configuration, the
+// feature normalizer, and (for quantized systems) the SQ8 quantizer travel
+// alongside the store backing and the point-free RFS topology, so a Load-ed
+// system answers queries identically.
+func (s *System) Save(w io.Writer) error {
+	body := s.archiveBody()
+	a := archiveV2{
+		Cfg:         body.Cfg,
+		Infos:       body.Infos,
+		Dim:         body.Dim,
+		Points:      body.Points,
+		HasChannels: body.HasChannels,
+		Channels:    body.Channels,
+		RFS:         body.RFS,
+		NormMin:     body.NormMin,
+		NormMax:     body.NormMax,
+	}
+	if s.quant != nil {
+		parts := s.quant.Parts()
+		a.Quant = &parts
+	}
+	if _, err := w.Write(archiveHeader(archiveVersionV2)); err != nil {
 		return fmt.Errorf("qdcbir: write header: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&a); err != nil {
@@ -104,26 +157,46 @@ func (s *System) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reconstructs a system persisted by Save. Both the current version-1
-// format and header-less version-0 gob archives are accepted; the format is
-// detected from the first bytes of the stream.
+// Load reconstructs a system persisted by Save. Every archive version this
+// build knows — the current version 2, version 1, and the header-less
+// version-0 gob format — is accepted; the version is detected from the first
+// bytes of the stream. A headered archive of an unknown version is rejected
+// with an error naming the on-disk version and the supported range.
 func Load(r io.Reader) (*System, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(len(archiveMagic))
-	if err == nil && bytes.Equal(head, archiveMagic[:]) {
-		if _, err := br.Discard(len(archiveMagic)); err != nil {
-			return nil, fmt.Errorf("qdcbir: read header: %w", err)
-		}
-		return loadV1(br)
+	head, err := br.Peek(4)
+	if len(head) == 0 || head[0] != archivePrefix[0] {
+		// Not the headered family: either a version-0 bare gob stream or
+		// garbage, which gob rejects with its own decode error.
+		return loadV0(br)
 	}
-	return loadV0(br)
+	if len(head) < 4 {
+		return nil, fmt.Errorf("qdcbir: truncated archive header: %d byte(s) of the 4-byte magic (%w)", len(head), err)
+	}
+	if !bytes.Equal(head[:3], archivePrefix[:]) {
+		return nil, fmt.Errorf("qdcbir: corrupt archive header % x: want prefix % x", head, archivePrefix)
+	}
+	version := head[3]
+	if version < archiveVersionV1 || version > archiveVersionMax {
+		return nil, fmt.Errorf("qdcbir: archive version %d unsupported: this build reads versions 0 through %d (version 0 archives are header-less)",
+			version, archiveVersionMax)
+	}
+	if _, err := br.Discard(4); err != nil {
+		return nil, fmt.Errorf("qdcbir: read header: %w", err)
+	}
+	// Versions 1 and 2 share a payload layout (v2 adds the optional
+	// quantizer field, which gob leaves nil when absent), so one decoder
+	// serves both.
+	return loadV12(br)
 }
 
-// loadV1 decodes the store-backed format: the corpus adopts the decoded
-// backing array and the RFS structure is rebuilt over the corpus store's
-// row views.
-func loadV1(r io.Reader) (*System, error) {
-	var a archiveV1
+// loadV12 decodes the store-backed formats (versions 1 and 2): the corpus
+// adopts the decoded backing array and the RFS structure is rebuilt over the
+// corpus store's row views. A version-2 quantizer sidecar, when present, is
+// validated and adopted so the loaded system scans quantized without
+// retraining.
+func loadV12(r io.Reader) (*System, error) {
+	var a archiveV2
 	if err := gob.NewDecoder(r).Decode(&a); err != nil {
 		return nil, fmt.Errorf("qdcbir: decode: %w", err)
 	}
@@ -156,7 +229,14 @@ func loadV1(r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleLoaded(a.Cfg, corpus, structure)
+	var qz *store.Quantized
+	if a.Quant != nil {
+		qz, err = store.FromParts(*a.Quant)
+		if err != nil {
+			return nil, fmt.Errorf("qdcbir: quantizer: %w", err)
+		}
+	}
+	return assembleLoaded(a.Cfg, corpus, structure, qz)
 }
 
 // loadV0 decodes the legacy gob format. The duplicated original channel in
@@ -179,7 +259,7 @@ func loadV0(r io.Reader) (*System, error) {
 	if a.NormMin != nil {
 		corpus.Extractor = feature.NewExtractorFromBounds(a.NormMin, a.NormMax)
 	}
-	return assembleLoaded(a.Cfg, corpus, structure)
+	return assembleLoaded(a.Cfg, corpus, structure, nil)
 }
 
 // LoadFile reconstructs a system from a file written by SaveFile.
@@ -201,8 +281,12 @@ func vectorsOf(s *rfs.Structure) []vec.Vector {
 	return out
 }
 
-// assembleLoaded wires a reconstructed structure without rebuilding it.
-func assembleLoaded(cfg Config, corpus *dataset.Corpus, structure *rfs.Structure) (*System, error) {
+// assembleLoaded wires a reconstructed structure without rebuilding it. A
+// non-nil qz is the archive's persisted quantizer; a quantized config with
+// no persisted quantizer (a v0/v1 archive saved before quantization existed)
+// retrains one from the corpus store, so either way the loaded system scans
+// exactly like the one that was saved.
+func assembleLoaded(cfg Config, corpus *dataset.Corpus, structure *rfs.Structure, qz *store.Quantized) (*System, error) {
 	cfg = cfg.withDefaults()
 	if err := structure.Validate(); err != nil {
 		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
@@ -210,6 +294,7 @@ func assembleLoaded(cfg Config, corpus *dataset.Corpus, structure *rfs.Structure
 	if err := corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
 	}
+	quant := attachQuantizer(&cfg, corpus, structure, qz)
 	engine := newEngine(cfg, structure)
-	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: engine}, nil
+	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: engine, quant: quant}, nil
 }

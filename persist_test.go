@@ -94,13 +94,13 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
-// TestArchiveV1Format pins the version-1 wire format: the magic header, the
-// size win over the version-0 encoding of the same system (points stored
-// once instead of twice, original channel aliased instead of duplicated),
-// and byte-identical retrieval — including simulated I/O counts — across the
-// round trip. It uses a channel-bearing corpus so the channel dedup path is
-// exercised.
-func TestArchiveV1Format(t *testing.T) {
+// TestArchiveFormat pins the store-backed wire format: the versioned magic
+// header, the size win over the version-0 encoding of the same system
+// (points stored once instead of twice, original channel aliased instead of
+// duplicated), and byte-identical retrieval — including simulated I/O
+// counts — across the round trip. It uses a channel-bearing corpus so the
+// channel dedup path is exercised.
+func TestArchiveFormat(t *testing.T) {
 	cfg := Config{Seed: 7, Categories: 8, Images: 240, NodeCapacity: 24, RepFraction: 0.2, WithChannels: true}
 	sys, err := Build(cfg)
 	if err != nil {
@@ -110,8 +110,8 @@ func TestArchiveV1Format(t *testing.T) {
 	if err := sys.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(buf.Bytes(), archiveMagic[:]) {
-		t.Fatalf("archive does not start with the v1 magic: % x", buf.Bytes()[:8])
+	if !bytes.HasPrefix(buf.Bytes(), archiveHeader(archiveVersionV2)) {
+		t.Fatalf("archive does not start with the v2 magic: % x", buf.Bytes()[:8])
 	}
 
 	// The version-0 encoding of the same system, for the size comparison.

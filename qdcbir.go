@@ -39,6 +39,7 @@ import (
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
 
@@ -81,6 +82,19 @@ type Config struct {
 	// results, simulated I/O counts — is byte-identical at every setting;
 	// the knob trades wall-clock time only.
 	Parallelism int
+
+	// Quantized enables the SQ8 two-phase scan: leaf sweeps run over 8-bit
+	// codes (8x smaller, int-only arithmetic) and a short exact rerank over
+	// the float rows restores full precision. Results are bit-identical to
+	// the exact path — a distance guarantee is checked per search and the
+	// candidate set widens (ultimately to an exact scan) whenever it could
+	// fail. Weighted searches always use the exact path. Off by default.
+	Quantized bool
+	// RerankFactor sets how many quantized candidates (factor * k) feed the
+	// exact rerank when Quantized is on (<= 0 uses the default, 4). Higher
+	// factors make guarantee fallbacks rarer at the cost of more float
+	// distance evaluations per query.
+	RerankFactor int
 }
 
 // DefaultConfig returns the paper's full-scale configuration.
@@ -148,6 +162,10 @@ type System struct {
 	corpus *dataset.Corpus
 	rfs    *rfs.Structure
 	engine *core.Engine
+	// quant is the store-ordered SQ8 quantizer when Config.Quantized built
+	// one (the tree holds its own slab-ordered copy of the codes); Save
+	// embeds it so loaded systems skip retraining.
+	quant *store.Quantized
 }
 
 // Build generates the synthetic corpus and constructs the RFS structure and
@@ -198,7 +216,32 @@ func assemble(ctx context.Context, cfg Config, corpus *dataset.Corpus) (*System,
 	if err := structure.Validate(); err != nil {
 		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
 	}
-	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: newEngine(cfg, structure)}, nil
+	quant := attachQuantizer(&cfg, corpus, structure, nil)
+	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: newEngine(cfg, structure), quant: quant}, nil
+}
+
+// attachQuantizer prepares the SQ8 quantizer of a Quantized config: qz (a
+// quantizer restored from an archive) is adopted when given, otherwise one
+// is trained in store order — the order Save persists. The tree receives a
+// slab-ordered copy of the codes. Quantization is a pure optimization: if
+// the corpus can't be quantized (e.g. non-finite features) the flag is
+// cleared and the system falls back to exact scoring.
+func attachQuantizer(cfg *Config, corpus *dataset.Corpus, structure *rfs.Structure, qz *store.Quantized) *store.Quantized {
+	if !cfg.Quantized {
+		return nil
+	}
+	var err error
+	if qz == nil {
+		qz, err = store.Quantize(corpus.Store())
+	}
+	if err == nil {
+		err = structure.AdoptQuantized(qz)
+	}
+	if err != nil {
+		cfg.Quantized = false
+		return nil
+	}
+	return qz
 }
 
 // newEngine wires the QD engine for a structure under this configuration.
@@ -207,6 +250,8 @@ func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
 		BoundaryThreshold: cfg.BoundaryThreshold,
 		DisplayCount:      cfg.DisplayCount,
 		Parallelism:       cfg.Parallelism,
+		Quantized:         cfg.Quantized,
+		RerankFactor:      cfg.RerankFactor,
 	})
 }
 
@@ -218,7 +263,7 @@ func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
 func (s *System) WithObserver(o *obs.Observer) *System {
 	ecfg := s.engine.Config()
 	ecfg.Observer = o
-	return &System{cfg: s.cfg, corpus: s.corpus, rfs: s.rfs, engine: core.NewEngine(s.rfs, ecfg)}
+	return &System{cfg: s.cfg, corpus: s.corpus, rfs: s.rfs, engine: core.NewEngine(s.rfs, ecfg), quant: s.quant}
 }
 
 // Len returns the number of images in the corpus.
@@ -226,6 +271,11 @@ func (s *System) Len() int { return s.corpus.Len() }
 
 // Config returns the configuration the system was built with.
 func (s *System) Config() Config { return s.cfg }
+
+// Quantized reports whether the SQ8 two-phase scan is active (Config asked
+// for it and the corpus quantized cleanly). Results are identical either
+// way; the flag only describes how global k-NN searches execute.
+func (s *System) Quantized() bool { return s.quant != nil }
 
 // SubconceptOf returns an image's ground-truth subconcept key
 // ("category/subconcept"), or "" for an unknown ID.
@@ -271,6 +321,13 @@ func (s *System) KNNContext(ctx context.Context, exampleImage, k int) ([]Scored,
 	if exampleImage < 0 || exampleImage >= s.corpus.Len() {
 		return nil, fmt.Errorf("qdcbir: image %d outside corpus of %d", exampleImage, s.corpus.Len())
 	}
+	return s.searchKNN(ctx, s.corpus.Vectors[exampleImage], k)
+}
+
+// searchKNN runs one observed global k-NN search, through the SQ8 two-phase
+// scan when the system is quantized and the plain best-first descent
+// otherwise; results are identical either way.
+func (s *System) searchKNN(ctx context.Context, q vec.Vector, k int) ([]Scored, error) {
 	o := s.engine.Config().Observer
 	var acc disk.Accounter
 	var t0 time.Time
@@ -278,7 +335,18 @@ func (s *System) KNNContext(ctx context.Context, exampleImage, k int) ([]Scored,
 		acc = &disk.Counter{}
 		t0 = time.Now()
 	}
-	ns, err := s.rfs.Tree().KNNCtx(ctx, s.corpus.Vectors[exampleImage], k, acc)
+	var ns []rstar.Neighbor
+	var err error
+	tree := s.rfs.Tree()
+	if s.cfg.Quantized {
+		st := rstar.SearchStats{Timed: o != nil}
+		ns, err = tree.KNNQuantFromStatsCtx(ctx, tree.Root(), q, k, s.cfg.RerankFactor, acc, &st)
+		if err == nil && o != nil {
+			o.KNNPhases(st.ScanNS, st.RerankNS, st.RerankFallbacks)
+		}
+	} else {
+		ns, err = tree.KNNCtx(ctx, q, k, acc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -323,22 +391,7 @@ func (s *System) knnVector(q vec.Vector, k int) ([]Scored, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("qdcbir: invalid k=%d", k)
 	}
-	o := s.engine.Config().Observer
-	var acc disk.Accounter
-	var t0 time.Time
-	if o != nil {
-		acc = &disk.Counter{}
-		t0 = time.Now()
-	}
-	ns := s.rfs.Tree().KNN(q, k, acc)
-	if o != nil {
-		o.KNNDone(time.Since(t0), acc.Reads())
-	}
-	out := make([]Scored, len(ns))
-	for i, n := range ns {
-		out[i] = Scored{ID: int(n.ID), Score: n.Dist}
-	}
-	return out, nil
+	return s.searchKNN(context.Background(), q, k)
 }
 
 // NewSession starts a relevance-feedback session. The seed drives the random

@@ -1,0 +1,88 @@
+package qdcbir
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qdcbir/internal/obs"
+)
+
+// TestSystemQuantizedMatchesExact builds the same corpus twice — exact and
+// quantized — and checks global k-NN and full feedback sessions return
+// identical results: the SQ8 scan is an execution strategy, not a different
+// answer.
+func TestSystemQuantizedMatchesExact(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VectorMode = true
+	cfg.Images = 600
+	exact, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quantized = true
+	quant, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quant.Quantized() || exact.Quantized() {
+		t.Fatalf("quantized flags wrong: exact=%v quant=%v", exact.Quantized(), quant.Quantized())
+	}
+	for _, example := range []int{0, 17, 256, 599} {
+		for _, k := range []int{1, 10, 50} {
+			a, b := knnIDs(t, exact, example, k), knnIDs(t, quant, example, k)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("k-NN diverged (example %d, k %d): %v vs %v", example, k, a, b)
+			}
+		}
+	}
+	// Full feedback sessions agree too (the finalize phase runs localized
+	// subqueries through the quantized path).
+	runIDs := func(s *System) []int {
+		sess := s.NewSession(321)
+		c := sess.Candidates()
+		if err := sess.Feedback([]int{c[0].ID, c[1].ID, c[3].ID}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Finalize(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs()
+	}
+	if a, b := runIDs(exact), runIDs(quant); !reflect.DeepEqual(a, b) {
+		t.Fatalf("session results diverged: %v vs %v", a, b)
+	}
+}
+
+// TestSystemQuantizedObserved checks the observed quantized k-NN path feeds
+// the per-phase digests and keeps the KNN counter in step.
+func TestSystemQuantizedObserved(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.VectorMode = true
+	cfg.Images = 400
+	cfg.Quantized = true
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(nil)
+	observed := sys.WithObserver(o)
+	if !observed.Quantized() {
+		t.Fatal("WithObserver dropped the quantizer")
+	}
+	if _, err := observed.KNN(5, 12); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Registry().Snapshot().Counters[obs.MetricKNNs]; got != 1 {
+		t.Fatalf("knn counter = %d, want 1", got)
+	}
+	scan := o.Windows().Digest(obs.DigestKNNScan).Snapshot(time.Minute)
+	if scan.Count != 1 {
+		t.Fatalf("knn_scan digest count = %d, want 1", scan.Count)
+	}
+	rerank := o.Windows().Digest(obs.DigestKNNRerank).Snapshot(time.Minute)
+	if rerank.Count != 1 {
+		t.Fatalf("knn_rerank digest count = %d, want 1", rerank.Count)
+	}
+}

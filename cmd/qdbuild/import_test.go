@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qdcbir"
+	"qdcbir/internal/experiments"
+)
+
+// writeLabeledCSV writes a clustered, labeled embedding file — the kind of
+// externally computed vector set -import exists for. Each cluster is a
+// subconcept ("emb/<letter>"), so the imported corpus carries real ground
+// truth.
+func writeLabeledCSV(t *testing.T, clusters, perCluster, dim int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	var sb strings.Builder
+	for c := 0; c < clusters; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = rng.Float64() * 10
+		}
+		label := "emb/" + string(rune('a'+c))
+		for i := 0; i < perCluster; i++ {
+			sb.WriteString(label)
+			for j := 0; j < dim; j++ {
+				fmt.Fprintf(&sb, ",%.6f", center[j]+rng.NormFloat64()*0.05)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	path := filepath.Join(t.TempDir(), "embeddings.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestImportRoundTrip drives the full import pipeline end to end: labeled
+// CSV -> buildImported -> versioned archive on disk -> qdcbir.LoadFile ->
+// QD-vs-Rocchio evaluation on the corpus-derived queries.
+func TestImportRoundTrip(t *testing.T) {
+	csvPath := writeLabeledCSV(t, 5, 24, 12)
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	sys, err := buildImported(csvPath, "", false, 1, 16, 0.2, "str", false, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 120 {
+		t.Fatalf("imported %d vectors, want 120", sys.Len())
+	}
+	if got := sys.Corpus().Store().Dim(); got != 12 {
+		t.Fatalf("dim %d, want 12", got)
+	}
+
+	out := filepath.Join(t.TempDir(), "emb.gob")
+	if err := sys.SaveFile(out); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qdcbir.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != sys.Len() {
+		t.Fatalf("loaded %d vectors, want %d", loaded.Len(), sys.Len())
+	}
+
+	// The acceptance loop: the reloaded archive must support the full
+	// evaluation protocol on its own ground truth.
+	ecfg := experiments.Config{
+		Seed: 1, Users: 2, Rounds: 2,
+		MaxFill: 16, TargetFill: 14, RepFraction: 0.2,
+	}
+	esys := experiments.BuildCorpusSystem(ecfg, loaded.Corpus())
+	queries := experiments.CorpusQueries(loaded.Corpus(), 2, 4)
+	if len(queries) != 4 {
+		t.Fatalf("%d corpus-derived queries, want 4", len(queries))
+	}
+	rep := experiments.RunQDvsRocchio(esys, queries)
+	if rep.Queries != 4 {
+		t.Fatalf("evaluated %d queries, want 4", rep.Queries)
+	}
+	for _, tq := range rep.Techniques {
+		if tq.Precision <= 0.3 {
+			t.Errorf("%s precision %.2f suspiciously low on separated clusters", tq.Name, tq.Precision)
+		}
+	}
+}
+
+// TestImportFloat32FVecs checks the -f32 + .fvecs pairing: a float32-native
+// file builds a float32-precision system whose archive reloads at the same
+// precision.
+func TestImportFloat32FVecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	const n, dim = 150, 8
+	buf := make([]byte, 0, n*(4+4*dim))
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(dim), 0, 0, 0)
+		for j := 0; j < dim; j++ {
+			bits := math.Float32bits(float32(float64(i%3) + rng.NormFloat64()*0.05))
+			buf = append(buf, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "vectors.fvecs")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	sys, err := buildImported(path, "", true, 2, 16, 0.2, "str", false, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Corpus().Store().Precision().String(); got != "f32" {
+		t.Fatalf("precision %q, want f32", got)
+	}
+	out := filepath.Join(t.TempDir(), "emb32.gob")
+	if err := sys.SaveFile(out); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := qdcbir.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Corpus().Store().Precision().String(); got != "f32" {
+		t.Fatalf("loaded precision %q, want f32", got)
+	}
+	res, err := loaded.KNN(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 || res[0].ID != 0 {
+		t.Fatalf("self-query: %v", res)
+	}
+}

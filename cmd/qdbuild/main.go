@@ -3,10 +3,19 @@
 // persists both to disk for later sessions (cmd/qdquery) — the "building the
 // RFS structure and populating the image database" step.
 //
+// With -import, qdbuild skips the synthetic generator and builds the
+// structure over externally computed embedding vectors instead (JSON-lines,
+// CSV, or .fvecs). Imported databases are written in the versioned system
+// archive format (readable by qdcbir.LoadFile and qdquery alike) rather than
+// the legacy gob below, because they must carry the corpus dimension and
+// precision.
+//
 // Usage:
 //
 //	qdbuild -out db.gob -images 15000 -categories 150
 //	qdbuild -out small.gob -images 1200 -categories 25 -capacity 24 -reps 0.2
+//	qdbuild -out emb.gob -import vectors.fvecs -f32
+//	qdbuild -out emb.gob -import labeled.csv -format csv
 package main
 
 import (
@@ -16,9 +25,11 @@ import (
 	"log/slog"
 	"os"
 
+	"qdcbir"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/source"
 	"qdcbir/internal/store"
 )
 
@@ -43,9 +54,27 @@ func main() {
 		vectors    = flag.Bool("vectors", false, "vector mode (skip rendering)")
 		hierarchy  = flag.String("hierarchy", "str", "clustering backbone: str|insert|kmeans")
 		quantize   = flag.Bool("quantize", false, "train and embed the SQ8 quantizer (8x smaller scan tables; identical results)")
+		importPath = flag.String("import", "", "build over this embedding file (jsonl|csv|fvecs) instead of the synthetic generator; writes a versioned system archive")
+		format     = flag.String("format", "", "embedding file format for -import: jsonl|csv|fvecs (empty = infer from extension)")
+		f32        = flag.Bool("f32", false, "with -import: scan at float32 precision (natural for .fvecs, whose values are float32 already)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *importPath != "" {
+		sys, err := buildImported(*importPath, *format, *f32, *seed, *capacity, *reps, *hierarchy, *quantize, log)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		logWritten(log, *out)
+		return
+	}
+	if *format != "" || *f32 {
+		fatal(fmt.Errorf("-format and -f32 only apply with -import"))
+	}
 
 	arch, err := buildArchive(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, *quantize, log)
 	if err != nil {
@@ -63,11 +92,45 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	info, err := os.Stat(*out)
+	logWritten(log, *out)
+}
+
+func logWritten(log *slog.Logger, path string) {
+	info, err := os.Stat(path)
 	if err != nil {
 		fatal(err)
 	}
-	log.Info("wrote archive", "path", *out, "size_mb", fmt.Sprintf("%.1f", float64(info.Size())/(1<<20)))
+	log.Info("wrote archive", "path", path, "size_mb", fmt.Sprintf("%.1f", float64(info.Size())/(1<<20)))
+}
+
+// buildImported ingests an embedding file and assembles the full system over
+// it. Unlike buildArchive, the result is persisted as a versioned qdcbir
+// archive (via System.SaveFile) so the corpus dimension and precision travel
+// with the data.
+func buildImported(path, format string, f32 bool, seed int64, capacity int, reps float64, hierarchy string, quantize bool, log *slog.Logger) (*qdcbir.System, error) {
+	src, err := source.File(path, format)
+	if err != nil {
+		return nil, err
+	}
+	log.Info("importing vectors", "path", path, "format", src.Format(), "float32", f32)
+	sys, err := qdcbir.BuildFromSource(qdcbir.Config{
+		Seed:         seed,
+		NodeCapacity: capacity,
+		RepFraction:  reps,
+		Hierarchy:    hierarchy,
+		Quantized:    quantize,
+		Float32:      f32,
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	log.Info("imported system built",
+		"images", sys.Len(),
+		"dim", sys.Corpus().Store().Dim(),
+		"precision", sys.Corpus().Store().Precision().String(),
+		"height", sys.TreeHeight(),
+		"representatives", sys.RepresentativeCount())
+	return sys, nil
 }
 
 // buildArchive generates the corpus, builds the RFS structure, and packages

@@ -8,6 +8,7 @@
 //
 //	qdquery                 # build a small corpus in-memory and query it
 //	qdquery -db db.gob      # query a database persisted by qdbuild
+//	qdquery -db emb.gob     # also opens versioned archives (qdbuild -import)
 //
 // Session commands:
 //
@@ -33,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"qdcbir"
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/feature"
@@ -128,12 +130,27 @@ func open(path string, seed int64, parallelism int, quantize bool, observer *obs
 			return nil, err
 		}
 		defer f.Close()
+		br := bufio.NewReader(f)
+		// Versioned system archives (qdbuild -import, qdcbir.SaveFile) open
+		// with the 0xD1 'Q' 'D' magic — a prefix no gob stream can start with.
+		// They carry their own configuration (dimension, precision, quantizer),
+		// so the engine flags of this command don't apply to them.
+		if head, err := br.Peek(3); err == nil && head[0] == 0xD1 && head[1] == 'Q' && head[2] == 'D' {
+			sys, err := qdcbir.Load(br)
+			if err != nil {
+				return nil, fmt.Errorf("decode %s: %w", path, err)
+			}
+			if observer != nil {
+				sys = sys.WithObserver(observer)
+			}
+			return &db{infos: sys.Corpus().Infos, rfs: sys.RFS(), engine: sys.Engine()}, nil
+		}
 		var arch struct {
 			Infos []dataset.Info
 			RFS   *rfs.Snapshot
 			Quant *store.QuantParts
 		}
-		if err := gob.NewDecoder(f).Decode(&arch); err != nil {
+		if err := gob.NewDecoder(br).Decode(&arch); err != nil {
 			return nil, fmt.Errorf("decode %s: %w", path, err)
 		}
 		structure, err = rfs.FromSnapshot(arch.RFS)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"qdcbir"
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/obs"
@@ -193,5 +194,34 @@ func TestWriteTraces(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("trace-out missing %q event; have:\n%s", want, joined)
 		}
+	}
+}
+
+// TestOpenVersionedArchive checks open() detects the 0xD1 'Q' 'D' magic and
+// routes versioned system archives (the qdbuild -import output format)
+// through qdcbir.Load instead of the legacy gob decoder.
+func TestOpenVersionedArchive(t *testing.T) {
+	sys, err := qdcbir.Build(qdcbir.Config{
+		Seed: 4, Categories: 8, Images: 200, VectorMode: true,
+		NodeCapacity: 20, RepFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "versioned.gob")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := open(path, 1, 0, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.infos) != sys.Len() {
+		t.Fatalf("opened %d infos, want %d", len(d.infos), sys.Len())
+	}
+	var out bytes.Buffer
+	repl(d, rand.New(rand.NewSource(5)), strings.NewReader("q\n"), &out)
+	if !strings.Contains(out.String(), "candidate representatives") {
+		t.Errorf("no display from versioned archive: %q", out.String())
 	}
 }

@@ -305,13 +305,46 @@ func TestMVSubspacesBasics(t *testing.T) {
 	}
 }
 
+// TestMVSubspaceFallbackOnOddDim: a corpus whose dimension is not the 37-d
+// feature layout — an imported embedding set, say 128-d — has no feature
+// families, so MV must take the explicit single-viewpoint fallback and still
+// behave as a full retriever (searching, deduplicating, learning from
+// feedback).
 func TestMVSubspaceFallbackOnOddDim(t *testing.T) {
+	for _, dim := range []int{8, 128} {
+		rng := rand.New(rand.NewSource(11))
+		pts := twoBlobs(rng, 20, 0, dim)
+		st := store.FromVectors(pts)
+		m := NewMVSubspaces(st, 0)
+		if m.HasSubspaces() {
+			t.Fatalf("dim %d: subspace viewpoints built for a non-37-d corpus", dim)
+		}
+		if vps := m.Viewpoints(); len(vps) != 1 || vps[0] != "full" {
+			t.Fatalf("dim %d: viewpoints %q, want [full]", dim, vps)
+		}
+		got := m.Search(10)
+		if len(got) != 10 {
+			t.Fatalf("dim %d: Search returned %d", dim, len(got))
+		}
+		// The single full-space viewpoint must rank exactly like a plain
+		// full-space scan from the same query point.
+		want := scanTopK(st, 10, st.At(0), nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dim %d: rank %d: got %d, want %d", dim, i, got[i], want[i])
+			}
+		}
+		// Feedback still moves the surviving viewpoint.
+		m.Feedback(got[:5])
+		if after := m.Search(10); len(after) != 10 {
+			t.Fatalf("dim %d: post-feedback Search returned %d", dim, len(after))
+		}
+	}
+	// The 37-d layout keeps all four viewpoints.
 	rng := rand.New(rand.NewSource(11))
-	pts := twoBlobs(rng, 20, 0, 8) // not 37-d
-	m := NewMVSubspaces(store.FromVectors(pts), 0)
-	got := m.Search(10)
-	if len(got) != 10 {
-		t.Fatalf("Search returned %d", len(got))
+	m := NewMVSubspaces(store.FromVectors(twoBlobs(rng, 10, 0, feature.Dim)), 0)
+	if !m.HasSubspaces() {
+		t.Fatal("37-d corpus lost its subspace viewpoints")
 	}
 }
 
@@ -440,4 +473,5 @@ func TestAllRetrieversSatisfyInterface(t *testing.T) {
 	var _ FeedbackRetriever = (*MPQ)(nil)
 	var _ FeedbackRetriever = (*Qcluster)(nil)
 	var _ FeedbackRetriever = (*MV)(nil)
+	var _ FeedbackRetriever = (*Rocchio)(nil)
 }

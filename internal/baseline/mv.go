@@ -64,6 +64,13 @@ func NewMVChannels(channels map[img.Channel]*store.FeatureStore, queryImage int)
 // exist (synthetic vector corpora), the viewpoints are the three feature-
 // family subspaces plus the full space, following the subset-of-features
 // formulation of [5].
+//
+// The family masks describe the paper's 37-d feature layout. A corpus of any
+// other dimension — a scalability sweep or an imported embedding set — has no
+// feature families to project onto, so MV degenerates to its one meaningful
+// viewpoint, the full space. (Keeping four unweighted copies would return the
+// same interleaved ranking at four times the scan cost.) HasSubspaces reports
+// which shape was built.
 func NewMVSubspaces(st *store.FeatureStore, queryImage int) *MV {
 	m := &MV{relSet: make(map[int]bool)}
 	families := []struct {
@@ -75,22 +82,24 @@ func NewMVSubspaces(st *store.FeatureStore, queryImage int) *MV {
 		{"texture", feature.FamilyTexture.Mask()},
 		{"edge", feature.FamilyEdge.Mask()},
 	}
+	if st.Dim() != feature.Dim {
+		families = families[:1] // full space only; see doc comment
+	}
 	for _, f := range families {
-		w := f.mask
-		if w != nil && len(w) != st.Dim() {
-			// Non-37-d corpora (scalability sweeps) cannot use family masks;
-			// fall back to the full space for that viewpoint.
-			w = nil
-		}
 		m.viewpoints = append(m.viewpoints, &Viewpoint{
 			Name:    f.name,
-			Weights: w,
+			Weights: f.mask,
 			st:      st,
 			query:   st.At(queryImage).Clone(),
 		})
 	}
 	return m
 }
+
+// HasSubspaces reports whether the retriever carries the feature-family
+// subspace viewpoints (37-d corpora) or fell back to the single full-space
+// viewpoint (any other dimension).
+func (m *MV) HasSubspaces() bool { return len(m.viewpoints) > 1 }
 
 // Name implements FeedbackRetriever.
 func (m *MV) Name() string { return "MV" }

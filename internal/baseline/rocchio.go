@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+// Rocchio default mixing weights: the textbook α=1.0, β=0.75 (the γ term
+// over non-relevant examples doesn't apply — the shared feedback protocol
+// only reports relevant marks).
+const (
+	DefaultRocchioAlpha = 1.0
+	DefaultRocchioBeta  = 0.75
+)
+
+// Rocchio implements the classic Rocchio query-point-movement update, the
+// baseline modern embedding-based retrieval systems ship alongside learned
+// relevance feedback: after each round the query moves to
+//
+//	q' = (α·q₀ + β·centroid(relevant)) / (α + β)
+//
+// Unlike QPM (MindReader-style), Rocchio keeps the original query point in
+// every update — the query drifts toward the relevant centroid but stays
+// anchored — and never re-weights the distance metric. The normalization by
+// α+β makes q' a convex combination of q₀ and the centroid, so the moved
+// query stays inside the feature range whatever the weights. Like every
+// single-point technique, it reaches only one neighborhood per round — the
+// confinement QD's decomposition removes.
+type Rocchio struct {
+	st          *store.FeatureStore
+	q0          vec.Vector // the original query point, kept in every update
+	query       vec.Vector
+	alpha, beta float64
+	relevant    []int
+	relSet      map[int]bool
+}
+
+// NewRocchio builds the baseline with the textbook mixing weights.
+func NewRocchio(st *store.FeatureStore, queryImage int) *Rocchio {
+	return NewRocchioWeights(st, queryImage, DefaultRocchioAlpha, DefaultRocchioBeta)
+}
+
+// NewRocchioWeights builds the baseline with explicit α (original-query
+// weight) and β (relevant-centroid weight). Non-positive weights take the
+// defaults.
+func NewRocchioWeights(st *store.FeatureStore, queryImage int, alpha, beta float64) *Rocchio {
+	if alpha <= 0 {
+		alpha = DefaultRocchioAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultRocchioBeta
+	}
+	q := st.At(queryImage).Clone()
+	return &Rocchio{
+		st:     st,
+		q0:     q,
+		query:  q.Clone(),
+		alpha:  alpha,
+		beta:   beta,
+		relSet: make(map[int]bool),
+	}
+}
+
+// Name implements FeedbackRetriever.
+func (r *Rocchio) Name() string { return "Rocchio" }
+
+// Query exposes the current (moved) query point for tests and reports; the
+// caller must not modify it.
+func (r *Rocchio) Query() vec.Vector { return r.query }
+
+// Search returns the top-k nearest images to the current query point.
+func (r *Rocchio) Search(k int) []int {
+	return scanTopK(r.st, k, r.query, nil)
+}
+
+// Feedback applies the Rocchio update over all relevant marks seen so far.
+func (r *Rocchio) Feedback(relevant []int) {
+	for _, id := range relevant {
+		if id >= 0 && id < r.st.Len() && !r.relSet[id] {
+			r.relSet[id] = true
+			r.relevant = append(r.relevant, id)
+		}
+	}
+	pts := gatherPoints(r.st, r.relevant)
+	if len(pts) == 0 {
+		return
+	}
+	c := vec.Centroid(pts)
+	inv := 1 / (r.alpha + r.beta)
+	for i := range r.query {
+		r.query[i] = (r.alpha*r.q0[i] + r.beta*c[i]) * inv
+	}
+}

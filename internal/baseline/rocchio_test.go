@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+func TestRocchioFindsOwnBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := twoBlobs(rng, 40, 20, 12)
+	r := NewRocchio(store.FromVectors(pts), 0)
+	if r.Name() != "Rocchio" {
+		t.Errorf("name = %q", r.Name())
+	}
+	got := r.Search(30)
+	inBlob := 0
+	for _, id := range got {
+		if id < 40 {
+			inBlob++
+		}
+	}
+	if inBlob < 25 {
+		t.Fatalf("only %d/30 results from the query's blob", inBlob)
+	}
+}
+
+// TestRocchioUpdateFormula pins the update against a hand-computed
+// q' = (α·q₀ + β·centroid) / (α+β).
+func TestRocchioUpdateFormula(t *testing.T) {
+	pts := []vec.Vector{{0, 0}, {2, 4}, {4, 0}, {100, 100}}
+	r := NewRocchioWeights(store.FromVectors(pts), 0, 1.0, 0.5)
+	r.Feedback([]int{1, 2}) // centroid (3, 2)
+	want := vec.Vector{(1.0*0 + 0.5*3) / 1.5, (1.0*0 + 0.5*2) / 1.5}
+	for i := range want {
+		if math.Abs(r.Query()[i]-want[i]) > 1e-12 {
+			t.Fatalf("query %v, want %v", r.Query(), want)
+		}
+	}
+	// A second round recomputes from the full relevant set and the ORIGINAL
+	// query, not the moved one: same marks => same point.
+	prev := r.Query().Clone()
+	r.Feedback([]int{1, 2})
+	for i := range prev {
+		if r.Query()[i] != prev[i] {
+			t.Fatal("duplicate feedback moved the query")
+		}
+	}
+}
+
+// TestRocchioStaysAnchored: with feedback drawn from a far cluster the moved
+// query must remain strictly between the original point and the relevant
+// centroid — the anchoring that distinguishes Rocchio from QPM's pure
+// centroid jump.
+func TestRocchioStaysAnchored(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := twoBlobs(rng, 30, 0, 6)
+	st := store.FromVectors(pts)
+	r := NewRocchio(st, 0)
+	q := NewQPM(st, 0)
+	rel := []int{30, 31, 32, 33}
+	r.Feedback(rel)
+	q.Feedback(rel)
+	c := vec.Centroid(gatherPoints(st, rel))
+	q0 := st.At(0)
+	dRocchio := vec.L2(r.Query(), c)
+	dQPM := vec.L2(q.query, c)
+	if dQPM >= dRocchio {
+		t.Fatalf("QPM (%v from centroid) should sit closer than Rocchio (%v)", dQPM, dRocchio)
+	}
+	if vec.L2(r.Query(), q0) >= vec.L2(q0, c) {
+		t.Fatal("Rocchio query moved past the centroid")
+	}
+	if dRocchio >= vec.L2(q0, c) {
+		t.Fatal("Rocchio query did not move toward the centroid")
+	}
+}
+
+// TestRocchioImportedDim: the baseline is dimension-agnostic — it must run
+// unchanged over an embedding-scale corpus.
+func TestRocchioImportedDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := twoBlobs(rng, 25, 10, 128)
+	r := NewRocchio(store.FromVectors(pts), 3)
+	first := r.Search(15)
+	r.Feedback(first[:5])
+	second := r.Search(15)
+	if len(first) != 15 || len(second) != 15 {
+		t.Fatalf("searches returned %d and %d results", len(first), len(second))
+	}
+}
+
+func TestRocchioIgnoresOutOfRangeMarks(t *testing.T) {
+	pts := []vec.Vector{{0, 0}, {1, 1}, {2, 2}}
+	r := NewRocchio(store.FromVectors(pts), 0)
+	r.Feedback([]int{-1, 99})
+	for i, v := range r.Query() {
+		if v != pts[0][i] {
+			t.Fatal("invalid marks moved the query")
+		}
+	}
+}

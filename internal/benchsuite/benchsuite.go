@@ -39,12 +39,14 @@ type entry struct {
 	fn   func(b *testing.B, fix *fixture)
 }
 
-// fixture is the shared system set: one uninstrumented, one observed, and
-// one running the SQ8 two-phase scan, all over the same corpus.
+// fixture is the shared system set: one uninstrumented, one observed, one
+// running the SQ8 two-phase scan, and one scanning at float32 precision, all
+// over the same corpus.
 type fixture struct {
 	plain     *qdcbir.System
 	observed  *qdcbir.System
 	quantized *qdcbir.System
+	float32p  *qdcbir.System
 	relevant  []int // example panel spanning several subconcepts
 }
 
@@ -65,10 +67,17 @@ func buildFixture() (*fixture, error) {
 	if err != nil {
 		return nil, err
 	}
+	fcfg := cfg
+	fcfg.Float32 = true
+	fsys, err := qdcbir.Build(fcfg)
+	if err != nil {
+		return nil, err
+	}
 	fix := &fixture{
 		plain:     sys,
 		observed:  sys.WithObserver(obs.New(obs.NewRegistry())),
 		quantized: qsys,
+		float32p:  fsys,
 	}
 	for i, key := range sys.Corpus().Subconcepts() {
 		if i >= 4 {
@@ -99,8 +108,12 @@ func suite(fix *fixture) []entry {
 		{"BenchmarkSystemKNNObserver/live", benchKNN(fix.observed)},
 		{"BenchmarkSystemKNNScan/exact", benchKNN(fix.plain)},
 		{"BenchmarkSystemKNNScan/sq8", benchKNN(fix.quantized)},
-		{"BenchmarkLeafScanKernel/exact", benchLeafScanExact},
+		{"BenchmarkSystemKNNScan/f32", benchKNN(fix.float32p)},
+		{"BenchmarkLeafScanKernel/exact", benchLeafScanF64(featureDim)},
 		{"BenchmarkLeafScanKernel/sq8", benchLeafScanSQ8},
+		{"BenchmarkLeafScanKernel/f32", benchLeafScanF32(featureDim)},
+		{"BenchmarkLeafScanKernelEmbed/f64", benchLeafScanF64(embedDim)},
+		{"BenchmarkLeafScanKernelEmbed/f32", benchLeafScanF32(embedDim)},
 		{"BenchmarkScanTableFootprint/exact", benchScanTableExact},
 		{"BenchmarkScanTableFootprint/sq8", benchScanTableSQ8},
 		{"BenchmarkQueryFinalize/observer=none", benchFinalize(fix.plain)},
@@ -132,18 +145,20 @@ func benchFinalize(sys *qdcbir.System) func(b *testing.B, fix *fixture) {
 }
 
 // The leaf-scan kernel benchmarks price one full leaf-block distance sweep —
-// the inner loop of every k-NN — over a synthetic slab shaped like the
-// paper's corpus (37-d features), large enough to stream from memory the way
-// a big leaf run does. One op = one distance per row, every row.
+// the inner loop of every k-NN — over a synthetic slab, large enough to
+// stream from memory the way a big leaf run does. One op = one distance per
+// row, every row. The slab dimension is a parameter: featureDim matches the
+// paper's extractor, embedDim matches imported embedding corpora.
 const (
 	leafScanRows = 4096
-	leafScanDim  = 37
+	featureDim   = 37
+	embedDim     = 512
 )
 
 // leafScanBlock builds the deterministic synthetic slab and a query drawn
 // from the same distribution.
-func leafScanBlock() ([]float64, vec.Vector) {
-	data := make([]float64, leafScanRows*leafScanDim)
+func leafScanBlock(dim int) ([]float64, vec.Vector) {
+	data := make([]float64, leafScanRows*dim)
 	// Cheap deterministic LCG: no seeding differences across runs.
 	state := uint64(0x9E3779B97F4A7C15)
 	next := func() float64 {
@@ -153,29 +168,48 @@ func leafScanBlock() ([]float64, vec.Vector) {
 	for i := range data {
 		data[i] = next()
 	}
-	q := make(vec.Vector, leafScanDim)
+	q := make(vec.Vector, dim)
 	for i := range q {
 		q[i] = next()
 	}
 	return data, q
 }
 
-// benchLeafScanExact prices the float64 batch kernel over the slab.
-func benchLeafScanExact(b *testing.B, _ *fixture) {
-	data, q := leafScanBlock()
-	out := make([]float64, leafScanRows)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		vec.SquaredDistsTo(q, data, out)
+// benchLeafScanF64 prices the float64 batch kernel over a dim-wide slab.
+func benchLeafScanF64(dim int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, q := leafScanBlock(dim)
+		out := make([]float64, leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec.SquaredDistsTo(q, data, out)
+		}
+	}
+}
+
+// benchLeafScanF32 prices the float32 batch kernel over the same rows
+// narrowed once up front — the sweep Config.Float32 substitutes for the
+// float64 kernel.
+func benchLeafScanF32(dim int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, q := leafScanBlock(dim)
+		data32 := vec.Narrow32(data, nil)
+		q32 := vec.Narrow32(q, nil)
+		out := make([]float32, leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec.SquaredDistsTo32(q32, data32, out)
+		}
 	}
 }
 
 // benchLeafScanSQ8 prices the uint8 batch kernel over the same rows: the
 // quantized sweep the SQ8 path substitutes for the float kernel.
 func benchLeafScanSQ8(b *testing.B, _ *fixture) {
-	data, q := leafScanBlock()
-	qz, err := store.QuantizeBacking(leafScanDim, data)
+	data, q := leafScanBlock(featureDim)
+	qz, err := store.QuantizeBacking(featureDim, data)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -191,7 +225,7 @@ func benchLeafScanSQ8(b *testing.B, _ *fixture) {
 // benchScanTableExact materializes the float64 scan table each op; its B/op
 // is the per-table memory footprint of the exact path.
 func benchScanTableExact(b *testing.B, _ *fixture) {
-	data, _ := leafScanBlock()
+	data, _ := leafScanBlock(featureDim)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -206,8 +240,8 @@ func benchScanTableExact(b *testing.B, _ *fixture) {
 // benchScanTableSQ8 materializes the SQ8 codes table each op; comparing its
 // B/op against the exact variant shows the 8x footprint reduction.
 func benchScanTableSQ8(b *testing.B, _ *fixture) {
-	data, _ := leafScanBlock()
-	qz, err := store.QuantizeBacking(leafScanDim, data)
+	data, _ := leafScanBlock(featureDim)
+	qz, err := store.QuantizeBacking(featureDim, data)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -280,6 +314,9 @@ var fixtureFree = map[string]bool{
 	"BenchmarkPerfettoExport":           true,
 	"BenchmarkLeafScanKernel/exact":     true,
 	"BenchmarkLeafScanKernel/sq8":       true,
+	"BenchmarkLeafScanKernel/f32":       true,
+	"BenchmarkLeafScanKernelEmbed/f64":  true,
+	"BenchmarkLeafScanKernelEmbed/f32":  true,
 	"BenchmarkScanTableFootprint/exact": true,
 	"BenchmarkScanTableFootprint/sq8":   true,
 }

@@ -40,6 +40,51 @@ func TestRunFilteredDigestOnly(t *testing.T) {
 	}
 }
 
+// TestRunFilteredKernels runs every leaf-scan kernel entry — both precisions
+// at both the 37-d feature dim and the 512-d embedding dim — all fixture-free.
+func TestRunFilteredKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite run (seconds) skipped in -short")
+	}
+	var lines []string
+	f, err := Run(Options{Filter: "LeafScanKernel"}, func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"BenchmarkLeafScanKernel/exact":    false,
+		"BenchmarkLeafScanKernel/sq8":      false,
+		"BenchmarkLeafScanKernel/f32":      false,
+		"BenchmarkLeafScanKernelEmbed/f64": false,
+		"BenchmarkLeafScanKernelEmbed/f32": false,
+	}
+	if len(f.Benchmarks) != len(want) {
+		t.Fatalf("filtered suite ran %d benchmarks, want %d", len(f.Benchmarks), len(want))
+	}
+	for _, b := range f.Benchmarks {
+		if _, ok := want[b.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", b.Name)
+			continue
+		}
+		want[b.Name] = true
+		if b.Result == nil || b.Result.NsPerOp <= 0 {
+			t.Errorf("%s: no result recorded: %+v", b.Name, b.Result)
+		}
+	}
+	for name, ran := range want {
+		if !ran {
+			t.Errorf("%s missing from the run", name)
+		}
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "corpus") {
+			t.Errorf("kernel-only filter still built the corpus")
+		}
+	}
+}
+
 func TestRunRejectsBadFilter(t *testing.T) {
 	if _, err := Run(Options{Filter: "("}, nil); err == nil {
 		t.Error("bad regexp accepted")

@@ -63,6 +63,17 @@ type Config struct {
 	// retains RerankFactor*k rows for exact reranking. <= 0 uses
 	// rstar.DefaultRerankFactor.
 	RerankFactor int
+	// Float32 routes unweighted localized k-NN searches through the float32
+	// sweep (rstar.KNNF32FromStatsCtx): half-width rows, double the SIMD
+	// lanes. Unlike Quantized this is a distinct PRECISION, not an
+	// optimization of the float64 path — distances are computed in float32
+	// and may rank close neighbours differently — so it takes precedence
+	// over Quantized (withDefaults clears that flag) rather than compose
+	// with it. Results are deterministic across platforms and build tags
+	// (the float32 kernels share one canonical accumulation order).
+	// Weighted searches (§6 feature importance) always use the exact
+	// float64 path.
+	Float32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DisplayCount <= 0 {
 		c.DisplayCount = 21
+	}
+	if c.Float32 {
+		c.Quantized = false // Float32 selects a precision; SQ8 serves the f64 path
 	}
 	return c
 }
@@ -87,6 +101,9 @@ type Engine struct {
 // construction itself, this requires exclusion against concurrent searches.
 func NewEngine(s *rfs.Structure, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	if cfg.Float32 && !s.Tree().Float32Scoring() {
+		s.Tree().SetFloat32Scoring(true)
+	}
 	if cfg.Quantized && !s.Tree().QuantizedScoring() {
 		if err := s.Tree().SetQuantizedScoring(true); err != nil {
 			// Quantization is a pure optimization: an untrainable corpus
@@ -898,6 +915,9 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Accounter, n *rstar.Node, q vec.Vector, k int, st *rstar.SearchStats) ([]rstar.Neighbor, error) {
 	if weights != nil {
 		return eng.rfs.Tree().KNNWeightedFromStatsCtx(ctx, n, q, weights, k, acc, st)
+	}
+	if eng.cfg.Float32 {
+		return eng.rfs.Tree().KNNF32FromStatsCtx(ctx, n, q, k, acc, st)
 	}
 	if eng.cfg.Quantized {
 		return eng.rfs.Tree().KNNQuantFromStatsCtx(ctx, n, q, k, eng.cfg.RerankFactor, acc, st)

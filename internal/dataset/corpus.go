@@ -290,6 +290,30 @@ func Reassemble(infos []Info, vectors []vec.Vector, channels map[img.Channel][]v
 	return c, nil
 }
 
+// ReassembleStore is Reassemble for a corpus whose vectors already live in a
+// flat feature store — an imported embedding batch or a decoded archive. The
+// store is adopted as-is, preserving its precision tag and any native
+// float32 backing, instead of being copied through FromVectors; the caller
+// must not mutate it afterwards. Channel vectors (an image-mode concept)
+// don't apply to adopted stores.
+func ReassembleStore(infos []Info, st *store.FeatureStore) (*Corpus, error) {
+	c := &Corpus{
+		Infos:        infos,
+		Vectors:      st.Views(),
+		bySubconcept: make(map[string][]int),
+		byCategory:   make(map[string][]int),
+	}
+	for _, info := range infos {
+		c.bySubconcept[info.Subconcept] = append(c.bySubconcept[info.Subconcept], info.ID)
+		c.byCategory[info.Category] = append(c.byCategory[info.Category], info.ID)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c.store = st
+	return c, nil
+}
+
 // Len returns the number of images in the corpus.
 func (c *Corpus) Len() int { return len(c.Infos) }
 
@@ -322,6 +346,15 @@ func (c *Corpus) CategoryIDs(name string) []int { return c.byCategory[name] }
 func (c *Corpus) Subconcepts() []string {
 	out := make([]string, 0, len(c.bySubconcept))
 	for k := range c.bySubconcept {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Categories returns all category names present in the corpus.
+func (c *Corpus) Categories() []string {
+	out := make([]string, 0, len(c.byCategory))
+	for k := range c.byCategory {
 		out = append(out, k)
 	}
 	return out

@@ -275,7 +275,7 @@ func TestExtendedComparison(t *testing.T) {
 	small := *sys
 	small.Cfg.Users = 2
 	rep := RunExtended(&small)
-	if len(rep.Techniques) != 6 {
+	if len(rep.Techniques) != 7 {
 		t.Fatalf("%d techniques", len(rep.Techniques))
 	}
 	byName := map[string]TechniqueQuality{}

@@ -28,15 +28,15 @@ type ExtendedReport struct {
 	PerQuery   map[string][]TechniqueQuality // query name -> per-technique rows
 }
 
-// RunExtended evaluates QD, MV, QPM, MPQ, Qcluster, and plain kNN on the
-// Table-1 queries under the same protocol (same corpus, same simulated
-// users, same retrieval sizes).
+// RunExtended evaluates QD, MV, QPM, Rocchio, MPQ, Qcluster, and plain kNN
+// on the Table-1 queries under the same protocol (same corpus, same
+// simulated users, same retrieval sizes).
 func RunExtended(sys *System) *ExtendedReport {
 	cfg := sys.Cfg
 	rep := &ExtendedReport{Cfg: cfg, PerQuery: make(map[string][]TechniqueQuality)}
 	queries := dataset.PaperQueries()
 
-	names := []string{"QD", "MV", "QPM", "MPQ", "Qcluster", "kNN"}
+	names := []string{"QD", "MV", "QPM", "Rocchio", "MPQ", "Qcluster", "kNN"}
 	totals := make(map[string]*acc, len(names))
 	for _, n := range names {
 		totals[n] = &acc{}
@@ -74,6 +74,7 @@ func RunExtended(sys *System) *ExtendedReport {
 			retrievers := map[string]baseline.FeedbackRetriever{
 				"MV":       mv,
 				"QPM":      baseline.NewQPM(sys.Corpus.Store(), initial),
+				"Rocchio":  baseline.NewRocchio(sys.Corpus.Store(), initial),
 				"MPQ":      baseline.NewMPQ(sys.Corpus.Store(), initial, 5, rand.New(rand.NewSource(seed+3))),
 				"Qcluster": baseline.NewQcluster(sys.Corpus.Store(), initial, 5, rand.New(rand.NewSource(seed+3))),
 				"kNN":      baseline.NewPlainKNN(sys.Corpus.Store(), initial),

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/dataset"
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+// importedCorpus builds a labeled float32 corpus the way the import path
+// does: clustered embedding rows adopted through a float32-precision store
+// and dataset.ReassembleStore, with per-cluster subconcept ground truth.
+func importedCorpus(t *testing.T, clusters, perCluster, dim int) *dataset.Corpus {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	n := clusters * perCluster
+	data := make([]float32, 0, n*dim)
+	infos := make([]dataset.Info, 0, n)
+	id := 0
+	for c := 0; c < clusters; c++ {
+		center := make(vec.Vector, dim)
+		for j := range center {
+			center[j] = rng.Float64() * 10
+		}
+		key := dataset.Key("imported", string(rune('a'+c)))
+		for i := 0; i < perCluster; i++ {
+			for j := 0; j < dim; j++ {
+				data = append(data, float32(center[j]+rng.NormFloat64()*0.05))
+			}
+			infos = append(infos, dataset.Info{ID: id, Category: "imported", Subconcept: key})
+			id++
+		}
+	}
+	st, err := store.FromBacking32(dim, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := dataset.ReassembleStore(infos, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func TestCorpusQueries(t *testing.T) {
+	corpus := importedCorpus(t, 6, 20, 8)
+	qs := CorpusQueries(corpus, 2, 0)
+	if len(qs) != 6 {
+		t.Fatalf("%d queries, want 6", len(qs))
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Name <= qs[i-1].Name {
+			t.Fatal("queries not in deterministic sorted order")
+		}
+	}
+	if capped := CorpusQueries(corpus, 2, 3); len(capped) != 3 {
+		t.Fatalf("cap ignored: %d queries", len(capped))
+	}
+	// A min-membership above the cluster size filters everything out.
+	if none := CorpusQueries(corpus, 21, 0); len(none) != 0 {
+		t.Fatalf("minMembers filter kept %d queries", len(none))
+	}
+}
+
+// TestRunQDvsRocchioImported drives the full imported-embedding evaluation:
+// float32 store → corpus system → corpus-derived queries → QD and Rocchio
+// head to head. Both techniques must produce meaningful retrieval on the
+// well-separated clusters.
+func TestRunQDvsRocchioImported(t *testing.T) {
+	corpus := importedCorpus(t, 5, 24, 12)
+	cfg := Config{
+		Seed: 1, Users: 2, Rounds: 2,
+		MaxFill: 16, TargetFill: 14, RepFraction: 0.2,
+	}
+	sys := BuildCorpusSystem(cfg, corpus)
+	qs := CorpusQueries(corpus, 2, 4)
+	rep := RunQDvsRocchio(sys, qs)
+	if rep.Queries != 4 {
+		t.Fatalf("evaluated %d queries, want 4", rep.Queries)
+	}
+	if len(rep.Techniques) != 2 {
+		t.Fatalf("%d techniques", len(rep.Techniques))
+	}
+	for _, tq := range rep.Techniques {
+		if tq.Precision <= 0.3 {
+			t.Errorf("%s precision %.2f suspiciously low on separated clusters", tq.Name, tq.Precision)
+		}
+	}
+	if len(rep.PerQuery) != 4 {
+		t.Errorf("per-query rows for %d queries", len(rep.PerQuery))
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "QD vs Rocchio") {
+		t.Error("renderer missing header")
+	}
+}

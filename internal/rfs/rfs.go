@@ -344,6 +344,11 @@ func (s *Structure) EnableQuantizedScan() error { return s.tree.SetQuantizedScor
 // (archive restores use this to skip retraining; see rstar.AdoptQuantized).
 func (s *Structure) AdoptQuantized(q *store.Quantized) error { return s.tree.AdoptQuantized(q) }
 
+// EnableFloat32Scan activates the tree's float32 sweep path (see
+// rstar.SetFloat32Scoring): the leaf slab narrows to a float32 mirror once,
+// and unweighted searches routed through KNNF32* run at float32 precision.
+func (s *Structure) EnableFloat32Scan() { s.tree.SetFloat32Scoring(true) }
+
 // Root returns the hierarchy root.
 func (s *Structure) Root() *rstar.Node { return s.tree.Root() }
 

@@ -47,10 +47,11 @@ func (t *Tree) packBlocks() {
 // per-leaf row correspondence is gone, so searches revert to per-item
 // scoring.
 func (t *Tree) invalidateBlocks() {
-	// The quantized codes mirror the slab row-for-row, so they die with it;
-	// quantized searches then report not-ready and callers fall back to the
-	// exact path until SetQuantizedScoring repacks.
+	// The quantized codes and the float32 mirror track the slab row-for-row,
+	// so they die with it; those searches then report not-ready and callers
+	// fall back to the exact path until the scoring modes are re-enabled.
 	t.invalidateQuantized()
+	t.invalidateFloat32()
 	if !t.blocksOK {
 		return
 	}

@@ -1,0 +1,178 @@
+package rstar
+
+// This file wires the float32 precision mode into the tree as a slab sweep:
+// SetFloat32Scoring narrows the float64 leaf slab to a float32 mirror ONCE,
+// and KNNF32FromStatsCtx answers a subtree-restricted k-NN with one linear
+// sweep of the mirror's rows through the float32 batch kernel
+// (vec.SquaredDistsTo32) feeding a bounded vec.TopK32 — the query itself is
+// narrowed once per search, so the hot loop never converts per-row.
+//
+// Unlike the SQ8 two-phase path (quant.go), which reranks against the float64
+// rows and certifies bit-equality with the exact search, float32 is a
+// DISTINCT documented result mode: distances are computed entirely in
+// float32 (then widened through one float64 sqrt for the Neighbor contract),
+// so rankings can differ from the float64 path wherever float32 rounding
+// collapses or reorders close distances. What the mode does guarantee is
+// platform determinism: the batch kernel's accumulation order is canonical
+// (see vec/kernel32.go), bit-identical between the portable loop and the
+// AVX2 implementation, and the sweep always uses the batch kernel — never a
+// capped scalar variant — so results are identical with and without
+// acceleration, across architectures, and under the noasm build tag.
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"qdcbir/internal/disk"
+	"qdcbir/internal/vec"
+)
+
+// f32CtxInterval is how many slab rows the float32 sweep scores between
+// context polls (same batching role as quantCtxInterval).
+const f32CtxInterval = 1024
+
+// SetFloat32Scoring toggles the float32 sweep path. Enabling packs the leaf
+// blocks if needed, builds the slab-ordered ID table shared with the
+// quantized path, and narrows the slab to a float32 mirror (one rounding per
+// component — exact when the indexed points came from float32 data, since
+// float32→float64→float32 round-trips bit-for-bit). Disabling drops the
+// mirror; KNNF32* then delegates to the exact float64 search. Enabling an
+// empty tree is a no-op. Like all mutations, the toggle requires external
+// exclusion against readers.
+func (t *Tree) SetFloat32Scoring(enabled bool) {
+	if !enabled {
+		t.invalidateFloat32()
+		return
+	}
+	if t.f32OK || t.size == 0 {
+		return
+	}
+	if !t.blocksOK {
+		t.packBlocks()
+	}
+	t.setQuantRanges()
+	t.fslab = vec.Narrow32(t.slab, nil)
+	t.f32OK = true
+}
+
+// Float32Scoring reports whether the float32 sweep path is active.
+func (t *Tree) Float32Scoring() bool { return t.f32OK }
+
+// invalidateFloat32 drops the float32-scan state. Node qlo/qhi values go
+// stale rather than being rewalked; f32OK guards every use of them.
+func (t *Tree) invalidateFloat32() {
+	t.f32OK = false
+	t.fslab = nil
+	t.dropRangesIfUnused()
+}
+
+// f32Scratch is the pooled working memory of one float32 search: the
+// narrowed query, the chunk distance buffer, the selector, and the selected
+// entries.
+type f32Scratch struct {
+	q32     []float32
+	dists   []float32
+	sel     vec.TopK32
+	entries []vec.Entry32
+}
+
+var f32ScratchPool = sync.Pool{New: func() interface{} { return new(f32Scratch) }}
+
+func (sc *f32Scratch) distBuf(n int) []float32 {
+	if cap(sc.dists) < n {
+		sc.dists = make([]float32, n)
+	}
+	return sc.dists[:n]
+}
+
+// KNNF32 returns the k nearest items to q under float32 distances, sweeping
+// the whole tree. When float32 scoring is not active it delegates to the
+// exact float64 search.
+func (t *Tree) KNNF32(q vec.Vector, k int, acc disk.Accounter) []Neighbor {
+	ns, _ := t.KNNF32FromStatsCtx(context.Background(), t.root, q, k, acc, nil)
+	return ns
+}
+
+// KNNF32FromStatsCtx runs the float32 k-NN restricted to the subtree rooted
+// at n: the query narrows to float32 once, the subtree's contiguous mirror
+// rows [qlo, qhi) sweep through the float32 batch kernel in chunks, and a
+// bounded selector keeps the k smallest (distance, row) pairs. Results are
+// the float32 mode's deterministic answer (see the file comment) ordered
+// ascending (Dist, ID); equal-float32-distance candidates at the k boundary
+// retain the earliest slab row, mirroring the exact search's tie caveat.
+// Leaf pages in the swept range are reported to acc once; scored rows land in
+// st.ItemsScored. Searches over trees without float32 scoring delegate to
+// the exact float64 path.
+func (t *Tree) KNNF32FromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int, acc disk.Accounter, st *SearchStats) ([]Neighbor, error) {
+	if k <= 0 || n == nil || n.Len() == 0 {
+		return nil, ctx.Err()
+	}
+	if !t.f32OK {
+		return t.KNNFromStatsCtx(ctx, n, q, k, acc, st)
+	}
+	if acc == nil {
+		acc = disk.Nop{}
+	}
+	sc := f32ScratchPool.Get().(*f32Scratch)
+	defer f32ScratchPool.Put(sc)
+	sc.q32 = vec.Narrow32(q, sc.q32)
+
+	lo, hi := n.qlo, n.qhi
+	rows := hi - lo
+	if k > rows {
+		k = rows
+	}
+	// The sweep reads every leaf's mirror rows, so each leaf page in the
+	// range is charged exactly once — same accounting as the quantized path.
+	var nodes uint64
+	var chargeLeaves func(nd *Node)
+	chargeLeaves = func(nd *Node) {
+		if nd.leaf {
+			acc.Access(nd.id)
+			nodes++
+			return
+		}
+		for _, c := range nd.children {
+			chargeLeaves(c)
+		}
+	}
+	chargeLeaves(n)
+
+	dim := t.dim
+	sel := &sc.sel
+	sel.Reset(k)
+	for base := lo; base < hi; base += f32CtxInterval {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := base + f32CtxInterval
+		if end > hi {
+			end = hi
+		}
+		dists := sc.distBuf(end - base)
+		vec.SquaredDistsTo32(sc.q32, t.fslab[base*dim:end*dim], dists)
+		thr := sel.Threshold()
+		for i, d := range dists {
+			if d < thr {
+				sel.Add(d, base+i)
+				thr = sel.Threshold()
+			}
+		}
+	}
+	sc.entries = sel.AppendEntries(sc.entries[:0])
+	out := make([]Neighbor, len(sc.entries))
+	for i, e := range sc.entries {
+		rowF := t.slab[e.ID*dim : e.ID*dim+dim : e.ID*dim+dim]
+		out[i] = Neighbor{ID: t.qids[e.ID], Point: rowF, Dist: math.Sqrt(float64(e.Dist))}
+	}
+	// AppendEntries breaks distance ties by slab row; the Neighbor contract
+	// orders by (Dist, ItemID).
+	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
+	if st != nil {
+		st.NodesRead += nodes
+		st.ItemsScored += uint64(rows)
+	}
+	return out, nil
+}

@@ -152,12 +152,22 @@ func (t *Tree) AdoptQuantized(qz *store.Quantized) error {
 func (t *Tree) QuantizedScoring() bool { return t.quantOK }
 
 // invalidateQuantized drops the quantized-scan state. Node qlo/qhi values go
-// stale rather than being rewalked; quantOK guards every use of them.
+// stale rather than being rewalked; quantOK guards every use of them. The
+// slab-ordered ID table is shared with the float32 scan path, so it survives
+// while that path still holds it.
 func (t *Tree) invalidateQuantized() {
 	t.quantOK = false
 	t.qcodes = nil
-	t.qids = nil
 	t.quant = nil
+	t.dropRangesIfUnused()
+}
+
+// dropRangesIfUnused releases the slab-ordered ID table once neither slab-
+// sweep path (quantized or float32) needs it.
+func (t *Tree) dropRangesIfUnused() {
+	if !t.quantOK && !t.f32OK {
+		t.qids = nil
+	}
 }
 
 // quantScratch is the pooled working memory of one quantized search: the

@@ -147,6 +147,13 @@ type Tree struct {
 	qcodes  []uint8
 	qids    []ItemID
 	quant   *store.Quantized
+
+	// Float32-scan state (see f32.go): the float32 mirror of the slab,
+	// narrowed once at enable time. It shares qids and the node qlo/qhi
+	// ranges with the quantized path (either flag keeps them alive); valid
+	// while f32OK holds, cleared by any structural mutation.
+	f32OK bool
+	fslab []float32
 }
 
 // New returns an empty tree for points of the given dimensionality.

@@ -1,0 +1,62 @@
+package source
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// checkFuzzBatch asserts the invariant every parser must uphold: a batch
+// that comes back without an error passes full validation — consistent
+// dimensions, finite components, coherent labels.
+func checkFuzzBatch(t *testing.T, b *Batch, err error) {
+	t.Helper()
+	if err != nil {
+		return
+	}
+	if b == nil {
+		t.Fatal("nil batch with nil error")
+	}
+	if verr := b.Validate(); verr != nil {
+		t.Fatalf("accepted batch fails validation: %v", verr)
+	}
+	if b.Len() == 0 {
+		t.Fatal("accepted an empty batch")
+	}
+}
+
+func FuzzReadJSONL(f *testing.F) {
+	f.Add("[1, 2, 3]\n")
+	f.Add("{\"label\": \"a/b\", \"vector\": [0.5, -0.5]}\n[1,2]\n")
+	f.Add("[1e999]\n")
+	f.Add("[]")
+	f.Add("{\"vector\": null}")
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := ReadJSONL(strings.NewReader(in))
+		checkFuzzBatch(t, b, err)
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("label,1.5\nNaN,2\n")
+	f.Add("a,\"b\n")
+	f.Add(",,,\n")
+	f.Add("inf,-inf\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := ReadCSV(strings.NewReader(in))
+		checkFuzzBatch(t, b, err)
+	})
+}
+
+func FuzzReadFVecs(f *testing.F) {
+	f.Add(fvecsBytes([][]float32{{1, 2}, {3, 4}}))
+	f.Add(fvecsBytes([][]float32{{float32(math.Inf(1))}}))
+	f.Add([]byte("\xff\xff\xff\xff"))
+	f.Add([]byte("\x02\x00\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := ReadFVecs(strings.NewReader(string(in)))
+		checkFuzzBatch(t, b, err)
+	})
+}

@@ -1,0 +1,225 @@
+package source
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"qdcbir/internal/dataset"
+)
+
+// fvecsBytes encodes rows in the .fvecs wire format.
+func fvecsBytes(rows [][]float32) []byte {
+	var out []byte
+	for _, r := range rows {
+		var head [4]byte
+		binary.LittleEndian.PutUint32(head[:], uint32(int32(len(r))))
+		out = append(out, head[:]...)
+		for _, v := range r {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			out = append(out, b[:]...)
+		}
+	}
+	return out
+}
+
+func TestReadJSONL(t *testing.T) {
+	in := `[1, 2, 3]
+
+{"label": "cats/tabby", "vector": [4, 5, 6]}
+[7,8,9]
+`
+	b, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 3 || b.Len() != 3 {
+		t.Fatalf("got dim %d, %d rows", b.Dim, b.Len())
+	}
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for i, v := range want {
+		if b.Data[i] != v {
+			t.Fatalf("component %d: got %v, want %v", i, b.Data[i], v)
+		}
+	}
+	if len(b.Labels) != 3 || b.Labels[1] != "cats/tabby" || b.Labels[0] != "" {
+		t.Fatalf("labels: %q", b.Labels)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	// Rows 1-2 carry labels (non-numeric first field); row 3 is label-free.
+	in := "dogs,1.5,2.5\ndogs/husky, 3.5 ,4.5\n0.5,0.25\n"
+	b, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 2 || b.Len() != 3 {
+		t.Fatalf("got dim %d, %d rows", b.Dim, b.Len())
+	}
+	if b.Labels[0] != "dogs" || b.Labels[1] != "dogs/husky" || b.Labels[2] != "" {
+		t.Fatalf("labels: %q", b.Labels)
+	}
+	if b.Data[2] != 3.5 || b.Data[5] != 0.25 {
+		t.Fatalf("data: %v", b.Data)
+	}
+}
+
+func TestReadFVecs(t *testing.T) {
+	rows := [][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	b, err := ReadFVecs(strings.NewReader(string(fvecsBytes(rows))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 4 || b.Len() != 2 || b.Data != nil {
+		t.Fatalf("got dim %d, %d rows, float64 backing: %v", b.Dim, b.Len(), b.Data)
+	}
+	for i, v := range []float32{1, 2, 3, 4, 5, 6, 7, 8} {
+		if b.Data32[i] != v {
+			t.Fatalf("component %d: got %v, want %v", i, b.Data32[i], v)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportErrorsNameRowAndColumn: every rejection class must point at the
+// offending row (and column, where one exists).
+func TestImportErrorsNameRowAndColumn(t *testing.T) {
+	cases := []struct {
+		name   string
+		format string
+		in     string
+		want   []string // substrings the error must contain
+	}{
+		{"jsonl NaN", FormatJSONL, "[1, 2]\n[3, 1e999]\n", []string{"row 2"}},
+		{"jsonl dim mismatch", FormatJSONL, "[1, 2]\n[3]\n", []string{"row 2", "dimension 1, want 2"}},
+		{"jsonl empty row", FormatJSONL, "[1, 2]\n[]\n", []string{"row 2", "empty row"}},
+		{"jsonl garbage", FormatJSONL, "[1, 2]\nnot json\n", []string{"row 2"}},
+		{"jsonl blank lines counted", FormatJSONL, "[1, 2]\n\n\n[3]\n", []string{"row 4"}},
+		{"jsonl empty input", FormatJSONL, "", []string{"no vectors"}},
+		{"csv NaN", FormatCSV, "1,2\n3,NaN\n", []string{"row 2, column 2", "non-finite"}},
+		{"csv +Inf", FormatCSV, "1,2\n+Inf,4\n", []string{"row 2, column 1", "non-finite"}},
+		{"csv not a number", FormatCSV, "1,2\n3,x\n", []string{"row 2, column 2"}},
+		{"csv dim mismatch", FormatCSV, "1,2\n3,4,5\n", []string{"row 2", "dimension 3, want 2"}},
+		{"csv empty field", FormatCSV, "1,2\n3,,5\n", []string{"row 2, column 2", "empty field"}},
+		{"csv empty input", FormatCSV, "", []string{"no vectors"}},
+		{"fvecs empty row", FormatFVecs, string(fvecsBytes([][]float32{{1, 2}, {}})), []string{"row 2", "empty row"}},
+		{"fvecs dim mismatch", FormatFVecs, string(fvecsBytes([][]float32{{1, 2}, {3}})), []string{"row 2", "dimension 1, want 2"}},
+		{"fvecs NaN", FormatFVecs, string(fvecsBytes([][]float32{{1, 2}, {3, float32(math.NaN())}})), []string{"row 2, column 2", "non-finite"}},
+		{"fvecs truncated", FormatFVecs, string(fvecsBytes([][]float32{{1, 2}})[:10]), []string{"row 1", "truncated"}},
+		{"fvecs huge dim", FormatFVecs, "\xff\xff\xff\x7f", []string{"row 1", "implausible"}},
+		{"fvecs empty input", FormatFVecs, "", []string{"no vectors"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in), tc.format)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.in)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	ok := &Batch{Dim: 2, Data: []float64{1, 2, 3, 4}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    Batch
+	}{
+		{"zero dim", Batch{Dim: 0, Data: []float64{1}}},
+		{"both backings", Batch{Dim: 1, Data: []float64{1}, Data32: []float32{1}}},
+		{"no backing", Batch{Dim: 1}},
+		{"ragged", Batch{Dim: 2, Data: []float64{1, 2, 3}}},
+		{"ragged f32", Batch{Dim: 2, Data32: []float32{1, 2, 3}}},
+		{"NaN", Batch{Dim: 1, Data: []float64{math.NaN()}}},
+		{"Inf f32", Batch{Dim: 1, Data32: []float32{float32(math.Inf(-1))}}},
+		{"label count", Batch{Dim: 1, Data: []float64{1, 2}, Labels: []string{"a"}}},
+	}
+	for _, tc := range cases {
+		if err := tc.b.Validate(); err == nil {
+			t.Fatalf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestBatchInfos(t *testing.T) {
+	b := &Batch{Dim: 1, Data: []float64{1, 2, 3}, Labels: []string{"cats/tabby", "dogs", ""}}
+	infos := b.Infos()
+	want := []dataset.Info{
+		{ID: 0, Category: "cats", Subconcept: "cats/tabby"},
+		{ID: 1, Category: "dogs", Subconcept: "dogs/all"},
+		{ID: 2, Category: "imported", Subconcept: "imported/all"},
+	}
+	for i := range want {
+		if infos[i] != want[i] {
+			t.Fatalf("info %d: got %+v, want %+v", i, infos[i], want[i])
+		}
+	}
+	unlabeled := &Batch{Dim: 1, Data: []float64{1, 2}}
+	for _, info := range unlabeled.Infos() {
+		if info.Subconcept != "imported/all" {
+			t.Fatalf("unlabeled info: %+v", info)
+		}
+	}
+}
+
+func TestFileFormatInference(t *testing.T) {
+	for _, tc := range []struct{ path, explicit, want string }{
+		{"a.jsonl", "", FormatJSONL},
+		{"a.json", "", FormatJSONL},
+		{"a.csv", "", FormatCSV},
+		{"a.fvecs", "", FormatFVecs},
+		{"a.bin", "fvecs", FormatFVecs},
+	} {
+		f, err := File(tc.path, tc.explicit)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if f.Format() != tc.want {
+			t.Fatalf("%s: inferred %q, want %q", tc.path, f.Format(), tc.want)
+		}
+	}
+	if _, err := File("a.bin", ""); err == nil {
+		t.Fatal("inferred a format for .bin")
+	}
+	if _, err := File("a.csv", "parquet"); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+}
+
+func TestFromCorpus(t *testing.T) {
+	spec := dataset.SmallSpec(1, 4, 120)
+	c := dataset.BuildVectors(spec, 9, 0.02, 2)
+	b, err := FromCorpus(c).Vectors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 9 || b.Len() != c.Len() {
+		t.Fatalf("got dim %d, %d rows; corpus has %d", b.Dim, b.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if b.Labels[i] != c.SubconceptOf(i) {
+			t.Fatalf("row %d label %q, corpus %q", i, b.Labels[i], c.SubconceptOf(i))
+		}
+		for j := 0; j < b.Dim; j++ {
+			if b.Data[i*b.Dim+j] != c.Vectors[i][j] {
+				t.Fatalf("row %d component %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package store
+
+import "fmt"
+
+// Precision tags the native component width of a FeatureStore — the width the
+// corpus data arrived in and the one persistence round-trips losslessly.
+// Float64 is the historical default (the synthetic extractor, archives v0–v2);
+// Float32 marks imported embedding corpora (e.g. raw .fvecs files) or corpora
+// explicitly narrowed for the float32 scan path.
+//
+// Regardless of tag, every store keeps a float64 backing: widening float32 to
+// float64 is exact, so the tree geometry, representative selection, and the
+// default float64 query path operate identically on either tag, and the
+// float64 golden results never depend on a store's precision. The tag decides
+// what persistence writes (archive v3 stores an f32-primary corpus as raw
+// float32, halving the archive) and lets callers reach the native float32
+// rows without a lossy round-trip.
+type Precision uint8
+
+const (
+	// Float64 is the default precision: data is float64-native.
+	Float64 Precision = iota
+	// Float32 marks a float32-native store: the float32 backing is the
+	// ground truth and the float64 backing is its exact widening.
+	Float32
+)
+
+// String returns the precision's flag/CLI spelling ("f64" or "f32").
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "f64"
+	case Float32:
+		return "f32"
+	default:
+		return fmt.Sprintf("precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision parses the spellings String produces (plus the long forms
+// "float64"/"float32").
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return Float64, nil
+	case "f32", "float32":
+		return Float32, nil
+	default:
+		return Float64, fmt.Errorf("store: unknown precision %q (want f64 or f32)", s)
+	}
+}

@@ -58,9 +58,20 @@ type Quantized struct {
 	dbErr float64   // (delta/2)*sqrt(dim) when clean, +Inf otherwise
 }
 
-// Quantize trains an SQ8 quantizer on the store and encodes every row.
+// Quantize trains an SQ8 quantizer on the store and encodes every row. It
+// works for either store precision: a Float32 store trains over its exact
+// float64 widening, so the trained ranges and codes are identical to training
+// on the native float32 values.
 func Quantize(s *FeatureStore) (*Quantized, error) {
 	return QuantizeBacking(s.dim, s.data)
+}
+
+// QuantizeBacking32 trains on and encodes a float32 dimension-strided backing
+// array. Each value widens exactly to float64 before training, so the result
+// is bit-identical to QuantizeBacking over the widened array; the data is
+// read, never retained.
+func QuantizeBacking32(dim int, data []float32) (*Quantized, error) {
+	return QuantizeBacking(dim, vec.Widen64(data, nil))
 }
 
 // QuantizeBacking trains on and encodes a dimension-strided backing array

@@ -25,12 +25,22 @@ import (
 
 // FeatureStore owns n dimension-strided feature vectors in one contiguous
 // backing array. The zero value is an empty store; construct with
-// FromVectors or FromBacking. A FeatureStore is immutable after construction
-// and safe for unsynchronized concurrent reads.
+// FromVectors, FromBacking, or FromBacking32. A FeatureStore is immutable
+// after construction (MaterializeFloat32, the one lazy step, must run before
+// concurrent use) and safe for unsynchronized concurrent reads.
+//
+// Precision: data is always populated — it is the ground truth of a Float64
+// store and the exact widening of a Float32 store's data32 — so every float64
+// consumer (tree build, batch kernels, golden paths) works identically on
+// either tag. data32 is the native backing of a Float32 store and a cached
+// narrowing for a Float64 store that has been materialized for the float32
+// scan path.
 type FeatureStore struct {
-	dim  int
-	n    int
-	data []float64
+	dim    int
+	n      int
+	prec   Precision
+	data   []float64
+	data32 []float32
 }
 
 // FromVectors copies the given vectors into a new store. All vectors must
@@ -66,6 +76,33 @@ func FromBacking(dim int, data []float64) (*FeatureStore, error) {
 	}
 	return &FeatureStore{dim: dim, n: len(data) / dim, data: data}, nil
 }
+
+// FromBacking32 adopts a float32-native dimension-strided backing array (an
+// imported embedding corpus) without copying it; the caller must not retain
+// or mutate data afterwards. The float64 shadow backing is widened here once
+// — an exact conversion — so every float64 consumer sees the same values.
+// len(data) must be a multiple of dim.
+func FromBacking32(dim int, data []float32) (*FeatureStore, error) {
+	if dim <= 0 {
+		if len(data) != 0 {
+			return nil, fmt.Errorf("store: dim %d with %d values", dim, len(data))
+		}
+		return &FeatureStore{prec: Float32}, nil
+	}
+	if len(data)%dim != 0 {
+		return nil, fmt.Errorf("store: backing length %d not a multiple of dim %d", len(data), dim)
+	}
+	return &FeatureStore{
+		dim:    dim,
+		n:      len(data) / dim,
+		prec:   Float32,
+		data:   vec.Widen64(data, nil),
+		data32: data,
+	}, nil
+}
+
+// Precision returns the store's native precision tag.
+func (s *FeatureStore) Precision() Precision { return s.prec }
 
 // Len returns the number of vectors stored.
 func (s *FeatureStore) Len() int { return s.n }
@@ -106,4 +143,35 @@ func (s *FeatureStore) Backing() []float64 { return s.data }
 // hi-lo entries), preserving the scalar accumulation order exactly.
 func (s *FeatureStore) SquaredDistsTo(q vec.Vector, lo, hi int, out []float64) {
 	vec.SquaredDistsTo(q, s.Block(lo, hi), out)
+}
+
+// MaterializeFloat32 ensures the store has a float32 backing and returns it:
+// a Float32 store's native array, or a narrowing of a Float64 store's data
+// built (and cached) on first call. Narrowing rounds each component once —
+// the single corpus-side conversion of the float32 scan path. NOT
+// goroutine-safe on the first call; systems materialize during assembly,
+// before queries run.
+func (s *FeatureStore) MaterializeFloat32() []float32 {
+	if s.data32 == nil && len(s.data) > 0 {
+		s.data32 = vec.Narrow32(s.data, nil)
+	}
+	return s.data32
+}
+
+// Backing32 returns the store's float32 backing array, or nil if it has not
+// been materialized. It is shared, not copied: callers must treat it as
+// read-only.
+func (s *FeatureStore) Backing32() []float32 { return s.data32 }
+
+// At32 returns a capped zero-copy view of row id in the float32 backing. The
+// backing must have been materialized.
+func (s *FeatureStore) At32(id int) []float32 {
+	base := id * s.dim
+	return s.data32[base : base+s.dim : base+s.dim]
+}
+
+// Block32 returns the contiguous float32 backing of rows [lo, hi), suitable
+// for vec.SquaredDistsTo32. The backing must have been materialized.
+func (s *FeatureStore) Block32(lo, hi int) []float32 {
+	return s.data32[lo*s.dim : hi*s.dim : hi*s.dim]
 }

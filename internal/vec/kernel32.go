@@ -1,0 +1,339 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the float32 distance kernels behind the selectable-
+// precision scan path (store.Float32 precision). Unlike the float64 kernels,
+// whose accumulation order is pinned to the scalar left-to-right reference so
+// results stay bit-identical to the historical per-vector loops, the float32
+// kernels define their OWN canonical accumulation order: eight independent
+// lane accumulators (component i feeds lane i%8 over the 8-aligned prefix), a
+// fixed horizontal reduction
+//
+//	((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))
+//
+// and a left-to-right scalar tail — exactly the dataflow of one AVX2 ymm
+// accumulator followed by the VEXTRACTF128/VPSHUFD reduction in
+// fkernel_amd64.s. The portable loops below reproduce that order term for
+// term, so the accelerated and portable paths are bit-identical and float32
+// results are one deterministic mode across platforms and build tags.
+//
+// Every product and sum is written through an explicit float32 conversion or
+// a separately-rounded named intermediate: the Go spec only licenses fused
+// multiply-add when an expression is not explicitly rounded, so these loops
+// can never be FMA-fused (on arm64 the gc compiler otherwise would), which
+// would break cross-platform bit-equality.
+
+// float32BatchKernel, when non-nil, is a platform-accelerated implementation
+// of the SquaredDistsTo32 inner loop (amd64: AVX2, installed by init when the
+// CPU supports it and the build is not tagged noasm). The accelerated kernel
+// follows the canonical accumulation order above, so every implementation
+// returns bit-identical results; the hook trades nothing but time.
+var float32BatchKernel func(q *float32, dim int, block *float32, out *float32, rows int)
+
+// HasAcceleratedFloat32Batch reports whether a platform-accelerated kernel
+// backs SquaredDistsTo32 on this CPU.
+func HasAcceleratedFloat32Batch() bool { return float32BatchKernel != nil }
+
+// SqL232 returns the squared Euclidean distance between two float32 vectors
+// in the canonical float32 accumulation order (see the file comment) — the
+// value SquaredDistsTo32 produces for the same row. It panics on a length
+// mismatch.
+func SqL232(q, v []float32) float32 {
+	if len(q) != len(v) {
+		panic(fmt.Sprintf("vec: dims %d != %d", len(q), len(v)))
+	}
+	return sqDist32Row(q, v)
+}
+
+// sqDist32Row scores one row in the canonical lane order. Callers guarantee
+// len(row) == len(q).
+func sqDist32Row(q, row []float32) float32 {
+	var l0, l1, l2, l3, l4, l5, l6, l7 float32
+	i := 0
+	for ; i+8 <= len(q); i += 8 {
+		d0 := q[i] - row[i]
+		d1 := q[i+1] - row[i+1]
+		d2 := q[i+2] - row[i+2]
+		d3 := q[i+3] - row[i+3]
+		d4 := q[i+4] - row[i+4]
+		d5 := q[i+5] - row[i+5]
+		d6 := q[i+6] - row[i+6]
+		d7 := q[i+7] - row[i+7]
+		l0 += float32(d0 * d0)
+		l1 += float32(d1 * d1)
+		l2 += float32(d2 * d2)
+		l3 += float32(d3 * d3)
+		l4 += float32(d4 * d4)
+		l5 += float32(d5 * d5)
+		l6 += float32(d6 * d6)
+		l7 += float32(d7 * d7)
+	}
+	s := reduce32(l0, l1, l2, l3, l4, l5, l6, l7)
+	for ; i < len(q); i++ {
+		d := q[i] - row[i]
+		s += float32(d * d)
+	}
+	return s
+}
+
+// reduce32 folds the eight lane accumulators in the fixed AVX2 shuffle order:
+// lower+upper xmm halves, then 64-bit pair swap, then 32-bit pair swap.
+func reduce32(l0, l1, l2, l3, l4, l5, l6, l7 float32) float32 {
+	s04 := l0 + l4
+	s15 := l1 + l5
+	s26 := l2 + l6
+	s37 := l3 + l7
+	a := s04 + s26
+	b := s15 + s37
+	return a + b
+}
+
+// SquaredDistsTo32 computes out[r] = SqL232(q, row_r) for every dimension-
+// strided row of block, where block holds len(out) rows of len(q) contiguous
+// components. It panics if len(block) != len(out)*len(q). All implementations
+// (portable and accelerated) are bit-identical.
+func SquaredDistsTo32(q []float32, block []float32, out []float32) {
+	dim := len(q)
+	if len(block) != len(out)*dim {
+		panic(fmt.Sprintf("vec: block %d != %d rows x %d dims", len(block), len(out), dim))
+	}
+	if dim == 0 {
+		for r := range out {
+			out[r] = 0
+		}
+		return
+	}
+	if float32BatchKernel != nil && dim >= 8 && len(out) > 0 {
+		float32BatchKernel(&q[0], dim, &block[0], &out[0], len(out))
+		return
+	}
+	float32SquaredDistsToGeneric(q, block, out)
+}
+
+// float32SquaredDistsToGeneric is the portable batch kernel (and the
+// reference the accelerated implementations are tested against).
+func float32SquaredDistsToGeneric(q []float32, block []float32, out []float32) {
+	dim := len(q)
+	for r := range out {
+		out[r] = sqDist32Row(q, block[r*dim:r*dim+dim:r*dim+dim])
+	}
+}
+
+// SquaredDistCapped32 is SqL232 with partial-distance early exit: the scan
+// checks the running sum against limit after every 8-component lane block
+// (reducing the lanes in the canonical order each time) and returns the
+// partial reduction once it reaches limit. Lane accumulators are monotone
+// (non-negative terms) and float addition is monotone, so for any limit the
+// returned value r satisfies
+//
+//	r < limit  ⟺  SqL232(q, v) < limit
+//
+// and whenever r < limit it is bit-identical to SqL232(q, v) (no exit fired;
+// the final reduction is the one SqL232 performs). NaN components never
+// trigger the exit. Callers must use the result only for strict below-limit
+// decisions, or as the exact canonical-order distance when below limit — the
+// same contract as SquaredDistCapped.
+func SquaredDistCapped32(q, v []float32, limit float32) float32 {
+	if len(q) != len(v) {
+		panic(fmt.Sprintf("vec: dims %d != %d", len(q), len(v)))
+	}
+	var l0, l1, l2, l3, l4, l5, l6, l7 float32
+	var s float32
+	i := 0
+	for ; i+8 <= len(q); i += 8 {
+		d0 := q[i] - v[i]
+		d1 := q[i+1] - v[i+1]
+		d2 := q[i+2] - v[i+2]
+		d3 := q[i+3] - v[i+3]
+		d4 := q[i+4] - v[i+4]
+		d5 := q[i+5] - v[i+5]
+		d6 := q[i+6] - v[i+6]
+		d7 := q[i+7] - v[i+7]
+		l0 += float32(d0 * d0)
+		l1 += float32(d1 * d1)
+		l2 += float32(d2 * d2)
+		l3 += float32(d3 * d3)
+		l4 += float32(d4 * d4)
+		l5 += float32(d5 * d5)
+		l6 += float32(d6 * d6)
+		l7 += float32(d7 * d7)
+		s = reduce32(l0, l1, l2, l3, l4, l5, l6, l7)
+		if s >= limit {
+			return s
+		}
+	}
+	s = reduce32(l0, l1, l2, l3, l4, l5, l6, l7)
+	for ; i < len(q); i++ {
+		d := q[i] - v[i]
+		s += float32(d * d)
+		if s >= limit {
+			return s
+		}
+	}
+	return s
+}
+
+// top32Entry is one candidate in a TopK32 selection.
+type top32Entry struct {
+	dist float32
+	id   int
+}
+
+// Entry32 is one selected (distance, id) pair returned by TopK32.
+type Entry32 struct {
+	Dist float32
+	ID   int
+}
+
+// TopK32 selects the k smallest (dist, id) pairs from a stream of float32
+// candidates. It mirrors TopK's bounded max-heap with the same strict-<
+// admission rule, keyed on float32 distances, so Threshold() is the exact
+// limit to pass to SquaredDistCapped32 when scanning.
+type TopK32 struct {
+	k int
+	h []top32Entry
+}
+
+// NewTopK32 returns a selector for the k smallest candidates. k <= 0 selects
+// nothing.
+func NewTopK32(k int) *TopK32 {
+	if k < 0 {
+		k = 0
+	}
+	return &TopK32{k: k, h: make([]top32Entry, 0, k)}
+}
+
+// Reset empties the selector for reuse, keeping its buffer.
+func (t *TopK32) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	t.h = t.h[:0]
+}
+
+// Len returns the number of candidates currently retained.
+func (t *TopK32) Len() int { return len(t.h) }
+
+// Threshold returns the current admission bound: +Inf until k candidates are
+// retained, then the largest retained distance. A candidate is admitted iff
+// its distance is strictly below Threshold.
+func (t *TopK32) Threshold() float32 {
+	if len(t.h) < t.k {
+		return float32(math.Inf(1))
+	}
+	if t.k == 0 {
+		return float32(math.Inf(-1))
+	}
+	return t.h[0].dist
+}
+
+// Add offers one candidate. Distances compared against the threshold may be
+// capped partials (see SquaredDistCapped32): a rejected candidate's value is
+// never stored, and an admitted one was below the limit and therefore exact.
+func (t *TopK32) Add(dist float32, id int) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, top32Entry{dist: dist, id: id})
+		h := t.h
+		j := len(h) - 1
+		for {
+			i := (j - 1) / 2
+			if i == j || !(h[j].dist > h[i].dist) {
+				break
+			}
+			h[i], h[j] = h[j], h[i]
+			j = i
+		}
+		return
+	}
+	if dist < t.h[0].dist {
+		t.h[0] = top32Entry{dist: dist, id: id}
+		h := t.h
+		n := len(h)
+		i := 0
+		for {
+			j1 := 2*i + 1
+			if j1 >= n {
+				break
+			}
+			j := j1
+			if j2 := j1 + 1; j2 < n && h[j2].dist > h[j1].dist {
+				j = j2
+			}
+			if !(h[j].dist > h[i].dist) {
+				break
+			}
+			h[i], h[j] = h[j], h[i]
+			i = j
+		}
+	}
+}
+
+// AppendEntries appends the retained candidates to dst in ascending
+// (dist, id) order and returns the extended slice. The selector is left in an
+// unspecified order; Reset before reuse.
+func (t *TopK32) AppendEntries(dst []Entry32) []Entry32 {
+	es := t.h
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j].dist < es[j-1].dist ||
+			(es[j].dist == es[j-1].dist && es[j].id < es[j-1].id)); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	for _, e := range es {
+		dst = append(dst, Entry32{Dist: e.dist, ID: e.id})
+	}
+	return dst
+}
+
+// AppendIDs appends the retained candidate IDs to dst in ascending (dist, id)
+// order and returns the extended slice. The selector is left in an
+// unspecified order; Reset before reuse.
+func (t *TopK32) AppendIDs(dst []int) []int {
+	es := t.h
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j].dist < es[j-1].dist ||
+			(es[j].dist == es[j-1].dist && es[j].id < es[j-1].id)); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	for _, e := range es {
+		dst = append(dst, e.id)
+	}
+	return dst
+}
+
+// Narrow32 converts a float64 backing array to float32, rounding each
+// component once (round-to-nearest-even). It is the single conversion point
+// of the float32 data plane: a corpus narrows once at build/enable time and a
+// query narrows once per search, so the hot loops never convert per-row.
+func Narrow32(src []float64, dst []float32) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
+// Widen64 converts a float32 backing array to float64 (exact — every float32
+// is representable as a float64).
+func Widen64(src []float32, dst []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return dst
+}

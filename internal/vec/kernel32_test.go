@@ -1,0 +1,223 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randFloats32(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+// referenceSqDist32 recomputes the canonical float32 accumulation order
+// (8-lane prefix, fixed reduction, left-to-right tail) with an independent
+// implementation: lane sums built by index arithmetic rather than unrolling.
+func referenceSqDist32(q, v []float32) float32 {
+	var lanes [8]float32
+	pre := len(q) &^ 7
+	for i := 0; i < pre; i++ {
+		d := q[i] - v[i]
+		lanes[i%8] += float32(d * d)
+	}
+	s04 := lanes[0] + lanes[4]
+	s15 := lanes[1] + lanes[5]
+	s26 := lanes[2] + lanes[6]
+	s37 := lanes[3] + lanes[7]
+	s := (s04 + s26) + (s15 + s37)
+	for i := pre; i < len(q); i++ {
+		d := q[i] - v[i]
+		s += float32(d * d)
+	}
+	return s
+}
+
+// TestFloat32KernelsAgree: the batch kernel (accelerated when the CPU has
+// one), the portable generic, SqL232, and the independent reference must all
+// be bit-identical across dims exercising the SIMD body and the tails.
+func TestFloat32KernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{0, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 37, 64, 100, 512} {
+		q := randFloats32(rng, dim)
+		rows := 17
+		block := randFloats32(rng, rows*dim)
+		out := make([]float32, rows)
+		gen := make([]float32, rows)
+		SquaredDistsTo32(q, block, out)
+		float32SquaredDistsToGeneric(q, block, gen)
+		for r := 0; r < rows; r++ {
+			row := block[r*dim : (r+1)*dim]
+			want := referenceSqDist32(q, row)
+			if out[r] != want {
+				t.Fatalf("dim %d row %d: batch %g (bits %#x), reference %g (bits %#x)",
+					dim, r, out[r], math.Float32bits(out[r]), want, math.Float32bits(want))
+			}
+			if gen[r] != want {
+				t.Fatalf("dim %d row %d: generic %g != reference %g", dim, r, gen[r], want)
+			}
+			if got := SqL232(q, row); got != want {
+				t.Fatalf("dim %d row %d: SqL232 %g != reference %g", dim, r, got, want)
+			}
+		}
+	}
+}
+
+// TestFloat32BatchVsGenericLarge drives the accelerated kernel (when present)
+// against the portable loop over a large random corpus — the bit-exactness
+// claim the float32 mode's cross-platform determinism rests on.
+func TestFloat32BatchVsGenericLarge(t *testing.T) {
+	if !HasAcceleratedFloat32Batch() {
+		t.Skip("no accelerated float32 kernel on this platform/build")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{8, 23, 37, 96, 128, 384, 512} {
+		rows := 257
+		q := randFloats32(rng, dim)
+		block := randFloats32(rng, rows*dim)
+		acc := make([]float32, rows)
+		gen := make([]float32, rows)
+		float32BatchKernel(&q[0], dim, &block[0], &acc[0], rows)
+		float32SquaredDistsToGeneric(q, block, gen)
+		for r := range acc {
+			if math.Float32bits(acc[r]) != math.Float32bits(gen[r]) {
+				t.Fatalf("dim %d row %d: accelerated %#x != generic %#x",
+					dim, r, math.Float32bits(acc[r]), math.Float32bits(gen[r]))
+			}
+		}
+	}
+}
+
+// TestSquaredDistCapped32Contract: for any limit, (result < limit) must agree
+// with (full < limit), and a below-limit result must be bit-identical to
+// SqL232.
+func TestSquaredDistCapped32Contract(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		dim := rng.Intn(40)
+		q, v := randFloats32(rng, dim), randFloats32(rng, dim)
+		full := SqL232(q, v)
+		var limit float32
+		switch trial % 4 {
+		case 0:
+			limit = full // boundary: equal is not below
+		case 1:
+			limit = math.Nextafter32(full, float32(math.Inf(1)))
+		case 2:
+			limit = full / 2
+		default:
+			limit = float32(rng.Float64()) * 200
+		}
+		r := SquaredDistCapped32(q, v, limit)
+		if (r < limit) != (full < limit) {
+			t.Fatalf("dim %d limit %g: capped %g, full %g — below-limit verdicts disagree",
+				dim, limit, r, full)
+		}
+		if r < limit && math.Float32bits(r) != math.Float32bits(full) {
+			t.Fatalf("dim %d limit %g: admitted value %g != full %g", dim, limit, r, full)
+		}
+	}
+}
+
+// TestTopK32MatchesSort: the selector must retain exactly the k smallest
+// (dist, id) pairs and report them in ascending order.
+func TestTopK32MatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(20)
+		dists := make([]float32, n)
+		for i := range dists {
+			dists[i] = float32(rng.Intn(32)) // collisions on purpose
+		}
+		sel := NewTopK32(k)
+		for id, d := range dists {
+			if d < sel.Threshold() {
+				sel.Add(d, id)
+			}
+		}
+		got := sel.AppendEntries(nil)
+
+		type pair struct {
+			d  float32
+			id int
+		}
+		all := make([]pair, n)
+		for i, d := range dists {
+			all[i] = pair{d, i}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: selected %d, want %d", trial, len(got), want)
+		}
+		gotSet := make(map[int]float32, len(got))
+		for i, e := range got {
+			gotSet[e.ID] = e.Dist
+			if i > 0 && (got[i-1].Dist > e.Dist ||
+				(got[i-1].Dist == e.Dist && got[i-1].ID > e.ID)) {
+				t.Fatalf("trial %d: output not ascending at %d", trial, i)
+			}
+		}
+		// The retained multiset of distances must match the true k smallest;
+		// equal-distance boundary candidates may differ in identity (strict-<
+		// admission keeps the earliest), so compare distances, not ids.
+		for i := 0; i < want; i++ {
+			if got[i].Dist != all[i].d {
+				t.Fatalf("trial %d: rank %d dist %g, want %g", trial, i, got[i].Dist, all[i].d)
+			}
+		}
+	}
+}
+
+// TestNarrowWidenRoundTrip: widening is exact, and narrowing a widened
+// float32 backing restores it bit-for-bit — the property that lets an
+// f32-primary store keep a float64 shadow without losing its identity.
+func TestNarrowWidenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := randFloats32(rng, 999)
+	wide := Widen64(src, nil)
+	back := Narrow32(wide, nil)
+	for i := range src {
+		if math.Float32bits(src[i]) != math.Float32bits(back[i]) {
+			t.Fatalf("index %d: %#x -> %v -> %#x", i, math.Float32bits(src[i]), wide[i], math.Float32bits(back[i]))
+		}
+	}
+}
+
+// FuzzSquaredDistCapped32 fuzzes the capped contract against arbitrary
+// component bit patterns (including NaN/Inf).
+func FuzzSquaredDistCapped32(f *testing.F) {
+	f.Add(uint32(0x3f800000), uint32(0x40000000), uint32(0x41200000), uint8(9))
+	f.Add(uint32(0x7fc00000), uint32(0), uint32(0x7f800000), uint8(17)) // NaN, +Inf
+	f.Fuzz(func(t *testing.T, qa, va, lim uint32, dim uint8) {
+		n := int(dim % 33)
+		q := make([]float32, n)
+		v := make([]float32, n)
+		for i := 0; i < n; i++ {
+			q[i] = math.Float32frombits(qa + uint32(i)*0x9e3779b9)
+			v[i] = math.Float32frombits(va + uint32(i)*0x85ebca6b)
+		}
+		limit := math.Float32frombits(lim)
+		full := SqL232(q, v)
+		r := SquaredDistCapped32(q, v, limit)
+		if (r < limit) != (full < limit) {
+			t.Fatalf("verdicts disagree: capped %g full %g limit %g", r, full, limit)
+		}
+		if r < limit && math.Float32bits(r) != math.Float32bits(full) {
+			t.Fatalf("admitted %g != full %g", r, full)
+		}
+	})
+}

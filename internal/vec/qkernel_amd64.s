@@ -1,4 +1,4 @@
-//go:build amd64 && gc && !purego
+//go:build amd64 && gc && !purego && !noasm
 
 #include "textflag.h"
 

@@ -29,7 +29,8 @@ var archivePrefix = [3]byte{0xD1, 'Q', 'D'}
 const (
 	archiveVersionV1  = 1 // flat feature store, point-free RFS topology
 	archiveVersionV2  = 2 // v1 plus the optional SQ8 quantizer sidecar
-	archiveVersionMax = archiveVersionV2
+	archiveVersionV3  = 3 // v2 plus the store precision and a native float32 backing
+	archiveVersionMax = archiveVersionV3
 )
 
 // archiveHeader returns the 4-byte header of the given archive version.
@@ -85,8 +86,30 @@ type archiveV2 struct {
 	Quant       *store.QuantParts // nil unless the system is quantized
 }
 
+// archiveV3 is the current wire format: every archiveV2 field (same names,
+// same encodings) plus the corpus store's precision tag. A float32-precision
+// store — an imported float32 embedding corpus — persists its rows once, in
+// the native Points32 backing (half the bytes, no rounding), leaving Points
+// nil; a float64 store persists Points exactly as version 2 did, leaving
+// Points32 nil. Gob's field-by-name matching means v1 and v2 payloads decode
+// into this struct with Precision empty, which reads as float64.
+type archiveV3 struct {
+	Cfg         Config
+	Infos       []dataset.Info
+	Dim         int
+	Points      []float64
+	HasChannels bool
+	Channels    map[img.Channel][]float64
+	RFS         *rfs.TopologySnapshot
+	NormMin     vec.Vector // extractor state (min-max normalizer)
+	NormMax     vec.Vector
+	Quant       *store.QuantParts // nil unless the system is quantized
+	Precision   string            // store precision ("f64", "f32"; "" = f64)
+	Points32    []float32         // store backing of an "f32" archive; Points is nil
+}
+
 // archiveBody captures the system's persistent state in the version-1
-// layout, which version 2 extends field-for-field.
+// layout, which versions 2 and 3 extend field-for-field.
 func (s *System) archiveBody() archiveV1 {
 	st := s.corpus.Store()
 	a := archiveV1{
@@ -113,14 +136,16 @@ func (s *System) archiveBody() archiveV1 {
 	return a
 }
 
-// Save persists the system to w in the version-2 format: a 4-byte header
-// followed by the gob-encoded archiveV2. Ground truth, configuration, the
-// feature normalizer, and (for quantized systems) the SQ8 quantizer travel
-// alongside the store backing and the point-free RFS topology, so a Load-ed
-// system answers queries identically.
+// Save persists the system to w in the version-3 format: a 4-byte header
+// followed by the gob-encoded archiveV3. Ground truth, configuration, the
+// feature normalizer, the store precision, and (for quantized systems) the
+// SQ8 quantizer travel alongside the store backing and the point-free RFS
+// topology, so a Load-ed system answers queries identically. A system saved
+// from an older archive upgrades to version 3 on the next Save.
 func (s *System) Save(w io.Writer) error {
 	body := s.archiveBody()
-	a := archiveV2{
+	st := s.corpus.Store()
+	a := archiveV3{
 		Cfg:         body.Cfg,
 		Infos:       body.Infos,
 		Dim:         body.Dim,
@@ -130,12 +155,18 @@ func (s *System) Save(w io.Writer) error {
 		RFS:         body.RFS,
 		NormMin:     body.NormMin,
 		NormMax:     body.NormMax,
+		Precision:   st.Precision().String(),
+	}
+	if st.Precision() == store.Float32 {
+		// Persist the native rows once; the float64 view is rebuilt by exact
+		// widening on load.
+		a.Points, a.Points32 = nil, st.Backing32()
 	}
 	if s.quant != nil {
 		parts := s.quant.Parts()
 		a.Quant = &parts
 	}
-	if _, err := w.Write(archiveHeader(archiveVersionV2)); err != nil {
+	if _, err := w.Write(archiveHeader(archiveVersionV3)); err != nil {
 		return fmt.Errorf("qdcbir: write header: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&a); err != nil {
@@ -158,7 +189,7 @@ func (s *System) SaveFile(path string) error {
 }
 
 // Load reconstructs a system persisted by Save. Every archive version this
-// build knows — the current version 2, version 1, and the header-less
+// build knows — the current version 3, versions 1 and 2, and the header-less
 // version-0 gob format — is accepted; the version is detected from the first
 // bytes of the stream. A headered archive of an unknown version is rejected
 // with an error naming the on-disk version and the supported range.
@@ -184,41 +215,64 @@ func Load(r io.Reader) (*System, error) {
 	if _, err := br.Discard(4); err != nil {
 		return nil, fmt.Errorf("qdcbir: read header: %w", err)
 	}
-	// Versions 1 and 2 share a payload layout (v2 adds the optional
-	// quantizer field, which gob leaves nil when absent), so one decoder
-	// serves both.
-	return loadV12(br)
+	// Versions 1 through 3 share a payload layout (each adds optional
+	// fields, which gob leaves zero when absent), so one decoder serves all
+	// three.
+	return loadStoreBacked(br)
 }
 
-// loadV12 decodes the store-backed formats (versions 1 and 2): the corpus
-// adopts the decoded backing array and the RFS structure is rebuilt over the
-// corpus store's row views. A version-2 quantizer sidecar, when present, is
-// validated and adopted so the loaded system scans quantized without
-// retraining.
-func loadV12(r io.Reader) (*System, error) {
-	var a archiveV2
+// loadStoreBacked decodes the store-backed formats (versions 1-3): the
+// corpus adopts the decoded backing array — at the persisted precision for a
+// version-3 archive — and the RFS structure is rebuilt over the corpus
+// store's row views. A quantizer sidecar, when present, is validated and
+// adopted so the loaded system scans quantized without retraining.
+func loadStoreBacked(r io.Reader) (*System, error) {
+	var a archiveV3
 	if err := gob.NewDecoder(r).Decode(&a); err != nil {
 		return nil, fmt.Errorf("qdcbir: decode: %w", err)
 	}
-	main, err := store.FromBacking(a.Dim, a.Points)
+	prec, err := store.ParsePrecision(a.Precision)
 	if err != nil {
 		return nil, fmt.Errorf("qdcbir: corpus store: %w", err)
 	}
-	vectors := main.Views()
-	var channelVectors map[img.Channel][]vec.Vector
-	if a.HasChannels {
-		channelVectors = map[img.Channel][]vec.Vector{
-			img.ChannelOriginal: vectors,
+	var main *store.FeatureStore
+	if prec == store.Float32 {
+		if a.Points != nil {
+			return nil, fmt.Errorf("qdcbir: corpus store: float32 archive carries %d float64 points", len(a.Points))
 		}
-		for ch, backing := range a.Channels {
-			cst, err := store.FromBacking(a.Dim, backing)
-			if err != nil {
-				return nil, fmt.Errorf("qdcbir: channel %v store: %w", ch, err)
-			}
-			channelVectors[ch] = cst.Views()
+		main, err = store.FromBacking32(a.Dim, a.Points32)
+	} else {
+		if a.Points32 != nil {
+			return nil, fmt.Errorf("qdcbir: corpus store: float64 archive carries %d float32 points", len(a.Points32))
 		}
+		main, err = store.FromBacking(a.Dim, a.Points)
 	}
-	corpus, err := dataset.Reassemble(a.Infos, vectors, channelVectors)
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: corpus store: %w", err)
+	}
+	var corpus *dataset.Corpus
+	if prec == store.Float32 {
+		// Channels are an image-mode concept; float32 stores come from
+		// imported vectors, so the store is adopted directly (keeping the
+		// native backing) and there are no channels to rebuild.
+		corpus, err = dataset.ReassembleStore(a.Infos, main)
+	} else {
+		vectors := main.Views()
+		var channelVectors map[img.Channel][]vec.Vector
+		if a.HasChannels {
+			channelVectors = map[img.Channel][]vec.Vector{
+				img.ChannelOriginal: vectors,
+			}
+			for ch, backing := range a.Channels {
+				cst, err := store.FromBacking(a.Dim, backing)
+				if err != nil {
+					return nil, fmt.Errorf("qdcbir: channel %v store: %w", ch, err)
+				}
+				channelVectors[ch] = cst.Views()
+			}
+		}
+		corpus, err = dataset.Reassemble(a.Infos, vectors, channelVectors)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +349,9 @@ func assembleLoaded(cfg Config, corpus *dataset.Corpus, structure *rfs.Structure
 		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
 	}
 	quant := attachQuantizer(&cfg, corpus, structure, qz)
+	if cfg.Float32 {
+		corpus.Store().MaterializeFloat32()
+	}
 	engine := newEngine(cfg, structure)
 	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: engine, quant: quant}, nil
 }

@@ -173,11 +173,15 @@ func TestLoadHeaderErrors(t *testing.T) {
 		{"truncated 2 of 4", []byte{0xD1, 'Q'}, []string{"truncated archive header", "2 byte"}},
 		{"truncated 3 of 4", []byte{0xD1, 'Q', 'D'}, []string{"truncated archive header", "3 byte"}},
 		{"corrupt prefix", []byte{0xD1, 'X', 'D', 0x02, 1, 2, 3}, []string{"corrupt archive header"}},
-		{"version 0 headered", []byte{0xD1, 'Q', 'D', 0x00, 1, 2, 3}, []string{"version 0 unsupported", "versions 0 through 2"}},
-		{"version 7", []byte{0xD1, 'Q', 'D', 0x07, 1, 2, 3}, []string{"version 7 unsupported", "versions 0 through 2"}},
-		{"version 255", []byte{0xD1, 'Q', 'D', 0xFF, 1, 2, 3}, []string{"version 255 unsupported", "versions 0 through 2"}},
+		{"version 0 headered", []byte{0xD1, 'Q', 'D', 0x00, 1, 2, 3}, []string{"version 0 unsupported", "versions 0 through 3"}},
+		{"version 7", []byte{0xD1, 'Q', 'D', 0x07, 1, 2, 3}, []string{"version 7 unsupported", "versions 0 through 3"}},
+		{"version 255", []byte{0xD1, 'Q', 'D', 0xFF, 1, 2, 3}, []string{"version 255 unsupported", "versions 0 through 3"}},
 		{"v2 header, empty payload", archiveHeader(archiveVersionV2), []string{"decode"}},
 		{"v2 header, garbage payload", append(archiveHeader(archiveVersionV2), []byte("garbage")...), []string{"decode"}},
+		{"v3 header, empty payload", archiveHeader(archiveVersionV3), []string{"decode"}},
+		{"v3 header, garbage payload", append(archiveHeader(archiveVersionV3), []byte("garbage")...), []string{"decode"}},
+		{"v3 header, truncated gob", append(archiveHeader(archiveVersionV3), 0x3F, 0xFF), []string{"decode"}},
+		{"v3 corrupt prefix", []byte{0xD1, 'Q', 'X', 0x03, 1, 2, 3}, []string{"corrupt archive header"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -205,11 +209,32 @@ const goldenV2ArchivePath = "testdata/archive_v2_quantized.gob"
 // adopted quantizer, and a pinned retrieval result.
 func TestGoldenArchiveV2(t *testing.T) {
 	if os.Getenv("UPDATE_GOLDEN_ARCHIVE") != "" {
+		// Save writes version 3 now, so the historical v2 fixture is encoded
+		// explicitly — exactly the bytes the v2-era Save produced.
 		sys := quantSystem(t)
+		body := sys.archiveBody()
+		parts := sys.quant.Parts()
+		a := archiveV2{
+			Cfg:         body.Cfg,
+			Infos:       body.Infos,
+			Dim:         body.Dim,
+			Points:      body.Points,
+			HasChannels: body.HasChannels,
+			Channels:    body.Channels,
+			RFS:         body.RFS,
+			NormMin:     body.NormMin,
+			NormMax:     body.NormMax,
+			Quant:       &parts,
+		}
 		if err := os.MkdirAll(filepath.Dir(goldenV2ArchivePath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := sys.SaveFile(goldenV2ArchivePath); err != nil {
+		var buf bytes.Buffer
+		buf.Write(archiveHeader(archiveVersionV2))
+		if err := gob.NewEncoder(&buf).Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV2ArchivePath, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("regenerated %s", goldenV2ArchivePath)

@@ -110,8 +110,8 @@ func TestArchiveFormat(t *testing.T) {
 	if err := sys.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(buf.Bytes(), archiveHeader(archiveVersionV2)) {
-		t.Fatalf("archive does not start with the v2 magic: % x", buf.Bytes()[:8])
+	if !bytes.HasPrefix(buf.Bytes(), archiveHeader(archiveVersionV3)) {
+		t.Fatalf("archive does not start with the v3 magic: % x", buf.Bytes()[:8])
 	}
 
 	// The version-0 encoding of the same system, for the size comparison.

@@ -39,6 +39,7 @@ import (
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/source"
 	"qdcbir/internal/store"
 	"qdcbir/internal/vec"
 )
@@ -95,6 +96,21 @@ type Config struct {
 	// factors make guarantee fallbacks rarer at the cost of more float
 	// distance evaluations per query.
 	RerankFactor int
+
+	// Float32 runs unweighted searches at float32 precision: the corpus rows
+	// narrow to a float32 mirror once at build time, queries narrow once per
+	// search, and the sweeps run the float32 batch kernels (half the memory
+	// traffic, twice the SIMD lanes of the float64 path). Unlike Quantized —
+	// which is an optimization whose results stay bit-identical to float64 —
+	// Float32 is a distinct documented result mode: distances round to
+	// float32, so neighbours whose float64 distances differ only below
+	// float32 resolution may swap ranks. Within the mode, results are
+	// deterministic across platforms, with and without SIMD acceleration.
+	// Float32 takes precedence over Quantized; weighted searches always use
+	// the exact float64 path. Off by default, and natural for imported
+	// float32 embedding corpora (see BuildFromSource), where narrowing loses
+	// nothing.
+	Float32 bool
 }
 
 // DefaultConfig returns the paper's full-scale configuration.
@@ -142,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DisplayCount <= 0 {
 		c.DisplayCount = d.DisplayCount
+	}
+	if c.Float32 {
+		c.Quantized = false // Float32 selects a precision; SQ8 serves the f64 path
 	}
 	return c
 }
@@ -201,6 +220,50 @@ func BuildContext(ctx context.Context, cfg Config) (*System, error) {
 	return assemble(ctx, cfg, corpus)
 }
 
+// BuildFromSource constructs a system over externally supplied vectors — an
+// embedding file opened with source.File, or any other VectorSource — instead
+// of the synthetic corpus generator. The batch's labels (when present) become
+// the ground truth; its dimension becomes the system dimension. A float32-
+// native batch (.fvecs) pairs naturally with Config.Float32, which then scans
+// the imported values untouched.
+func BuildFromSource(cfg Config, src source.VectorSource) (*System, error) {
+	return BuildFromSourceContext(context.Background(), cfg, src)
+}
+
+// BuildFromSourceContext is BuildFromSource with cancellation, which covers
+// the RFS construction phases exactly as in BuildContext.
+func BuildFromSourceContext(ctx context.Context, cfg Config, src source.VectorSource) (*System, error) {
+	cfg = cfg.withDefaults()
+	batch, err := src.Vectors()
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: import %s: %w", src.Format(), err)
+	}
+	if err := batch.Validate(); err != nil {
+		return nil, fmt.Errorf("qdcbir: import %s: %w", src.Format(), err)
+	}
+	var st *store.FeatureStore
+	if batch.Data32 != nil {
+		st, err = store.FromBacking32(batch.Dim, batch.Data32)
+	} else {
+		st, err = store.FromBacking(batch.Dim, batch.Data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: import %s: %w", src.Format(), err)
+	}
+	corpus, err := dataset.ReassembleStore(batch.Infos(), st)
+	if err != nil {
+		return nil, fmt.Errorf("qdcbir: corpus: %w", err)
+	}
+	// The generator knobs don't describe an imported corpus: record what was
+	// actually ingested so Config() (and persisted archives) reflect reality.
+	// VectorMode is literal — there are no rendered images, no extractor, and
+	// no MV colour channels.
+	cfg.VectorMode = true
+	cfg.Images = corpus.Len()
+	cfg.Categories = len(corpus.Categories())
+	return assemble(ctx, cfg, corpus)
+}
+
 func assemble(ctx context.Context, cfg Config, corpus *dataset.Corpus) (*System, error) {
 	structure, err := rfs.BuildStoreCtx(ctx, corpus.Store(), rfs.BuildConfig{
 		RepFraction: cfg.RepFraction,
@@ -217,6 +280,12 @@ func assemble(ctx context.Context, cfg Config, corpus *dataset.Corpus) (*System,
 		return nil, fmt.Errorf("qdcbir: rfs: %w", err)
 	}
 	quant := attachQuantizer(&cfg, corpus, structure, nil)
+	if cfg.Float32 {
+		// One corpus-side narrowing, shared by every scan consumer (the tree
+		// mirrors its own slab inside newEngine). For float32-native imported
+		// stores this aliases the original data — no copy, no rounding.
+		corpus.Store().MaterializeFloat32()
+	}
 	return &System{cfg: cfg, corpus: corpus, rfs: structure, engine: newEngine(cfg, structure), quant: quant}, nil
 }
 
@@ -252,6 +321,7 @@ func newEngine(cfg Config, structure *rfs.Structure) *core.Engine {
 		Parallelism:       cfg.Parallelism,
 		Quantized:         cfg.Quantized,
 		RerankFactor:      cfg.RerankFactor,
+		Float32:           cfg.Float32,
 	})
 }
 
@@ -338,7 +408,9 @@ func (s *System) searchKNN(ctx context.Context, q vec.Vector, k int) ([]Scored, 
 	var ns []rstar.Neighbor
 	var err error
 	tree := s.rfs.Tree()
-	if s.cfg.Quantized {
+	if s.cfg.Float32 {
+		ns, err = tree.KNNF32FromStatsCtx(ctx, tree.Root(), q, k, acc, nil)
+	} else if s.cfg.Quantized {
 		st := rstar.SearchStats{Timed: o != nil}
 		ns, err = tree.KNNQuantFromStatsCtx(ctx, tree.Root(), q, k, s.cfg.RerankFactor, acc, &st)
 		if err == nil && o != nil {

@@ -19,11 +19,13 @@
 package main
 
 import (
+	"context"
 	"encoding/gob"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 
 	"qdcbir"
 	"qdcbir/internal/dataset"
@@ -57,9 +59,39 @@ func main() {
 		importPath = flag.String("import", "", "build over this embedding file (jsonl|csv|fvecs) instead of the synthetic generator; writes a versioned system archive")
 		format     = flag.String("format", "", "embedding file format for -import: jsonl|csv|fvecs (empty = infer from extension)")
 		f32        = flag.Bool("f32", false, "with -import: scan at float32 precision (natural for .fvecs, whose values are float32 already)")
+		shards     = flag.Int("shards", 0, "also slice the build into N shard archives (<out>.shardI) for a qdrouter fleet")
+		shardIdx   = flag.Int("shard", -1, "with -shards: write only shard I's archive (rebuilds deterministically, for per-shard build farms)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *shards < 0 || *shards == 1 {
+		fatal(fmt.Errorf("-shards must be 0 or >= 2, got %d", *shards))
+	}
+	if *shardIdx >= 0 && *shards == 0 {
+		fatal(fmt.Errorf("-shard requires -shards"))
+	}
+	if *shardIdx >= *shards && *shards > 0 {
+		fatal(fmt.Errorf("-shard %d out of range for %d shards", *shardIdx, *shards))
+	}
+	if *shards > 0 {
+		// Shard slicing needs the assembled system, so both corpus flavors go
+		// through the versioned build path.
+		var sys *qdcbir.System
+		var err error
+		if *importPath != "" {
+			sys, err = buildImported(*importPath, *format, *f32, *seed, *capacity, *reps, *hierarchy, *quantize, log)
+		} else {
+			sys, err = buildSystem(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, *quantize, log)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeShards(sys, *out, *shards, *shardIdx, log); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *importPath != "" {
 		sys, err := buildImported(*importPath, *format, *f32, *seed, *capacity, *reps, *hierarchy, *quantize, log)
@@ -93,6 +125,69 @@ func main() {
 		fatal(err)
 	}
 	logWritten(log, *out)
+}
+
+// buildSystem assembles the full System over the synthetic corpus (the
+// sliceable equivalent of buildArchive).
+func buildSystem(seed int64, categories, images, capacity int, reps float64, vectors bool, hierarchy string, quantize bool, log *slog.Logger) (*qdcbir.System, error) {
+	log.Info("building system", "images", images, "categories", categories, "hierarchy", hierarchy)
+	return qdcbir.Build(qdcbir.Config{
+		Seed:         seed,
+		Categories:   categories,
+		Images:       images,
+		NodeCapacity: capacity,
+		RepFraction:  reps,
+		Hierarchy:    hierarchy,
+		Quantized:    quantize,
+		VectorMode:   vectors,
+	})
+}
+
+// shardPath derives shard i's archive path from the base output path:
+// db.gob -> db.shard0.gob.
+func shardPath(out string, i int) string {
+	ext := ""
+	base := out
+	if dot := len(out) - len(filepath.Ext(out)); filepath.Ext(out) != "" {
+		base, ext = out[:dot], out[dot:]
+	}
+	return fmt.Sprintf("%s.shard%d%s", base, i, ext)
+}
+
+// writeShards persists the fleet artifacts: the full single-node archive at
+// out (the bit-exactness reference; skipped when only one shard was asked
+// for) plus one shard archive per slice.
+func writeShards(sys *qdcbir.System, out string, shards, only int, log *slog.Logger) error {
+	if only >= 0 {
+		a, err := qdcbir.SliceShard(context.Background(), sys, shards, only)
+		if err != nil {
+			return err
+		}
+		p := shardPath(out, only)
+		if err := a.WriteFile(p); err != nil {
+			return err
+		}
+		log.Info("wrote shard archive", "path", p, "shard", only, "of", shards,
+			"local_images", a.Meta.LocalImages, "corpus_sig", fmt.Sprintf("%016x", a.Meta.CorpusSig))
+		return nil
+	}
+	if err := sys.SaveFile(out); err != nil {
+		return err
+	}
+	logWritten(log, out)
+	archives, err := qdcbir.SliceShards(context.Background(), sys, shards)
+	if err != nil {
+		return err
+	}
+	for i, a := range archives {
+		p := shardPath(out, i)
+		if err := a.WriteFile(p); err != nil {
+			return err
+		}
+		log.Info("wrote shard archive", "path", p, "shard", i, "of", shards,
+			"local_images", a.Meta.LocalImages, "corpus_sig", fmt.Sprintf("%016x", a.Meta.CorpusSig))
+	}
+	return nil
 }
 
 func logWritten(log *slog.Logger, path string) {

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -25,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"qdcbir"
 	"qdcbir/internal/core"
 	"qdcbir/internal/dataset"
 	"qdcbir/internal/img"
@@ -32,6 +34,7 @@ import (
 	"qdcbir/internal/rfs"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/server"
+	"qdcbir/internal/shard"
 	"qdcbir/internal/store"
 )
 
@@ -46,6 +49,7 @@ func main() {
 		debug    = flag.Bool("debug", false, "expose net/http/pprof profiling under /debug/pprof/")
 		digests  = flag.Duration("digest-interval", time.Minute, "how often to log the 1m windowed latency digests (0 disables)")
 		quantize = flag.Bool("quantized", false, "run k-NN phases through the SQ8 two-phase scan (adopts the archive's quantizer when present, else trains one; results are identical)")
+		queryTO  = flag.Duration("query-timeout", 0, "server-side time budget per request (0 = none); expiry returns a structured 503 with Retry-After")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -57,15 +61,25 @@ func main() {
 	// One observer for the process: the engine reports session/query telemetry
 	// into it and the server adopts it, so /metrics and /v1/stats see both.
 	observer := obs.New(obs.NewRegistry())
-	eng, label, rasters, err := load(*path, *images, *seed, *ui, *parallel, *quantize, observer)
+	ld, err := load(*path, *images, *seed, *ui, *parallel, *quantize, observer)
 	if err != nil {
 		log.Error("load failed", "err", err)
 		os.Exit(1)
 	}
-	srv := server.New(eng, label)
+	srv := server.New(ld.eng, ld.label)
 	srv.SetLogger(log)
-	if rasters != nil {
-		srv.SetImages(rasters)
+	srv.SetQueryTimeout(*queryTO)
+	srv.SetArchiveInfo(ld.version, ld.precision, ld.quantized)
+	if ld.replica != nil {
+		srv.SetShard(ld.replica)
+		m := ld.replica.Meta()
+		log.Info("shard replica mode",
+			"shard", m.ShardIndex, "of", m.ShardCount,
+			"local_images", m.LocalImages, "corpus_images", m.Images,
+			"corpus_sig", fmt.Sprintf("%016x", m.CorpusSig))
+	}
+	if ld.rasters != nil {
+		srv.SetImages(ld.rasters)
 		log.Info("web UI enabled", "url", fmt.Sprintf("http://localhost%s/ui", *addr))
 	}
 	handler := srv.Handler()
@@ -83,7 +97,8 @@ func main() {
 	bi := srv.BuildInfo()
 	log.Info("qdserve starting",
 		"addr", *addr,
-		"images", bi.Images, "representatives", eng.RFS().RepCount(), "tree_height", bi.TreeHeight,
+		"images", bi.Images, "representatives", ld.eng.RFS().RepCount(), "tree_height", bi.TreeHeight,
+		"archive_version", ld.version, "precision", ld.precision, "quantized", ld.quantized,
 		"go", bi.GoVersion, "revision", bi.Revision, "vcs_modified", bi.VCSModified)
 	log.Info("observability endpoints",
 		"metrics", "/metrics", "stats", "/v1/stats", "traces", "/v1/traces",
@@ -154,7 +169,33 @@ func logDigests(ctx context.Context, log *slog.Logger, o *obs.Observer, every ti
 	}
 }
 
-func load(path string, images int, seed int64, keepImages bool, parallelism int, quantize bool, observer *obs.Observer) (*core.Engine, server.Labeler, []*img.Image, error) {
+// loaded is everything main needs from whichever archive flavor was opened.
+type loaded struct {
+	eng       *core.Engine
+	label     server.Labeler
+	rasters   []*img.Image
+	replica   *shard.Replica // non-nil in shard-replica mode
+	version   int            // archive format version (0 = in-memory or legacy gob)
+	precision string         // "float64", "float32", or "sq8"
+	quantized bool
+}
+
+func precisionTag(quantized, f32 bool) string {
+	switch {
+	case quantized:
+		return "sq8"
+	case f32:
+		return "float32"
+	default:
+		return "float64"
+	}
+}
+
+// load opens the database by sniffing the archive's magic header: a shard
+// slice (internal/shard), a versioned system archive (qdcbir.Save), or a
+// legacy bare-gob qdbuild archive. An empty path builds a small corpus in
+// process.
+func load(path string, images int, seed int64, keepImages bool, parallelism int, quantize bool, observer *obs.Observer) (*loaded, error) {
 	if path == "" {
 		spec := dataset.SmallSpec(seed, 25, images)
 		corpus := dataset.Build(spec, dataset.Options{
@@ -169,11 +210,47 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 			Seed:        seed + 2,
 			Parallelism: parallelism,
 		})
-		return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize}), corpus.SubconceptOf, corpus.Images, nil
+		eng := core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize})
+		return &loaded{
+			eng: eng, label: corpus.SubconceptOf, rasters: corpus.Images,
+			precision: precisionTag(quantize, false), quantized: quantize,
+		}, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
+	}
+	head := make([]byte, 4)
+	_, headErr := io.ReadFull(f, head)
+	f.Close()
+	if headErr == nil && shard.IsArchiveHeader(head) {
+		rep, sys, err := qdcbir.OpenShardFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("shard archive %s: %w", path, err)
+		}
+		m := rep.Meta()
+		sys = sys.WithObserver(observer)
+		return &loaded{
+			eng: sys.Engine(), label: rep.Labeler(), replica: rep,
+			version: m.ArchiveVersion, precision: m.Precision, quantized: m.Quantized,
+		}, nil
+	}
+	if v, ok := qdcbir.ArchiveHeaderVersion(head); headErr == nil && ok {
+		sys, err := qdcbir.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("archive %s: %w", path, err)
+		}
+		sys = sys.WithObserver(observer)
+		return &loaded{
+			eng: sys.Engine(), label: sys.SubconceptOf,
+			version:   v,
+			precision: precisionTag(sys.Quantized(), sys.Config().Float32),
+			quantized: sys.Quantized(),
+		}, nil
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	var arch struct {
@@ -182,19 +259,19 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 		Quant *store.QuantParts
 	}
 	if err := gob.NewDecoder(f).Decode(&arch); err != nil {
-		return nil, nil, nil, fmt.Errorf("decode %s: %w", path, err)
+		return nil, fmt.Errorf("decode %s: %w", path, err)
 	}
 	structure, err := rfs.FromSnapshot(arch.RFS)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if quantize && arch.Quant != nil {
 		qz, err := store.FromParts(*arch.Quant)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("quantizer: %w", err)
+			return nil, fmt.Errorf("quantizer: %w", err)
 		}
 		if err := structure.AdoptQuantized(qz); err != nil {
-			return nil, nil, nil, fmt.Errorf("quantizer: %w", err)
+			return nil, fmt.Errorf("quantizer: %w", err)
 		}
 	}
 	infos := arch.Infos
@@ -206,5 +283,9 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 	}
 	// An unadopted quantized structure trains its quantizer inside
 	// core.NewEngine (Config.Quantized).
-	return core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize}), label, nil, nil
+	eng := core.NewEngine(structure, core.Config{Parallelism: parallelism, Observer: observer, Quantized: quantize})
+	return &loaded{
+		eng: eng, label: label,
+		precision: precisionTag(quantize, false), quantized: quantize,
+	}, nil
 }

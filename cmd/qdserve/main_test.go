@@ -8,15 +8,16 @@ import (
 )
 
 func TestLoadInMemoryAndServe(t *testing.T) {
-	eng, label, rasters, err := load("", 400, 1, true, 0, false, nil)
+	ld, err := load("", 400, 1, true, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	eng, label := ld.eng, ld.label
 	if eng.RFS().Len() == 0 {
 		t.Fatal("empty engine")
 	}
-	if len(rasters) != eng.RFS().Len() {
-		t.Fatalf("%d rasters for %d images", len(rasters), eng.RFS().Len())
+	if len(ld.rasters) != eng.RFS().Len() {
+		t.Fatalf("%d rasters for %d images", len(ld.rasters), eng.RFS().Len())
 	}
 	if label(0) == "" {
 		t.Error("labeler returned empty for image 0")
@@ -38,7 +39,7 @@ func TestLoadInMemoryAndServe(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, _, _, err := load("/nonexistent.gob", 0, 1, false, 0, false, nil); err == nil {
+	if _, err := load("/nonexistent.gob", 0, 1, false, 0, false, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

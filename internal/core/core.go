@@ -163,6 +163,11 @@ type Session struct {
 	finalIO    *disk.LRUCache
 	stats      Stats
 	finalized  bool
+	// baseFeedbackReads/baseFinalReads carry the read counters of a restored
+	// session's earlier life (RestoreSession); the live caches count only
+	// post-restore reads.
+	baseFeedbackReads uint64
+	baseFinalReads    uint64
 
 	// trace is the session's observability span (nil when the engine has no
 	// Observer). lastFbReads/lastFbAccesses checkpoint the feedback cache
@@ -206,8 +211,8 @@ func (s *Session) Relevant() []rstar.ItemID { return s.relevant }
 // Stats returns the session's accumulated cost statistics.
 func (s *Session) Stats() Stats {
 	st := s.stats
-	st.FeedbackReads = s.feedbackIO.Reads()
-	st.FinalReads = s.finalIO.Reads()
+	st.FeedbackReads = s.baseFeedbackReads + s.feedbackIO.Reads()
+	st.FinalReads = s.baseFinalReads + s.finalIO.Reads()
 	return st
 }
 

@@ -94,6 +94,7 @@ type Structure struct {
 	reps     map[disk.PageID][]rstar.ItemID
 	leafOf   map[rstar.ItemID]*rstar.Node
 	subSize  map[disk.PageID]int
+	nodeByID map[disk.PageID]*rstar.Node
 	allReps  []rstar.ItemID // distinct representative IDs (leaf level)
 	repIsSet map[rstar.ItemID]bool
 
@@ -185,12 +186,15 @@ func BuildCtx(ctx context.Context, points []vec.Vector, cfg BuildConfig) (*Struc
 	return s, nil
 }
 
-// index builds the item→leaf map and per-node subtree sizes.
+// index builds the item→leaf map, per-node subtree sizes, and the page-ID
+// node index (session restores resolve persisted node IDs through it).
 func (s *Structure) index() {
 	s.leafOf = make(map[rstar.ItemID]*rstar.Node, len(s.points))
 	s.subSize = make(map[disk.PageID]int)
+	s.nodeByID = make(map[disk.PageID]*rstar.Node)
 	var walk func(n *rstar.Node) int
 	walk = func(n *rstar.Node) int {
+		s.nodeByID[n.ID()] = n
 		size := 0
 		if n.IsLeaf() {
 			for _, it := range n.Items() {
@@ -381,6 +385,10 @@ func (s *Structure) IsRep(id rstar.ItemID) bool { return s.repIsSet[id] }
 
 // LeafOf returns the leaf node storing the image.
 func (s *Structure) LeafOf(id rstar.ItemID) *rstar.Node { return s.leafOf[id] }
+
+// NodeByID resolves a node page ID anywhere in the hierarchy, or nil for an
+// unknown ID. Session restores use this to rebind persisted assignments.
+func (s *Structure) NodeByID(id disk.PageID) *rstar.Node { return s.nodeByID[id] }
 
 // SubtreeSize returns the number of images stored under n.
 func (s *Structure) SubtreeSize(n *rstar.Node) int { return s.subSize[n.ID()] }

@@ -25,22 +25,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// BuildInfoResponse identifies the running binary and the corpus it serves.
+// BuildInfoResponse identifies the running binary and the corpus it serves,
+// including archive provenance: which on-disk format version the corpus was
+// loaded from and the scan precision it runs at ("float64", "float32", or
+// "sq8"). The router's fleet verification reads these to refuse
+// mixed-precision fleets, whose distances would not merge bit-identically.
 type BuildInfoResponse struct {
-	GoVersion   string `json:"go_version"`
-	Revision    string `json:"revision,omitempty"`
-	VCSTime     string `json:"vcs_time,omitempty"`
-	VCSModified bool   `json:"vcs_modified,omitempty"`
-	Images      int    `json:"images"`
-	TreeHeight  int    `json:"tree_height"`
+	GoVersion      string `json:"go_version"`
+	Revision       string `json:"revision,omitempty"`
+	VCSTime        string `json:"vcs_time,omitempty"`
+	VCSModified    bool   `json:"vcs_modified,omitempty"`
+	Images         int    `json:"images"`
+	TreeHeight     int    `json:"tree_height"`
+	ArchiveVersion int    `json:"archive_version,omitempty"`
+	Precision      string `json:"precision,omitempty"`
+	Quantized      bool   `json:"quantized,omitempty"`
+	ShardIndex     *int   `json:"shard_index,omitempty"`
+	ShardCount     int    `json:"shard_count,omitempty"`
+}
+
+// SetArchiveInfo records the provenance of the loaded corpus for
+// /v1/buildinfo (version 0 means "built in process, no archive").
+func (s *Server) SetArchiveInfo(version int, precision string, quantized bool) {
+	s.archiveVersion = version
+	s.archivePrecision = precision
+	s.archiveQuantized = quantized
 }
 
 // buildInfo assembles the response (separated from the handler so qdserve can
 // log the same facts at startup).
 func (s *Server) buildInfo() BuildInfoResponse {
 	out := BuildInfoResponse{
-		Images:     s.engine.RFS().Len(),
-		TreeHeight: s.engine.RFS().Tree().Height(),
+		Images:         s.engine.RFS().Len(),
+		TreeHeight:     s.engine.RFS().Tree().Height(),
+		ArchiveVersion: s.archiveVersion,
+		Precision:      s.archivePrecision,
+		Quantized:      s.archiveQuantized,
+	}
+	if s.shard != nil {
+		m := s.shard.Meta()
+		idx := m.ShardIndex
+		out.ShardIndex = &idx
+		out.ShardCount = m.ShardCount
+		// A shard's local slice answers Images above; the corpus-wide count
+		// lives in the shard meta. Report the corpus so fleets look uniform.
+		out.Images = m.Images
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		out.GoVersion = bi.GoVersion

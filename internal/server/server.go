@@ -39,6 +39,7 @@ import (
 	"qdcbir/internal/img"
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/shard"
 	"qdcbir/internal/vec"
 )
 
@@ -85,12 +86,31 @@ type Server struct {
 	payloadGen sync.Once
 
 	images []*img.Image // optional rasters for the web UI (see webui.go)
+
+	// shard, when set, switches the server into shard-replica mode (see
+	// SetShard in shard.go); hosted sessions then run over the full-corpus
+	// topology and the scatter-gather endpoints come alive.
+	shard        *shard.Replica
+	displayCount int // shard-session display budget (from the shard meta)
+
+	// queryTimeout, when positive, bounds every request's context; clients may
+	// tighten (never widen) it per request with the X-Qd-Deadline-Ms header.
+	queryTimeout time.Duration
+
+	// Archive provenance, surfaced in /v1/buildinfo so operators (and the
+	// router's fleet verification) can see what is actually loaded.
+	archiveVersion   int
+	archivePrecision string
+	archiveQuantized bool
 }
 
-// hostedSession is one thin-client feedback session.
+// hostedSession is one thin-client feedback session. Exactly one of sess
+// (single-node mode) and ssess (shard-replica mode) is non-nil.
 type hostedSession struct {
-	mu   sync.Mutex
-	sess *core.Session
+	mu    sync.Mutex
+	sess  *core.Session
+	ssess *shard.Session
+	seed  int64 // display RNG seed, reported by /export for reproducibility
 
 	el *list.Element // position in Server.lru; guarded by Server.mu
 }
@@ -200,10 +220,26 @@ type StatsJSON struct {
 	Expansions    int    `json:"expansions"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code, when present, is a stable
+// machine-readable discriminator (see the ErrCode* constants) so callers —
+// the router above all — can tell an overloaded-but-healthy replica from a
+// broken request without parsing prose.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// Stable error codes carried in errorResponse.Code.
+const (
+	// ErrCodeDeadline marks a server-side context-deadline expiry: the work
+	// was sound but the time budget ran out. The response carries Retry-After,
+	// and a router should treat the replica as overloaded, not crashed.
+	ErrCodeDeadline = "deadline_exceeded"
+	// ErrCodeCancelled marks a client disconnect or server drain.
+	ErrCodeCancelled = "cancelled"
+	// ErrCodeShardFinalize rejects local finalize of a shard-hosted session.
+	ErrCodeShardFinalize = "shard_finalize"
+)
 
 // StatsResponse is the /v1/stats snapshot: the live session count, headline
 // counters pulled out for convenience, and the full metrics snapshot
@@ -243,11 +279,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/latency", s.handleLatency)
 	mux.HandleFunc("/v1/buildinfo", s.handleBuildInfo)
+	mux.HandleFunc("/v1/shard/meta", s.handleShardMeta)
+	mux.HandleFunc("/v1/shard/topology", s.handleShardTopology)
+	mux.HandleFunc("/v1/shard/search", s.handleShardSearch)
+	mux.HandleFunc("/v1/shard/points", s.handleShardPoints)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/ui", s.handleUI)
 	return s.instrument(mux)
 }
+
+// SetQueryTimeout bounds each request's context (<= 0 disables the bound).
+// Clients can tighten it further per request via X-Qd-Deadline-Ms. When the
+// budget expires mid-query the response is the structured 503 described at
+// writeQueryError.
+func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
 
 // statusWriter captures the response status for the request counters.
 type statusWriter struct {
@@ -293,6 +339,23 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-Id", reqID)
 		endpoint := endpointOf(r.URL.Path)
 		ctx := obs.WithTraceLabel(r.Context(), reqID)
+		// Per-request time budget: the configured cap, tightened (never
+		// widened) by an X-Qd-Deadline-Ms header. The router propagates its
+		// remaining deadline this way so a slow shard leg fails fast with the
+		// structured 503 instead of holding the whole scatter hostage.
+		budget := s.queryTimeout
+		if raw := r.Header.Get("X-Qd-Deadline-Ms"); raw != "" {
+			if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+				if d := time.Duration(ms) * time.Millisecond; budget <= 0 || d < budget {
+					budget = d
+				}
+			}
+		}
+		if budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
@@ -401,15 +464,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeQueryError distinguishes a cancelled/timed-out request (the client
-// went away or the server is shutting down; the k-NN machinery surfaces the
-// context error) from a bad query.
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// writeQueryError distinguishes the three ways a query fails:
+//
+//   - Deadline expiry (the server ran out of time budget mid-search): 503
+//     with Retry-After and code "deadline_exceeded" — the server is
+//     overloaded, not broken, and the same request may succeed shortly.
+//   - Cancellation (the client went away or the server is draining): 503
+//     with code "cancelled", no Retry-After.
+//   - Anything else is a bad query: 400.
 func writeQueryError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
-		return
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeDeadline, "query deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeCancelled, "query cancelled: %v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -507,10 +583,21 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	id, err := s.addSession(req.Seed, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
+}
+
+// addSession registers a hosted session — fresh when st is nil, restored
+// from an exported state otherwise — and returns its handle. seed == 0 picks
+// a server-derived default.
+func (s *Server) addSession(seed int64, st *core.SessionState) (string, error) {
 	s.mu.Lock()
 	s.nextID++
 	id := strconv.FormatUint(s.nextID, 10)
-	seed := req.Seed
 	if seed == 0 {
 		seed = int64(s.nextID) * 7919
 	}
@@ -522,14 +609,72 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		delete(s.sessions, front.Value.(string))
 		s.obs.SessionEvicted()
 	}
-	hs := &hostedSession{sess: s.engine.NewSession(rand.New(rand.NewSource(seed)))}
-	// Correlate the session's trace with its API handle so /v1/traces output
-	// can be joined against client logs.
-	hs.sess.Trace().SetLabel("session-" + id)
+	s.mu.Unlock()
+
+	hs := &hostedSession{seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	if s.shard != nil {
+		dc := s.displayCount
+		if dc <= 0 {
+			dc = 20
+		}
+		if st != nil {
+			hs.ssess, err = shard.RestoreSession(s.shard.Topo(), st, rng, dc)
+		} else {
+			hs.ssess = shard.NewSession(s.shard.Topo(), rng, dc)
+		}
+	} else {
+		if st != nil {
+			hs.sess, err = s.engine.RestoreSession(st, rng)
+		} else {
+			hs.sess = s.engine.NewSession(rng)
+		}
+		if hs.sess != nil {
+			// Correlate the session's trace with its API handle so /v1/traces
+			// output can be joined against client logs.
+			hs.sess.Trace().SetLabel("session-" + id)
+		}
+	}
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
 	hs.el = s.lru.PushBack(id)
 	s.sessions[id] = hs
 	s.mu.Unlock()
 	s.obs.SessionHosted()
+	return id, nil
+}
+
+// SessionExport is the /v1/sessions/{id}/export body: the wire-serializable
+// session state plus the seed that drove its displays. POSTing it to any
+// replica's /v1/sessions/import resumes the session there.
+type SessionExport struct {
+	SessionID string             `json:"session_id,omitempty"`
+	Seed      int64              `json:"seed"`
+	State     *core.SessionState `json:"state"`
+}
+
+// handleSessionImport restores an exported session on this replica.
+func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SessionExport
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if req.State == nil {
+		writeError(w, http.StatusBadRequest, "missing state")
+		return
+	}
+	id, err := s.addSession(req.Seed, req.State)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
 }
 
@@ -550,6 +695,10 @@ func (s *Server) release(id string) {
 // handleSessionOp dispatches /v1/sessions/{id}/{op}.
 func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	if rest == "import" {
+		s.handleSessionImport(w, r)
+		return
+	}
 	parts := strings.SplitN(rest, "/", 2)
 	if len(parts) == 0 || parts[0] == "" {
 		writeError(w, http.StatusNotFound, "missing session id")
@@ -579,13 +728,22 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct{}{})
 
 	case op == "candidates" && r.Method == http.MethodGet:
+		var out []CandidateJSON
 		hs.mu.Lock()
-		cands := hs.sess.Candidates()
-		hs.mu.Unlock()
-		out := make([]CandidateJSON, len(cands))
-		for i, c := range cands {
-			out[i] = CandidateJSON{ID: int(c.ID), Label: s.label(int(c.ID))}
+		if hs.ssess != nil {
+			ids := hs.ssess.Candidates()
+			out = make([]CandidateJSON, len(ids))
+			for i, cid := range ids {
+				out[i] = CandidateJSON{ID: cid, Label: s.label(cid)}
+			}
+		} else {
+			cands := hs.sess.Candidates()
+			out = make([]CandidateJSON, len(cands))
+			for i, c := range cands {
+				out[i] = CandidateJSON{ID: int(c.ID), Label: s.label(int(c.ID))}
+			}
 		}
+		hs.mu.Unlock()
 		writeJSON(w, http.StatusOK, struct {
 			Candidates []CandidateJSON `json:"candidates"`
 		}{out})
@@ -596,14 +754,22 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
-		marks := make([]rstar.ItemID, len(req.Relevant))
-		for i, m := range req.Relevant {
-			marks[i] = rstar.ItemID(m)
-		}
+		var err error
+		var nsub, nrel int
 		hs.mu.Lock()
-		err := hs.sess.Feedback(marks)
-		nsub := len(hs.sess.Frontier())
-		nrel := len(hs.sess.Relevant())
+		if hs.ssess != nil {
+			err = hs.ssess.Feedback(req.Relevant)
+			nsub = hs.ssess.Subqueries()
+			nrel = len(hs.ssess.Relevant())
+		} else {
+			marks := make([]rstar.ItemID, len(req.Relevant))
+			for i, m := range req.Relevant {
+				marks[i] = rstar.ItemID(m)
+			}
+			err = hs.sess.Feedback(marks)
+			nsub = len(hs.sess.Frontier())
+			nrel = len(hs.sess.Relevant())
+		}
 		hs.mu.Unlock()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -617,15 +783,33 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
-		ids := make([]rstar.ItemID, len(req.Relevant))
-		for i, m := range req.Relevant {
-			ids[i] = rstar.ItemID(m)
-		}
+		var nrel int
 		hs.mu.Lock()
-		hs.sess.Retract(ids)
-		nrel := len(hs.sess.Relevant())
+		if hs.ssess != nil {
+			hs.ssess.Retract(req.Relevant)
+			nrel = len(hs.ssess.Relevant())
+		} else {
+			ids := make([]rstar.ItemID, len(req.Relevant))
+			for i, m := range req.Relevant {
+				ids[i] = rstar.ItemID(m)
+			}
+			hs.sess.Retract(ids)
+			nrel = len(hs.sess.Relevant())
+		}
 		hs.mu.Unlock()
 		writeJSON(w, http.StatusOK, FeedbackResponse{Relevant: nrel})
+
+	case op == "export" && r.Method == http.MethodGet:
+		hs.mu.Lock()
+		var st *core.SessionState
+		if hs.ssess != nil {
+			st = hs.ssess.ExportState()
+		} else {
+			st = hs.sess.ExportState()
+		}
+		seed := hs.seed
+		hs.mu.Unlock()
+		writeJSON(w, http.StatusOK, SessionExport{SessionID: id, Seed: seed, State: st})
 
 	case op == "finalize" && r.Method == http.MethodPost:
 		var req struct {
@@ -633,6 +817,14 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if hs.ssess != nil {
+			// A shard replica holds only its slice of the corpus, so the final
+			// k-NN round must scatter across the fleet — the router exports
+			// this session's state and runs the distributed finalize itself.
+			writeErrorCode(w, http.StatusConflict, ErrCodeShardFinalize,
+				"shard-hosted sessions finalize via the router (export the state and scatter)")
 			return
 		}
 		hs.mu.Lock()

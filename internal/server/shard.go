@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"qdcbir/internal/shard"
+	"qdcbir/internal/vec"
+)
+
+// SetShard switches the server into shard-replica mode: it serves the usual
+// session protocol (hosted sessions then run over the full-corpus topology,
+// not the local subtree) plus the scatter-gather endpoints a router fans out
+// to — /v1/shard/meta, /v1/shard/search, /v1/shard/points. Call before
+// serving traffic.
+func (s *Server) SetShard(r *shard.Replica) {
+	s.shard = r
+	if r != nil {
+		if dc := r.Meta().DisplayCount; dc > 0 {
+			s.displayCount = dc
+		}
+	}
+}
+
+// Shard returns the replica this server fronts, or nil in single-node mode.
+func (s *Server) Shard() *shard.Replica { return s.shard }
+
+// ShardMetaResponse describes the shard slice a replica serves.
+type ShardMetaResponse struct {
+	shard.Meta
+}
+
+// ShardSearchRequest is one scatter leg of a distributed finalize: the k
+// nearest local images under a topology node.
+type ShardSearchRequest struct {
+	NodeID  uint64    `json:"node_id"`
+	Query   []float64 `json:"query"`
+	Weights []float64 `json:"weights,omitempty"`
+	K       int       `json:"k"`
+}
+
+// NeighborJSON is one scored neighbor. Distances round-trip exactly:
+// encoding/json emits float64 at shortest-exact precision.
+type NeighborJSON struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// ShardSearchResponse lists the local top-k ascending by (dist, id).
+type ShardSearchResponse struct {
+	Neighbors []NeighborJSON `json:"neighbors"`
+}
+
+// ShardPointsRequest asks the replica for the feature vectors of the listed
+// images. IDs the replica does not own are silently omitted — the router
+// queries every shard and unions the answers.
+type ShardPointsRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// ShardPointJSON is one owned image: its exact float64 feature vector and
+// the full-tree leaf that stores it (the §3.2 starting assignment for a
+// stateless query).
+type ShardPointJSON struct {
+	ID    int       `json:"id"`
+	Leaf  uint64    `json:"leaf"`
+	Vec   []float64 `json:"vec"`
+	Label string    `json:"label,omitempty"`
+}
+
+// ShardPointsResponse lists the owned subset of the requested IDs.
+type ShardPointsResponse struct {
+	Points []ShardPointJSON `json:"points"`
+}
+
+func (s *Server) requireShard(w http.ResponseWriter) bool {
+	if s.shard == nil {
+		writeErrorCode(w, http.StatusNotFound, "not_a_shard", "this server is not a shard replica")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleShardMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.requireShard(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardMetaResponse{Meta: s.shard.Meta()})
+}
+
+func (s *Server) handleShardTopology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.requireShard(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.shard.Topo())
+}
+
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.requireShard(w) {
+		return
+	}
+	var req ShardSearchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	var weights []float64
+	if req.Weights != nil {
+		weights = req.Weights
+	}
+	ns, err := s.shard.SearchNode(r.Context(), req.NodeID, vec.Vector(req.Query), weights, req.K)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp := ShardSearchResponse{Neighbors: make([]NeighborJSON, len(ns))}
+	for i, n := range ns {
+		resp.Neighbors[i] = NeighborJSON{ID: n.ID, Dist: n.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShardPoints(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.requireShard(w) {
+		return
+	}
+	var req ShardPointsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	resp := ShardPointsResponse{Points: []ShardPointJSON{}}
+	for _, id := range req.IDs {
+		p, ok := s.shard.PointInfo(id)
+		if !ok {
+			continue
+		}
+		resp.Points = append(resp.Points, ShardPointJSON{ID: p.ID, Leaf: p.Leaf, Vec: p.Vec, Label: p.Label})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeJSON decodes the request body into v, writing the uniform 400
+// response on failure (the returned error only signals the caller to stop).
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package shard distributes a built retrieval system across independent
+// serving processes: a deterministic consistent-hash partitioning over image
+// IDs, a slicing step that packages each partition as a self-contained shard
+// archive, a replica-side restricted search over the partition, and a
+// scatter-gather finalize planner whose merged output is bit-identical to the
+// single-node result (see DESIGN.md §13 for the exactness argument).
+//
+// The design keys everything off one observation: the Query Decomposition
+// finalize phase is already N independent localized k-NN subqueries whose
+// per-image distances depend only on the (query point, image vector) pair —
+// never on which tree, or which machine, evaluated them. Each shard therefore
+// carries the full single-node hierarchy as a compact topology table and its
+// own subset of the vectors; a subtree-restricted search on a shard scans the
+// shard's rows that fall under the subtree, and merging the per-shard top-k
+// lists under the canonical (distance, ID) order reproduces exactly what a
+// single process would have returned.
+package shard
+
+// Assign maps an image ID to its owning shard under a consistent-hash
+// partitioning: Lamping & Veach's jump consistent hash over a splitmix64-mixed
+// key. The assignment is a pure function of (id, shards) — rebuilding archives
+// with the same shard count reassigns nothing — and is balanced to within a
+// few percent for corpus sizes in the thousands. shards must be >= 1.
+func Assign(id int, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	key := mix64(uint64(id))
+	// Jump consistent hash: each iteration decides whether the key jumps to a
+	// later bucket as the bucket count grows from 1 to shards.
+	var b, j int64 = -1, 0
+	for j < int64(shards) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// mix64 is the splitmix64 finalizer: sequential image IDs become
+// well-distributed 64-bit keys, which jump hash requires for balance.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"qdcbir/internal/rfs"
+	"qdcbir/internal/rstar"
+	"qdcbir/internal/vec"
+)
+
+// NodeInfo is one node of the single-node RFS hierarchy, reduced to exactly
+// what distributed planning needs: identity and shape for subtree-restricted
+// search, the §3.3 boundary geometry (Center/Diag feed the same BoundaryRatio
+// arithmetic rfs.Structure computes from the live rectangle), the full-corpus
+// subtree size that caps proportional allocation, and the node's
+// representative images for remote feedback sessions.
+type NodeInfo struct {
+	ID     uint64    `json:"id"`
+	Parent int       `json:"parent"` // index into Topology.Nodes; -1 for the root
+	Leaf   bool      `json:"leaf"`
+	Size   int       `json:"size"` // images under this node in the FULL corpus
+	Center []float64 `json:"center"`
+	Diag   float64   `json:"diag"`
+	Reps   []int     `json:"reps,omitempty"` // representative image IDs, selection order
+}
+
+// Topology is the full single-node hierarchy every shard carries. Shards hold
+// disjoint vector subsets but identical topology tables, so a router can plan
+// a finalize round (grouping, expansion, allocation) once and every shard
+// interprets node IDs identically. Nodes are stored in pre-order: a node's
+// descendants form a contiguous run after it, and Parent always points
+// backwards.
+type Topology struct {
+	Nodes []NodeInfo `json:"nodes"`
+	// RepLeaf maps each distinct representative image to its leaf node ID.
+	// Feedback descent (ChildContaining) walks up from the leaf; sessions only
+	// ever mark displayed images, and displays draw from representatives, so
+	// this map covers everything a remote session needs.
+	RepLeaf map[int]uint64 `json:"rep_leaf,omitempty"`
+	// RepLabels carries the representatives' ground-truth labels so a shard
+	// can label candidates that live on other shards.
+	RepLabels map[int]string `json:"rep_labels,omitempty"`
+
+	idxOf    map[uint64]int
+	children [][]int
+}
+
+// TopologyOf extracts the topology table from a built structure. label may be
+// nil (no representative labels).
+func TopologyOf(s *rfs.Structure, label func(id int) string) *Topology {
+	t := &Topology{
+		RepLeaf: make(map[int]uint64),
+	}
+	if label != nil {
+		t.RepLabels = make(map[int]string)
+	}
+	var walk func(n *rstar.Node, parent int)
+	walk = func(n *rstar.Node, parent int) {
+		idx := len(t.Nodes)
+		r := n.Rect()
+		reps := s.Reps(n, nil)
+		info := NodeInfo{
+			ID:     uint64(n.ID()),
+			Parent: parent,
+			Leaf:   n.IsLeaf(),
+			Size:   s.SubtreeSize(n),
+			Center: append([]float64(nil), r.Center()...),
+			Diag:   r.Diagonal(),
+		}
+		if len(reps) > 0 {
+			info.Reps = make([]int, len(reps))
+			for i, id := range reps {
+				info.Reps[i] = int(id)
+			}
+		}
+		t.Nodes = append(t.Nodes, info)
+		for _, c := range n.Children() {
+			walk(c, idx)
+		}
+	}
+	walk(s.Root(), -1)
+	for _, id := range s.AllReps() {
+		t.RepLeaf[int(id)] = uint64(s.LeafOf(id).ID())
+		if label != nil {
+			t.RepLabels[int(id)] = label(int(id))
+		}
+	}
+	if err := t.Index(); err != nil {
+		panic(fmt.Sprintf("shard: topology of valid structure: %v", err)) // unreachable
+	}
+	return t
+}
+
+// Index builds the derived lookup tables (node-ID index, child lists) after a
+// decode, validating the pre-order invariants. Call once before using any
+// other method on a deserialized Topology.
+func (t *Topology) Index() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("shard: empty topology")
+	}
+	if t.Nodes[0].Parent != -1 {
+		return fmt.Errorf("shard: topology node 0 is not a root (parent %d)", t.Nodes[0].Parent)
+	}
+	t.idxOf = make(map[uint64]int, len(t.Nodes))
+	t.children = make([][]int, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if _, dup := t.idxOf[n.ID]; dup {
+			return fmt.Errorf("shard: duplicate topology node ID %d", n.ID)
+		}
+		t.idxOf[n.ID] = i
+		if i > 0 {
+			if n.Parent < 0 || n.Parent >= i {
+				return fmt.Errorf("shard: topology node %d parent %d breaks pre-order", i, n.Parent)
+			}
+			if t.Nodes[n.Parent].Leaf {
+				return fmt.Errorf("shard: topology node %d has leaf parent %d", i, n.Parent)
+			}
+			t.children[n.Parent] = append(t.children[n.Parent], i)
+		}
+	}
+	for id, leaf := range t.RepLeaf {
+		li, ok := t.idxOf[leaf]
+		if !ok || !t.Nodes[li].Leaf {
+			return fmt.Errorf("shard: representative %d maps to unknown/non-leaf node %d", id, leaf)
+		}
+	}
+	return nil
+}
+
+// Root returns the root node index (always 0 in pre-order).
+func (t *Topology) Root() int { return 0 }
+
+// RootID returns the root node's page ID.
+func (t *Topology) RootID() uint64 { return t.Nodes[0].ID }
+
+// IdxOf resolves a node page ID to its index.
+func (t *Topology) IdxOf(id uint64) (int, bool) {
+	i, ok := t.idxOf[id]
+	return i, ok
+}
+
+// Children returns the child indices of node i (shared; do not modify).
+func (t *Topology) Children(i int) []int { return t.children[i] }
+
+// BoundaryRatio mirrors rfs.Structure.BoundaryRatio bit-for-bit: the distance
+// from the node centre divided by the node diagonal, with the same
+// zero-diagonal conventions.
+func (t *Topology) BoundaryRatio(i int, p vec.Vector) float64 {
+	n := &t.Nodes[i]
+	dist := vec.L2(p, vec.Vector(n.Center))
+	if n.Diag == 0 {
+		if dist == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return dist / n.Diag
+}
+
+// ExpandForQuery mirrors rfs.Structure.ExpandForQuery: while any query point's
+// boundary ratio exceeds the threshold, move to the parent.
+func (t *Topology) ExpandForQuery(i int, queryPoints []vec.Vector, threshold float64) int {
+	cur := i
+	for t.Nodes[cur].Parent >= 0 {
+		nearBoundary := false
+		for _, q := range queryPoints {
+			if t.BoundaryRatio(cur, q) > threshold {
+				nearBoundary = true
+				break
+			}
+		}
+		if !nearBoundary {
+			break
+		}
+		cur = t.Nodes[cur].Parent
+	}
+	return cur
+}
+
+// ChildContaining returns the index of node i's child whose subtree holds the
+// representative image, or -1 when i is a leaf or the image's leaf does not
+// descend from i — the same contract as rfs.Structure.ChildContaining,
+// resolved through the RepLeaf table instead of the live leaf map.
+func (t *Topology) ChildContaining(i int, repID int) int {
+	if t.Nodes[i].Leaf {
+		return -1
+	}
+	leafID, ok := t.RepLeaf[repID]
+	if !ok {
+		return -1
+	}
+	cur, ok := t.idxOf[leafID]
+	if !ok {
+		return -1
+	}
+	for cur >= 0 {
+		p := t.Nodes[cur].Parent
+		if p == i {
+			return cur
+		}
+		cur = p
+	}
+	return -1
+}

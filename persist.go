@@ -33,6 +33,22 @@ const (
 	archiveVersionMax = archiveVersionV3
 )
 
+// ArchiveVersionCurrent is the archive format version Save writes.
+const ArchiveVersionCurrent = archiveVersionMax
+
+// ArchiveHeaderVersion inspects the first bytes of an archive stream: it
+// returns (version, true) when head begins with the versioned-family 4-byte
+// magic, and (0, false) otherwise — a false result means either a legacy
+// header-less version-0 gob archive or a foreign format (such as a shard
+// archive, which carries its own magic). Loaders use this to sniff the
+// archive kind before committing to a decoder.
+func ArchiveHeaderVersion(head []byte) (int, bool) {
+	if len(head) < 4 || !bytes.Equal(head[:3], archivePrefix[:]) {
+		return 0, false
+	}
+	return int(head[3]), true
+}
+
 // archiveHeader returns the 4-byte header of the given archive version.
 func archiveHeader(version byte) []byte {
 	return []byte{archivePrefix[0], archivePrefix[1], archivePrefix[2], version}

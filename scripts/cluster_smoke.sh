@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of the sharded serving tier.
+#
+# Builds one corpus, slices it into three shard archives, boots three qdserve
+# shard replicas plus an unsharded reference qdserve, fronts the shards with
+# qdrouter, drives a scripted feedback session through both stacks, and diffs
+# the results. The sharded tier's contract is bit-exactness, so the diff is
+# literal: same JSON groups, same IDs, same distances, same displays.
+#
+# Usage: scripts/cluster_smoke.sh [port-base]   (default 18400)
+set -euo pipefail
+
+BASE=${1:-18400}
+SINGLE=$BASE
+SHARD0=$((BASE + 1))
+SHARD1=$((BASE + 2))
+SHARD2=$((BASE + 3))
+ROUTER=$((BASE + 4))
+
+for tool in curl jq; do
+  command -v "$tool" >/dev/null || { echo "cluster_smoke: $tool not found" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "cluster_smoke: $*" >&2; }
+
+say "building binaries"
+go build -o "$WORK/qdbuild" ./cmd/qdbuild
+go build -o "$WORK/qdserve" ./cmd/qdserve
+go build -o "$WORK/qdrouter" ./cmd/qdrouter
+
+say "building corpus + 3 shard archives"
+"$WORK/qdbuild" -out "$WORK/db.gob" -vectors -images 600 -categories 12 \
+  -capacity 24 -reps 0.2 -seed 7 -shards 3 2>/dev/null
+
+say "starting fleet"
+"$WORK/qdserve" -db "$WORK/db.gob" -addr ":$SINGLE" 2>/dev/null & PIDS+=($!)
+"$WORK/qdserve" -db "$WORK/db.shard0.gob" -addr ":$SHARD0" 2>/dev/null & PIDS+=($!)
+"$WORK/qdserve" -db "$WORK/db.shard1.gob" -addr ":$SHARD1" 2>/dev/null & PIDS+=($!)
+"$WORK/qdserve" -db "$WORK/db.shard2.gob" -addr ":$SHARD2" 2>/dev/null & PIDS+=($!)
+"$WORK/qdrouter" -addr ":$ROUTER" -wait 60s \
+  -replica "0=http://localhost:$SHARD0" \
+  -replica "1=http://localhost:$SHARD1" \
+  -replica "2=http://localhost:$SHARD2" 2>/dev/null & PIDS+=($!)
+
+wait_for() {
+  for _ in $(seq 1 120); do
+    curl -sf "$1" >/dev/null 2>&1 && return 0
+    sleep 0.5
+  done
+  echo "cluster_smoke: $1 never came up" >&2
+  return 1
+}
+wait_for "http://localhost:$SINGLE/healthz"
+wait_for "http://localhost:$ROUTER/healthz"
+
+# The router only serves after fleet verification, so a healthy /healthz
+# already proves the precision/signature/version checks passed.
+curl -sf "http://localhost:$ROUTER/v1/buildinfo" | jq -e '.shards == 3' >/dev/null \
+  || { echo "cluster_smoke: router does not report 3 shards" >&2; exit 1; }
+
+say "diffing one-shot query (initial retrieval + finalize arithmetic)"
+QUERY='{"relevant":[3,9,12,200,201,430,77],"k":25}'
+# final_reads legitimately differs (the router's finalize runs on the shards);
+# everything else — groups, IDs, scores, feedback reads, expansions — must be
+# byte-identical.
+NORM='{groups: .groups, feedback_reads: .stats.feedback_reads, expansions: .stats.expansions}'
+curl -sf -X POST -d "$QUERY" "http://localhost:$SINGLE/v1/query" | jq -S "$NORM" > "$WORK/single_query.json"
+curl -sf -X POST -d "$QUERY" "http://localhost:$ROUTER/v1/query" | jq -S "$NORM" > "$WORK/router_query.json"
+diff -u "$WORK/single_query.json" "$WORK/router_query.json" \
+  || { echo "cluster_smoke: routed /v1/query diverges from single node" >&2; exit 1; }
+
+say "driving a feedback session through both stacks (seed 11)"
+SID_S=$(curl -sf -X POST -d '{"seed":11}' "http://localhost:$SINGLE/v1/sessions" | jq -r .session_id)
+SID_R=$(curl -sf -X POST -d '{"seed":11}' "http://localhost:$ROUTER/v1/sessions" | jq -r .session_id)
+
+for round in 1 2; do
+  curl -sf "http://localhost:$SINGLE/v1/sessions/$SID_S/candidates" | jq -S .candidates > "$WORK/single_cands.json"
+  curl -sf "http://localhost:$ROUTER/v1/sessions/$SID_R/candidates" | jq -S .candidates > "$WORK/router_cands.json"
+  diff -u "$WORK/single_cands.json" "$WORK/router_cands.json" \
+    || { echo "cluster_smoke: round $round displays diverge" >&2; exit 1; }
+  # Mark every third candidate relevant.
+  MARKS=$(jq -c '{relevant: [.[].id] | [.[range(0; length; 3)]]}' "$WORK/single_cands.json")
+  curl -sf -X POST -d "$MARKS" "http://localhost:$SINGLE/v1/sessions/$SID_S/feedback" > "$WORK/single_fb.json"
+  curl -sf -X POST -d "$MARKS" "http://localhost:$ROUTER/v1/sessions/$SID_R/feedback" > "$WORK/router_fb.json"
+  diff <(jq -S . "$WORK/single_fb.json") <(jq -S . "$WORK/router_fb.json") \
+    || { echo "cluster_smoke: round $round feedback acks diverge" >&2; exit 1; }
+done
+
+say "diffing distributed finalize against single node"
+curl -sf -X POST -d '{"k":25}' "http://localhost:$SINGLE/v1/sessions/$SID_S/finalize" | jq -S "$NORM" > "$WORK/single_final.json"
+curl -sf -X POST -d '{"k":25}' "http://localhost:$ROUTER/v1/sessions/$SID_R/finalize" | jq -S "$NORM" > "$WORK/router_final.json"
+diff -u "$WORK/single_final.json" "$WORK/router_final.json" \
+  || { echo "cluster_smoke: distributed finalize diverges from single node" >&2; exit 1; }
+
+jq -e '.groups | length > 0' "$WORK/router_final.json" >/dev/null \
+  || { echo "cluster_smoke: finalize returned no groups" >&2; exit 1; }
+
+say "router counters moved"
+curl -sf "http://localhost:$ROUTER/metrics" | grep -q '^qd_router_scatters_total' \
+  || { echo "cluster_smoke: router /metrics missing scatter counter" >&2; exit 1; }
+
+say "OK: sharded results are bit-identical to single node"

@@ -61,6 +61,7 @@ func main() {
 		f32        = flag.Bool("f32", false, "with -import: scan at float32 precision (natural for .fvecs, whose values are float32 already)")
 		shards     = flag.Int("shards", 0, "also slice the build into N shard archives (<out>.shardI) for a qdrouter fleet")
 		shardIdx   = flag.Int("shard", -1, "with -shards: write only shard I's archive (rebuilds deterministically, for per-shard build farms)")
+		dynamic    = flag.Bool("dynamic", false, "write a dynamic segmented archive (v4): the build becomes one sealed segment and qdserve accepts online inserts/deletes against it")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -73,6 +74,36 @@ func main() {
 	}
 	if *shardIdx >= *shards && *shards > 0 {
 		fatal(fmt.Errorf("-shard %d out of range for %d shards", *shardIdx, *shards))
+	}
+	if *dynamic && *shards > 0 {
+		fatal(fmt.Errorf("-dynamic and -shards are mutually exclusive (shard slices are immutable)"))
+	}
+	if *dynamic {
+		// The dynamic archive needs the assembled system, so both corpus
+		// flavors go through the versioned build path, then the build is
+		// adopted as a single sealed segment.
+		var sys *qdcbir.System
+		var err error
+		if *importPath != "" {
+			sys, err = buildImported(*importPath, *format, *f32, *seed, *capacity, *reps, *hierarchy, *quantize, log)
+		} else {
+			sys, err = buildSystem(*seed, *categories, *images, *capacity, *reps, *vectors, *hierarchy, *quantize, log)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		dyn, err := qdcbir.OpenDynamic(sys, qdcbir.DynamicConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := dyn.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		st := dyn.Stats()
+		log.Info("wrote dynamic archive", "version", qdcbir.DynamicArchiveVersion,
+			"live", st.Live, "segments", st.Segments, "epoch", st.Epoch)
+		logWritten(log, *out)
+		return
 	}
 	if *shards > 0 {
 		// Shard slicing needs the assembled system, so both corpus flavors go

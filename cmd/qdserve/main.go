@@ -50,6 +50,7 @@ func main() {
 		digests  = flag.Duration("digest-interval", time.Minute, "how often to log the 1m windowed latency digests (0 disables)")
 		quantize = flag.Bool("quantized", false, "run k-NN phases through the SQ8 two-phase scan (adopts the archive's quantizer when present, else trains one; results are identical)")
 		queryTO  = flag.Duration("query-timeout", 0, "server-side time budget per request (0 = none); expiry returns a structured 503 with Retry-After")
+		dynamic  = flag.Bool("dynamic", false, "serve through the segmented online-ingest engine: POST /v1/images inserts, DELETE /v1/images/{id} tombstones, queries pin epoch snapshots (dynamic v4 archives enable this automatically)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -58,15 +59,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qdserve: -ui requires an in-memory build (archives do not store rasters)")
 		os.Exit(2)
 	}
+	if *ui && *dynamic {
+		fmt.Fprintln(os.Stderr, "qdserve: -ui is unavailable in -dynamic mode (the ingest corpus has no rasters)")
+		os.Exit(2)
+	}
 	// One observer for the process: the engine reports session/query telemetry
 	// into it and the server adopts it, so /metrics and /v1/stats see both.
 	observer := obs.New(obs.NewRegistry())
-	ld, err := load(*path, *images, *seed, *ui, *parallel, *quantize, observer)
+	ld, err := load(*path, *images, *seed, *ui, *parallel, *quantize, *dynamic, observer)
 	if err != nil {
 		log.Error("load failed", "err", err)
 		os.Exit(1)
 	}
-	srv := server.New(ld.eng, ld.label)
+	var srv *server.Server
+	if ld.dyn != nil {
+		srv = server.NewDynamic(ld.dyn, observer)
+		st := ld.dyn.Stats()
+		log.Info("dynamic ingest mode",
+			"epoch", st.Epoch, "segments", st.Segments, "mem_rows", st.MemRows,
+			"tombstones", st.Tombstones, "live", st.Live)
+	} else {
+		srv = server.New(ld.eng, ld.label)
+	}
 	srv.SetLogger(log)
 	srv.SetQueryTimeout(*queryTO)
 	srv.SetArchiveInfo(ld.version, ld.precision, ld.quantized)
@@ -95,9 +109,13 @@ func main() {
 		log.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	bi := srv.BuildInfo()
+	reps := 0
+	if ld.eng != nil {
+		reps = ld.eng.RFS().RepCount()
+	}
 	log.Info("qdserve starting",
 		"addr", *addr,
-		"images", bi.Images, "representatives", ld.eng.RFS().RepCount(), "tree_height", bi.TreeHeight,
+		"images", bi.Images, "representatives", reps, "tree_height", bi.TreeHeight,
 		"archive_version", ld.version, "precision", ld.precision, "quantized", ld.quantized,
 		"go", bi.GoVersion, "revision", bi.Revision, "vcs_modified", bi.VCSModified)
 	log.Info("observability endpoints",
@@ -172,6 +190,7 @@ func logDigests(ctx context.Context, log *slog.Logger, o *obs.Observer, every ti
 // loaded is everything main needs from whichever archive flavor was opened.
 type loaded struct {
 	eng       *core.Engine
+	dyn       *qdcbir.Dynamic // non-nil in dynamic online-ingest mode
 	label     server.Labeler
 	rasters   []*img.Image
 	replica   *shard.Replica // non-nil in shard-replica mode
@@ -192,10 +211,32 @@ func precisionTag(quantized, f32 bool) string {
 }
 
 // load opens the database by sniffing the archive's magic header: a shard
-// slice (internal/shard), a versioned system archive (qdcbir.Save), or a
-// legacy bare-gob qdbuild archive. An empty path builds a small corpus in
-// process.
-func load(path string, images int, seed int64, keepImages bool, parallelism int, quantize bool, observer *obs.Observer) (*loaded, error) {
+// slice (internal/shard), a dynamic segmented archive (Dynamic.Save), a
+// versioned system archive (qdcbir.Save), or a legacy bare-gob qdbuild
+// archive. An empty path builds a small corpus in process. dynamic forces
+// the online-ingest engine: static archives and in-process builds are
+// adopted as a single sealed segment; v4 archives select it automatically.
+func load(path string, images int, seed int64, keepImages bool, parallelism int, quantize, dynamic bool, observer *obs.Observer) (*loaded, error) {
+	if path == "" && dynamic {
+		cfg := qdcbir.SmallConfig()
+		cfg.Seed = seed
+		cfg.Images = images
+		cfg.Parallelism = parallelism
+		cfg.Quantized = quantize
+		cfg.VectorMode = true // dynamic mode serves vectors, not rasters
+		sys, err := qdcbir.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := qdcbir.OpenDynamic(sys, qdcbir.DynamicConfig{Observer: observer})
+		if err != nil {
+			return nil, err
+		}
+		return &loaded{
+			dyn: dyn, precision: precisionTag(dyn.Config().Quantized, dyn.Config().Float32),
+			quantized: dyn.Config().Quantized,
+		}, nil
+	}
 	if path == "" {
 		spec := dataset.SmallSpec(seed, 25, images)
 		corpus := dataset.Build(spec, dataset.Options{
@@ -224,6 +265,9 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 	_, headErr := io.ReadFull(f, head)
 	f.Close()
 	if headErr == nil && shard.IsArchiveHeader(head) {
+		if dynamic {
+			return nil, fmt.Errorf("shard archive %s: shard replicas are read-only slices and cannot be served dynamically", path)
+		}
 		rep, sys, err := qdcbir.OpenShardFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("shard archive %s: %w", path, err)
@@ -236,6 +280,19 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 		}, nil
 	}
 	if v, ok := qdcbir.ArchiveHeaderVersion(head); headErr == nil && ok {
+		if v == qdcbir.DynamicArchiveVersion || dynamic {
+			// A v4 archive is dynamic by construction; -dynamic adopts a
+			// static archive as a single sealed segment.
+			dyn, err := qdcbir.LoadDynamicFile(path, observer)
+			if err != nil {
+				return nil, fmt.Errorf("archive %s: %w", path, err)
+			}
+			return &loaded{
+				dyn: dyn, version: v,
+				precision: precisionTag(dyn.Config().Quantized, dyn.Config().Float32),
+				quantized: dyn.Config().Quantized,
+			}, nil
+		}
 		sys, err := qdcbir.LoadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("archive %s: %w", path, err)
@@ -247,6 +304,9 @@ func load(path string, images int, seed int64, keepImages bool, parallelism int,
 			precision: precisionTag(sys.Quantized(), sys.Config().Float32),
 			quantized: sys.Quantized(),
 		}, nil
+	}
+	if dynamic {
+		return nil, fmt.Errorf("archive %s: legacy gob archives carry no corpus store and cannot be served dynamically (re-save with qdbuild first)", path)
 	}
 	f, err = os.Open(path)
 	if err != nil {

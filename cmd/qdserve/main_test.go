@@ -8,7 +8,7 @@ import (
 )
 
 func TestLoadInMemoryAndServe(t *testing.T) {
-	ld, err := load("", 400, 1, true, 0, false, nil)
+	ld, err := load("", 400, 1, true, 0, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestLoadInMemoryAndServe(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, err := load("/nonexistent.gob", 0, 1, false, 0, false, nil); err == nil {
+	if _, err := load("/nonexistent.gob", 0, 1, false, 0, false, false, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

@@ -116,6 +116,9 @@ func suite(fix *fixture) []entry {
 		{"BenchmarkLeafScanKernelEmbed/f32", benchLeafScanF32(embedDim)},
 		{"BenchmarkScanTableFootprint/exact", benchScanTableExact},
 		{"BenchmarkScanTableFootprint/sq8", benchScanTableSQ8},
+		{"BenchmarkDynamicInsert", benchDynamicInsert},
+		{"BenchmarkDynamicKNN/quiescent", benchDynamicKNN},
+		{"BenchmarkDynamicKNN/under-writes", benchDynamicKNNUnderWrites},
 		{"BenchmarkQueryFinalize/observer=none", benchFinalize(fix.plain)},
 		{"BenchmarkQueryFinalize/observer=live", benchFinalize(fix.observed)},
 		{"BenchmarkWindowedDigestObserve", benchDigestObserve},
@@ -319,6 +322,9 @@ var fixtureFree = map[string]bool{
 	"BenchmarkLeafScanKernelEmbed/f32":  true,
 	"BenchmarkScanTableFootprint/exact": true,
 	"BenchmarkScanTableFootprint/sq8":   true,
+	"BenchmarkDynamicInsert":            true,
+	"BenchmarkDynamicKNN/quiescent":     true,
+	"BenchmarkDynamicKNN/under-writes":  true,
 }
 
 // needsFixture reports whether any selected benchmark touches the engine

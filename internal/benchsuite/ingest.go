@@ -1,0 +1,153 @@
+package benchsuite
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"qdcbir/internal/seg"
+	"qdcbir/internal/vec"
+)
+
+// The dynamic-ingest benchmarks price the segmented epoch/snapshot engine:
+// the write path (memtable append with its amortized seal) and the read path
+// both quiescent and under sustained concurrent writes. The under-writes
+// entry is the regression gate for the engine's core promise — queries never
+// block on writers — so its ns/op should track the quiescent entry, not the
+// write rate. All three are fixture-free: they run over a synthetic
+// segmented DB, not the suite's static corpus.
+const (
+	ingestDim  = 37
+	ingestRows = 4096
+	ingestSeal = 512 // ingestRows/ingestSeal sealed segments once populated
+)
+
+// ingestVectors derives n deterministic rows from the same LCG family as
+// leafScanBlock, reshaped into per-row vectors for Insert.
+func ingestVectors(n int) []vec.Vector {
+	state := uint64(0xC2B2AE3D27D4EB4F)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		v := make(vec.Vector, ingestDim)
+		for j := range v {
+			v[j] = next()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// newIngestDB builds the populated segmented fixture: ingestRows rows sealed
+// into ingestRows/ingestSeal segments plus an empty memtable. Auto-compaction
+// is off so every run prices the same multi-segment shape.
+func newIngestDB(b *testing.B) *seg.DB {
+	db, err := seg.New(seg.Config{
+		Dim: ingestDim, SealThreshold: ingestSeal,
+		MaxSegments: 64, Seed: 5, NodeCapacity: 24,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range ingestVectors(ingestRows) {
+		if _, err := db.Insert(v); err != nil {
+			db.Close()
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// benchDynamicInsert prices one insert — a locked memtable append, plus the
+// segment build every ingestSeal-th op (R*-tree bulk load over the sealed
+// rows), so ns/op is the amortized sustained write cost.
+func benchDynamicInsert(b *testing.B, _ *fixture) {
+	db, err := seg.New(seg.Config{
+		Dim: ingestDim, SealThreshold: ingestSeal,
+		MaxSegments: 1 << 30, Seed: 5, NodeCapacity: 24,
+		DisableAutoCompact: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	vs := ingestVectors(ingestSeal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert(vs[i%len(vs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDynamicKNN prices a k=10 k-NN across the sealed segments and the
+// memtable, pinning and releasing a snapshot per op the way every API-level
+// query does.
+func benchDynamicKNN(b *testing.B, _ *fixture) {
+	db := newIngestDB(b)
+	defer db.Close()
+	qs := ingestVectors(64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := db.Acquire()
+		if _, err := snap.KNNCtx(ctx, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+		snap.Release()
+	}
+}
+
+// benchDynamicKNNUnderWrites runs the same k-NN loop while one writer
+// goroutine churns insert+delete pairs as fast as it can. Each pair
+// tombstones its own row, so seals come out empty and the segment shape
+// stays identical to the quiescent benchmark: any ns/op gap between the two
+// is pure write interference (snapshot publication and the memtable's
+// copy-on-write tombstones), which the engine promises to keep near zero.
+func benchDynamicKNNUnderWrites(b *testing.B, _ *fixture) {
+	db := newIngestDB(b)
+	defer db.Close()
+	qs := ingestVectors(64)
+	ctx := context.Background()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vs := ingestVectors(8)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			id, err := db.Insert(vs[i%len(vs)])
+			if err != nil {
+				return
+			}
+			if err := db.Delete(id); err != nil {
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := db.Acquire()
+		if _, err := snap.KNNCtx(ctx, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+		snap.Release()
+	}
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+}

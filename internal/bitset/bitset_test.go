@@ -1,0 +1,91 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(10)
+	if s.Get(3) || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.Set(3) {
+		t.Fatal("first Set(3) not new")
+	}
+	if s.Set(3) {
+		t.Fatal("second Set(3) claims new")
+	}
+	if !s.Get(3) || s.Count() != 1 {
+		t.Fatal("bit 3 not set")
+	}
+	// Growth past the pre-sized range.
+	if !s.Set(1000) || !s.Get(1000) {
+		t.Fatal("growth failed")
+	}
+	if s.Get(999) || s.Get(1001) {
+		t.Fatal("neighbouring bits leaked")
+	}
+	if got := s.AppendIndices(nil); !reflect.DeepEqual(got, []int{3, 1000}) {
+		t.Fatalf("AppendIndices = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	if s.Get(0) || s.Count() != 0 {
+		t.Fatal("nil set not empty")
+	}
+	if got := s.AppendIndices([]int{7}); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("nil AppendIndices = %v", got)
+	}
+	c := s.Clone()
+	if !c.Set(5) || !c.Get(5) {
+		t.Fatal("clone of nil not writable")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New(0)
+	s.Set(1)
+	c := s.Clone()
+	c.Set(2)
+	if s.Get(2) {
+		t.Fatal("clone mutation visible in original")
+	}
+	if !c.Get(1) || c.Count() != 2 || s.Count() != 1 {
+		t.Fatal("clone state wrong")
+	}
+}
+
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(0)
+	ref := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		idx := rng.Intn(500)
+		wantNew := !ref[idx]
+		ref[idx] = true
+		if got := s.Set(idx); got != wantNew {
+			t.Fatalf("Set(%d) new=%v want %v", idx, got, wantNew)
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count=%d want %d", s.Count(), len(ref))
+	}
+	want := make([]int, 0, len(ref))
+	for idx := range ref {
+		want = append(want, idx)
+	}
+	sort.Ints(want)
+	if got := s.AppendIndices(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendIndices mismatch")
+	}
+	for i := 0; i < 600; i++ {
+		if s.Get(i) != ref[i] {
+			t.Fatalf("Get(%d) = %v", i, s.Get(i))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// legacyAlloc is the allocation arithmetic as it was inlined in
+// finalizeGroups before extraction, kept verbatim as the reference: the
+// shared ProportionalAlloc must match it on every input, or the sharded and
+// segmented finalize paths would drift from the single-node results.
+func legacyAlloc(k int, counts, caps []int) []int {
+	n := len(counts)
+	totalRel := 0
+	for _, c := range counts {
+		totalRel += c
+	}
+	alloc := make([]int, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		share := int(math.Floor(float64(k) * float64(counts[i]) / float64(totalRel)))
+		if share < 1 {
+			share = 1
+		}
+		if share > caps[i] {
+			share = caps[i]
+		}
+		alloc[i] = share
+		assigned += share
+	}
+	for moved := true; moved && assigned < k; {
+		moved = false
+		for i := 0; i < n; i++ {
+			if assigned >= k {
+				break
+			}
+			if alloc[i] < caps[i] {
+				alloc[i]++
+				assigned++
+				moved = true
+			}
+		}
+	}
+	for i := 0; assigned > k; i = (i + 1) % n {
+		j := n - 1 - i%n
+		if alloc[j] > 1 {
+			alloc[j]--
+			assigned--
+		}
+	}
+	return alloc
+}
+
+func TestProportionalAllocMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5000; trial++ {
+		k := 1 + rng.Intn(60)
+		n := 1 + rng.Intn(k) // caller guarantees n <= k
+		counts := make([]int, n)
+		caps := make([]int, n)
+		for i := range counts {
+			counts[i] = 1 + rng.Intn(10)
+			caps[i] = 1 + rng.Intn(80)
+		}
+		got := ProportionalAlloc(k, counts, caps)
+		want := legacyAlloc(k, counts, caps)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: k=%d counts=%v caps=%v: got %v want %v", trial, k, counts, caps, got, want)
+		}
+	}
+}
+
+func TestProportionalAllocProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5000; trial++ {
+		k := 1 + rng.Intn(60)
+		n := 1 + rng.Intn(k)
+		counts := make([]int, n)
+		caps := make([]int, n)
+		totalCap := 0
+		for i := range counts {
+			counts[i] = 1 + rng.Intn(10)
+			caps[i] = 1 + rng.Intn(80)
+			totalCap += caps[i]
+		}
+		alloc := ProportionalAlloc(k, counts, caps)
+		sum := 0
+		for i, a := range alloc {
+			if a < 1 {
+				t.Fatalf("trial %d: group %d allocated %d (< 1)", trial, i, a)
+			}
+			if a > caps[i] {
+				t.Fatalf("trial %d: group %d allocated %d over cap %d", trial, i, a, caps[i])
+			}
+			sum += a
+		}
+		if totalCap >= k && sum != k {
+			t.Fatalf("trial %d: allocated %d of %d with capacity %d", trial, sum, k, totalCap)
+		}
+		if totalCap < k && sum != totalCap {
+			t.Fatalf("trial %d: capacity-bound sum %d != %d", trial, sum, totalCap)
+		}
+	}
+}

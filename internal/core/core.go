@@ -705,43 +705,16 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 	// Allocate k across subqueries proportionally to their relevant counts
 	// (§3.4), each capped by its searchable subtree, with leftovers
 	// round-robined to groups that still have capacity.
-	totalRel := 0
-	for _, nodeID := range order {
-		totalRel += len(byNode[nodeID].ids)
+	counts := make([]int, len(order))
+	caps := make([]int, len(order))
+	for i, nodeID := range order {
+		counts[i] = len(byNode[nodeID].ids)
+		caps[i] = preps[nodeID].cap
 	}
+	allocs := ProportionalAlloc(k, counts, caps)
 	alloc := make(map[disk.PageID]int, len(order))
-	assigned := 0
-	for _, nodeID := range order {
-		p := preps[nodeID]
-		share := int(math.Floor(float64(k) * float64(len(p.l.ids)) / float64(totalRel)))
-		if share < 1 {
-			share = 1
-		}
-		if share > p.cap {
-			share = p.cap
-		}
-		alloc[nodeID] = share
-		assigned += share
-	}
-	for moved := true; moved && assigned < k; {
-		moved = false
-		for _, nodeID := range order {
-			if assigned >= k {
-				break
-			}
-			if alloc[nodeID] < preps[nodeID].cap {
-				alloc[nodeID]++
-				assigned++
-				moved = true
-			}
-		}
-	}
-	for i := 0; assigned > k; i = (i + 1) % len(order) {
-		id := order[len(order)-1-i%len(order)]
-		if alloc[id] > 1 {
-			alloc[id]--
-			assigned--
-		}
+	for i, nodeID := range order {
+		alloc[nodeID] = allocs[i]
 	}
 
 	// Run the localized subqueries on the engine's worker pool. Each subquery

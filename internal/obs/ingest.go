@@ -1,0 +1,98 @@
+package obs
+
+// Ingest/compaction metrics for the segmented epoch/snapshot engine
+// (internal/seg). They live in the same Registry the server exports at
+// /metrics, so a streaming deployment sees write rates, segment counts, and
+// compaction cost next to the query-side telemetry.
+
+// SegMetrics is the metric set the segmented engine reports into. All
+// methods on a nil *SegMetrics are no-ops, preserving the observability
+// layer's zero-cost-when-absent contract.
+type SegMetrics struct {
+	Inserts     *Counter
+	Deletes     *Counter
+	Seals       *Counter
+	SealNS      *Counter
+	Compactions *Counter
+	CompactNS   *Counter
+
+	Epoch      *Gauge
+	Segments   *Gauge
+	MemRows    *Gauge
+	Tombstones *Gauge
+	Live       *Gauge
+	Snapshots  *Gauge
+}
+
+// NewSegMetrics registers (or re-binds, names are idempotent per Registry)
+// the segmented-engine metric set.
+func NewSegMetrics(reg *Registry) *SegMetrics {
+	return &SegMetrics{
+		Inserts:     reg.Counter("qd_seg_inserts_total", "Images inserted into the segmented engine."),
+		Deletes:     reg.Counter("qd_seg_deletes_total", "Images tombstoned in the segmented engine."),
+		Seals:       reg.Counter("qd_seg_seals_total", "Memtables sealed into immutable segments."),
+		SealNS:      reg.Counter("qd_seg_seal_ns_total", "Cumulative wall time spent sealing memtables, in nanoseconds."),
+		Compactions: reg.Counter("qd_seg_compactions_total", "Background segment compactions completed."),
+		CompactNS:   reg.Counter("qd_seg_compact_ns_total", "Cumulative wall time spent compacting segments, in nanoseconds."),
+		Epoch:       reg.Gauge("qd_seg_epoch", "Current snapshot epoch (increments on every published write)."),
+		Segments:    reg.Gauge("qd_seg_segments", "Sealed segments in the current snapshot."),
+		MemRows:     reg.Gauge("qd_seg_memtable_rows", "Rows in the mutable memtable (including tombstoned ones)."),
+		Tombstones:  reg.Gauge("qd_seg_tombstones", "Tombstoned rows still physically present across segments and memtable."),
+		Live:        reg.Gauge("qd_seg_live_images", "Live (non-tombstoned) images in the current snapshot."),
+		Snapshots:   reg.Gauge("qd_seg_snapshots_pinned", "Snapshots currently pinned by queries or the engine."),
+	}
+}
+
+// InsertDone records one insert. Nil-safe.
+func (m *SegMetrics) InsertDone() {
+	if m == nil {
+		return
+	}
+	m.Inserts.Inc()
+}
+
+// DeleteDone records one delete. Nil-safe.
+func (m *SegMetrics) DeleteDone() {
+	if m == nil {
+		return
+	}
+	m.Deletes.Inc()
+}
+
+// SealDone records one memtable seal and its wall time. Nil-safe.
+func (m *SegMetrics) SealDone(ns int64) {
+	if m == nil {
+		return
+	}
+	m.Seals.Inc()
+	m.SealNS.Add(uint64(ns))
+}
+
+// CompactDone records one completed compaction and its wall time. Nil-safe.
+func (m *SegMetrics) CompactDone(ns int64) {
+	if m == nil {
+		return
+	}
+	m.Compactions.Inc()
+	m.CompactNS.Add(uint64(ns))
+}
+
+// State publishes the current snapshot's shape. Nil-safe.
+func (m *SegMetrics) State(epoch uint64, segments, memRows, tombstones, live int) {
+	if m == nil {
+		return
+	}
+	m.Epoch.Set(int64(epoch))
+	m.Segments.Set(int64(segments))
+	m.MemRows.Set(int64(memRows))
+	m.Tombstones.Set(int64(tombstones))
+	m.Live.Set(int64(live))
+}
+
+// SnapshotDelta tracks pinned-snapshot count changes. Nil-safe.
+func (m *SegMetrics) SnapshotDelta(d int64) {
+	if m == nil {
+		return
+	}
+	m.Snapshots.Add(d)
+}

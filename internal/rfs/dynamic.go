@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"qdcbir/internal/bitset"
 	"qdcbir/internal/rstar"
 	"qdcbir/internal/vec"
 )
@@ -14,11 +15,16 @@ import (
 // leave the representative assignments stale (splits and forced reinsertion
 // can relocate many images across leaves, so precise incremental rep
 // maintenance would be both fragile and no cheaper than re-selection).
-// Refresh re-indexes and re-selects representatives; callers batch mutations
-// and refresh once. Query entry points reject a stale structure via Validate.
+// RefreshContext re-indexes and re-selects representatives; callers batch
+// mutations and refresh once. Query entry points reject a stale structure via
+// Validate.
+//
+// This in-place path stops the world for the refresh, so it suits batch
+// maintenance windows; the segmented engine in internal/seg builds on
+// immutable structures instead and serves reads during writes.
 
 // Insert adds a new image to the structure and returns its assigned ID. The
-// structure is stale until Refresh is called.
+// structure is stale until RefreshContext is called.
 func (s *Structure) Insert(p vec.Vector) rstar.ItemID {
 	if len(p) != s.tree.Dim() {
 		panic(fmt.Sprintf("rfs: insert dim %d into %d-d structure", len(p), s.tree.Dim()))
@@ -30,44 +36,54 @@ func (s *Structure) Insert(p vec.Vector) rstar.ItemID {
 	return id
 }
 
-// Delete removes an image. Its ID is tombstoned (never reused); the
-// structure is stale until Refresh is called. It returns false for unknown
-// or already-deleted IDs.
+// Delete removes an image. Its ID is tombstoned (never reused) and its point
+// slot is zeroed so the vector's backing memory can be reclaimed; the
+// structure is stale until RefreshContext is called. It returns false for
+// unknown or already-deleted IDs.
 func (s *Structure) Delete(id rstar.ItemID) bool {
-	if int(id) < 0 || int(id) >= len(s.points) || s.deleted[id] {
+	if int(id) < 0 || int(id) >= len(s.points) || s.deleted.Get(int(id)) {
 		return false
 	}
 	if !s.tree.Delete(id, s.points[id]) {
 		return false
 	}
 	if s.deleted == nil {
-		s.deleted = make(map[rstar.ItemID]bool)
+		s.deleted = bitset.New(len(s.points))
 	}
-	s.deleted[id] = true
+	s.deleted.Set(int(id))
+	s.points[id] = nil
 	s.stale = true
 	return true
 }
 
 // Deleted reports whether an ID has been removed.
-func (s *Structure) Deleted(id rstar.ItemID) bool { return s.deleted[id] }
+func (s *Structure) Deleted(id rstar.ItemID) bool { return s.deleted.Get(int(id)) }
 
 // Stale reports whether mutations have invalidated the representative
-// assignments; a stale structure must be Refreshed before querying.
+// assignments; a stale structure must be refreshed before querying.
 func (s *Structure) Stale() bool { return s.stale }
 
-// Refresh re-indexes the hierarchy and re-selects representatives after a
-// batch of Insert/Delete calls. Cost is comparable to the representative-
-// selection phase of Build (the tree itself is not rebuilt); selection runs
-// on cfg.Parallelism workers like Build's.
-func (s *Structure) Refresh() {
+// RefreshContext re-indexes the hierarchy and re-selects representatives
+// after a batch of Insert/Delete calls. Cost is comparable to the
+// representative-selection phase of Build (the tree itself is not rebuilt);
+// selection runs on cfg.Parallelism workers like Build's. A cancelled context
+// aborts mid-selection and returns the context's error with the structure
+// still stale (part of the hierarchy may carry fresh representative lists,
+// part the old ones, so queries stay rejected until a refresh completes).
+func (s *Structure) RefreshContext(ctx context.Context) error {
 	s.index()
 	s.allReps = nil
-	// Background context: a refresh is short and must leave the structure
-	// consistent, so it is not cancellable.
-	if err := s.selectRepresentatives(context.Background()); err != nil {
-		panic(fmt.Sprintf("rfs: refresh: %v", err)) // unreachable: ctx never cancels
+	if err := s.selectRepresentatives(ctx); err != nil {
+		return err
 	}
 	s.stale = false
+	return nil
+}
+
+// Refresh is RefreshContext with a background context, which cannot cancel —
+// the only error path — so the refresh always completes.
+func (s *Structure) Refresh() {
+	_ = s.RefreshContext(context.Background())
 }
 
 // Live returns the number of non-deleted images.

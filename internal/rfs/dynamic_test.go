@@ -1,6 +1,7 @@
 package rfs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -75,8 +76,14 @@ func TestDeleteRefresh(t *testing.T) {
 	s := buildTest(t, pts, testCfg)
 	n := s.Len()
 
+	// Capture the victim's vector first: Delete zeroes the point slot (which
+	// aliases the Build input) so the backing memory can be reclaimed.
+	q0 := pts[0].Clone()
 	if !s.Delete(0) {
 		t.Fatal("Delete(0) failed")
+	}
+	if s.Point(0) != nil {
+		t.Fatal("deleted point slot not zeroed")
 	}
 	if s.Delete(0) {
 		t.Fatal("double delete succeeded")
@@ -101,7 +108,7 @@ func TestDeleteRefresh(t *testing.T) {
 		}
 	}
 	// And no longer retrievable.
-	for _, nb := range s.Tree().KNN(pts[0], 3, nil) {
+	for _, nb := range s.Tree().KNN(q0, 3, nil) {
 		if nb.ID == 0 {
 			t.Error("deleted image retrieved")
 		}
@@ -110,6 +117,35 @@ func TestDeleteRefresh(t *testing.T) {
 	id := s.Insert(vec.Vector{9, 9, 9})
 	if int(id) != n {
 		t.Errorf("insert after delete assigned %d, want %d", id, n)
+	}
+}
+
+func TestRefreshContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := clusteredCorpus(rng, 5, 40, 3)
+	s := buildTest(t, pts, testCfg)
+	s.Insert(vec.Vector{1, 2, 3})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.RefreshContext(ctx); err == nil {
+		t.Fatal("cancelled RefreshContext returned nil error")
+	}
+	if !s.Stale() {
+		t.Fatal("structure no longer stale after failed refresh")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("stale structure validated after failed refresh")
+	}
+	// A completed refresh recovers.
+	if err := s.RefreshContext(context.Background()); err != nil {
+		t.Fatalf("RefreshContext: %v", err)
+	}
+	if s.Stale() {
+		t.Fatal("still stale after successful refresh")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

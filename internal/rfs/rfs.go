@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"qdcbir/internal/bitset"
 	"qdcbir/internal/disk"
 	"qdcbir/internal/kmeans"
 	"qdcbir/internal/kmtree"
@@ -100,7 +101,7 @@ type Structure struct {
 
 	// dynamic-maintenance state (see dynamic.go)
 	stale   bool
-	deleted map[rstar.ItemID]bool
+	deleted *bitset.Set
 }
 
 // Build constructs the RFS structure over the corpus vectors. Image IDs are

@@ -69,13 +69,15 @@ func (t *Tree) invalidateFloat32() {
 }
 
 // f32Scratch is the pooled working memory of one float32 search: the
-// narrowed query, the chunk distance buffer, the selector, and the selected
-// entries.
+// narrowed query, the chunk distance buffer, the selector, and the
+// candidate log (every row that was at or below the admission threshold
+// when scored — a superset of the final top-k that includes all boundary
+// ties).
 type f32Scratch struct {
-	q32     []float32
-	dists   []float32
-	sel     vec.TopK32
-	entries []vec.Entry32
+	q32   []float32
+	dists []float32
+	sel   vec.TopK32
+	cands []vec.Entry32
 }
 
 var f32ScratchPool = sync.Pool{New: func() interface{} { return new(f32Scratch) }}
@@ -101,7 +103,11 @@ func (t *Tree) KNNF32(q vec.Vector, k int, acc disk.Accounter) []Neighbor {
 // bounded selector keeps the k smallest (distance, row) pairs. Results are
 // the float32 mode's deterministic answer (see the file comment) ordered
 // ascending (Dist, ID); equal-float32-distance candidates at the k boundary
-// retain the earliest slab row, mirroring the exact search's tie caveat.
+// resolve by ItemID, matching the exact search's documented tie rule — the
+// sweep logs every row scored at or below the admission threshold, then
+// selects the k smallest under (distance, ItemID), so the winners do not
+// depend on slab layout (and therefore not on how the corpus was
+// segmented).
 // Leaf pages in the swept range are reported to acc once; scored rows land in
 // st.ItemsScored. Searches over trees without float32 scoring delegate to
 // the exact float64 path.
@@ -143,6 +149,12 @@ func (t *Tree) KNNF32FromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k 
 	dim := t.dim
 	sel := &sc.sel
 	sel.Reset(k)
+	// The selector only maintains the admission threshold (the exact kth
+	// smallest distance, whichever rows the heap happens to retain); the
+	// candidate log keeps every row scored at or below the threshold current
+	// at its time. The threshold never increases, so the log is a superset
+	// of both the true top-k and every row tying the final kth distance.
+	sc.cands = sc.cands[:0]
 	for base := lo; base < hi; base += f32CtxInterval {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -158,18 +170,35 @@ func (t *Tree) KNNF32FromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k 
 			if d < thr {
 				sel.Add(d, base+i)
 				thr = sel.Threshold()
+				sc.cands = append(sc.cands, vec.Entry32{Dist: d, ID: base + i})
+			} else if d == thr {
+				sc.cands = append(sc.cands, vec.Entry32{Dist: d, ID: base + i})
 			}
 		}
 	}
-	sc.entries = sel.AppendEntries(sc.entries[:0])
-	out := make([]Neighbor, len(sc.entries))
-	for i, e := range sc.entries {
+	// Keep rows at or below the final threshold, order them by
+	// (distance, ItemID), and take the k smallest.
+	final := sel.Threshold()
+	kept := sc.cands[:0]
+	for _, c := range sc.cands {
+		if c.Dist <= final {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Dist != kept[j].Dist {
+			return kept[i].Dist < kept[j].Dist
+		}
+		return t.qids[kept[i].ID] < t.qids[kept[j].ID]
+	})
+	if len(kept) > k {
+		kept = kept[:k]
+	}
+	out := make([]Neighbor, len(kept))
+	for i, e := range kept {
 		rowF := t.slab[e.ID*dim : e.ID*dim+dim : e.ID*dim+dim]
 		out[i] = Neighbor{ID: t.qids[e.ID], Point: rowF, Dist: math.Sqrt(float64(e.Dist))}
 	}
-	// AppendEntries breaks distance ties by slab row; the Neighbor contract
-	// orders by (Dist, ItemID).
-	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
 	if st != nil {
 		st.NodesRead += nodes
 		st.ItemsScored += uint64(rows)

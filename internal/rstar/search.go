@@ -176,6 +176,8 @@ func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int
 	var pops, nodes, items uint64
 	sc.pq = append(sc.pq[:0], pqEntry{distSq: n.rect.MinDistSq(q), node: n})
 	results := make([]Neighbor, 0, k)
+	var ties []Neighbor
+	kthSq := math.Inf(1)
 	for steps := 0; len(sc.pq) > 0; steps++ {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -184,14 +186,23 @@ func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int
 		}
 		e := sc.pq.pop()
 		pops++
-		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
+		if len(results) == k && e.distSq > kthSq {
 			break
 		}
 		if e.node == nil {
 			// Item candidate: its distance is exact, and because the queue is
-			// ordered it arrives in ascending order.
+			// ordered it arrives in ascending order. Once k results are held,
+			// candidates matching the kth distance exactly are kept aside so
+			// the boundary tie resolves by ID, not by heap pop order.
 			if len(results) < k {
 				results = append(results, Neighbor{
+					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
+				})
+				if len(results) == k {
+					kthSq = e.distSq
+				}
+			} else if e.distSq == kthSq {
+				ties = append(ties, Neighbor{
 					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
 				})
 			}
@@ -222,7 +233,7 @@ func (t *Tree) KNNFromStatsCtx(ctx context.Context, n *Node, q vec.Vector, k int
 			sc.pq.push(pqEntry{distSq: c.rect.MinDistSq(q), node: c})
 		}
 	}
-	stabilize(results)
+	results = resolveBoundaryTies(results, ties, k)
 	st.accumulate(pops, nodes, items)
 	return results, nil
 }
@@ -275,6 +286,8 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 	var pops, nodes, items uint64
 	sc.pq = append(sc.pq[:0], pqEntry{distSq: minDistSqW(n.rect), node: n})
 	results := make([]Neighbor, 0, k)
+	var ties []Neighbor
+	kthSq := math.Inf(1)
 	for steps := 0; len(sc.pq) > 0; steps++ {
 		if steps%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -283,12 +296,19 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 		}
 		e := sc.pq.pop()
 		pops++
-		if len(results) == k && e.distSq > results[k-1].Dist*results[k-1].Dist {
+		if len(results) == k && e.distSq > kthSq {
 			break
 		}
 		if e.node == nil {
 			if len(results) < k {
 				results = append(results, Neighbor{
+					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
+				})
+				if len(results) == k {
+					kthSq = e.distSq
+				}
+			} else if e.distSq == kthSq {
+				ties = append(ties, Neighbor{
 					ID: e.item.ID, Point: e.item.Point, Dist: math.Sqrt(e.distSq),
 				})
 			}
@@ -315,9 +335,28 @@ func (t *Tree) KNNWeightedFromStatsCtx(ctx context.Context, n *Node, q, weights 
 			sc.pq.push(pqEntry{distSq: minDistSqW(c.rect), node: c})
 		}
 	}
-	stabilize(results)
+	results = resolveBoundaryTies(results, ties, k)
 	st.accumulate(pops, nodes, items)
 	return results, nil
+}
+
+// resolveBoundaryTies enforces the documented (Dist, ID) selection at the
+// k boundary: candidates that matched the kth distance exactly but arrived
+// after the result list filled compete with the retained entries by ID
+// rather than by the queue's arbitrary pop order among equals. Without this
+// the SAME live set indexed under two different tree shapes (one segment
+// vs. many, or before vs. after a compaction) could return different
+// members of a tied pair — the segmented engine's bit-exactness contract
+// forbids that. Tie-free searches take the len(ties)==0 path, identical to
+// the historical behaviour.
+func resolveBoundaryTies(results, ties []Neighbor, k int) []Neighbor {
+	if len(ties) == 0 {
+		stabilize(results)
+		return results
+	}
+	results = append(results, ties...)
+	stabilize(results)
+	return results[:k]
 }
 
 // stabilize enforces a deterministic order on equal-distance neighbours:

@@ -1,0 +1,264 @@
+package seg
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"qdcbir/internal/vec"
+)
+
+// The segment-merge equivalence suite: a query over (sealed segments +
+// memtable − tombstones) must return results bit-identical — exact float64
+// equality, no tolerance — to the same query against a from-scratch
+// single-segment build of the live set, in every scan mode.
+
+func testConfig(mode string) Config {
+	cfg := Config{
+		Dim:                8,
+		SealThreshold:      40,
+		MaxSegments:        3,
+		Seed:               7,
+		NodeCapacity:       8,
+		DisableAutoCompact: true,
+	}
+	switch mode {
+	case "sq8":
+		cfg.Quantized = true
+	case "f32":
+		cfg.Float32 = true
+	}
+	return cfg
+}
+
+func randVec(rng *rand.Rand, dim int) vec.Vector {
+	v := make(vec.Vector, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// populate inserts n vectors (with some exact duplicates to stress
+// distance ties) and deletes roughly one in five, hitting sealed segments
+// and the memtable alike. Returns the inserted vectors by global ID.
+func populate(t *testing.T, db *DB, rng *rand.Rand, n int) map[int]vec.Vector {
+	t.Helper()
+	byID := make(map[int]vec.Vector, n)
+	var all []vec.Vector
+	for i := 0; i < n; i++ {
+		var v vec.Vector
+		if len(all) > 0 && rng.Intn(10) == 0 {
+			v = all[rng.Intn(len(all))].Clone() // duplicate row: exact tie
+		} else {
+			v = randVec(rng, db.cfg.Dim)
+		}
+		id, err := db.Insert(v)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		byID[id] = v
+		all = append(all, v)
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids[:n/5] {
+		if err := db.Delete(id); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+		delete(byID, id)
+	}
+	return byID
+}
+
+// rebuildRef builds the reference: one sealed segment holding exactly the
+// snapshot's live rows under the same global IDs, plus an empty memtable.
+func rebuildRef(t *testing.T, cfg Config, snap *Snapshot) *DB {
+	t.Helper()
+	liveIDs := snap.LiveIDs(nil)
+	if len(liveIDs) == 0 {
+		t.Fatal("empty live set")
+	}
+	backing := make([]float64, 0, len(liveIDs)*cfg.Dim)
+	for _, id := range liveIDs {
+		v, ok := snap.VectorOf(id)
+		if !ok {
+			t.Fatalf("live id %d has no vector", id)
+		}
+		backing = append(backing, v...)
+	}
+	g, err := buildSegment(context.Background(), cfg.withDefaults(), liveIDs, backing)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	nextID := liveIDs[len(liveIDs)-1] + 1
+	ref, err := Restore(cfg, []SealedInput{{
+		IDs: g.ids, Store: g.st, Structure: g.rfs, Quantized: g.quantized,
+	}}, MemInput{BaseID: nextID}, nextID, 0)
+	if err != nil {
+		t.Fatalf("restore rebuilt segment: %v", err)
+	}
+	return ref
+}
+
+func sameNeighbors(t *testing.T, label string, got, want []Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d neighbors, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: neighbor %d: got (%d, %v), want (%d, %v)",
+				label, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: got %d groups, want %d", label, len(got.Groups), len(want.Groups))
+	}
+	for gi := range got.Groups {
+		g, w := got.Groups[gi], want.Groups[gi]
+		if g.RankScore != w.RankScore {
+			t.Fatalf("%s: group %d rank score %v != %v", label, gi, g.RankScore, w.RankScore)
+		}
+		if len(g.QueryIDs) != len(w.QueryIDs) || len(g.Images) != len(w.Images) {
+			t.Fatalf("%s: group %d shape mismatch", label, gi)
+		}
+		for i := range g.QueryIDs {
+			if g.QueryIDs[i] != w.QueryIDs[i] {
+				t.Fatalf("%s: group %d query id %d: %d != %d", label, gi, i, g.QueryIDs[i], w.QueryIDs[i])
+			}
+		}
+		for i := range g.Images {
+			if g.Images[i] != w.Images[i] {
+				t.Fatalf("%s: group %d image %d: %+v != %+v", label, gi, i, g.Images[i], w.Images[i])
+			}
+		}
+	}
+}
+
+func checkEquivalence(t *testing.T, mode string, db *DB, byID map[int]vec.Vector, rng *rand.Rand) {
+	t.Helper()
+	ctx := context.Background()
+	snap := db.Acquire()
+	defer snap.Release()
+	ref := rebuildRef(t, db.cfg, snap)
+	refSnap := ref.Acquire()
+	defer refSnap.Release()
+
+	if snap.Live() != refSnap.Live() {
+		t.Fatalf("live mismatch: %d vs %d", snap.Live(), refSnap.Live())
+	}
+
+	var queries []vec.Vector
+	for i := 0; i < 6; i++ {
+		queries = append(queries, randVec(rng, db.cfg.Dim))
+	}
+	for id, v := range byID { // a few corpus rows: distance-zero and tie stress
+		queries = append(queries, v.Clone())
+		_ = id
+		if len(queries) >= 10 {
+			break
+		}
+	}
+	weights := make(vec.Vector, db.cfg.Dim)
+	for i := range weights {
+		w := rng.Float64() * 2
+		weights[i] = w
+	}
+
+	for qi, q := range queries {
+		for _, k := range []int{1, 10, 50, snap.Live() + 5} {
+			got, err := snap.KNNCtx(ctx, q, k)
+			if err != nil {
+				t.Fatalf("knn: %v", err)
+			}
+			want, err := refSnap.KNNCtx(ctx, q, k)
+			if err != nil {
+				t.Fatalf("ref knn: %v", err)
+			}
+			sameNeighbors(t, mode+"/knn", got, want)
+			if k <= snap.Live() && len(got) != k {
+				t.Fatalf("knn returned %d of %d requested with %d live", len(got), k, snap.Live())
+			}
+			if qi == 0 { // weighted mode once per k
+				gotW, err := snap.KNNWeightedCtx(ctx, q, weights, k)
+				if err != nil {
+					t.Fatalf("weighted knn: %v", err)
+				}
+				wantW, err := refSnap.KNNWeightedCtx(ctx, q, weights, k)
+				if err != nil {
+					t.Fatalf("ref weighted knn: %v", err)
+				}
+				sameNeighbors(t, mode+"/knn-weighted", gotW, wantW)
+			}
+		}
+	}
+
+	// Finalize equivalence: example panels of several sizes.
+	live := snap.LiveIDs(nil)
+	for _, nEx := range []int{1, 3, 8, 17} {
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		examples := append([]int(nil), live[:nEx]...)
+		got, err := snap.QueryByExamplesCtx(ctx, examples, 21, nil)
+		if err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+		want, err := refSnap.QueryByExamplesCtx(ctx, examples, 21, nil)
+		if err != nil {
+			t.Fatalf("ref finalize: %v", err)
+		}
+		sameResult(t, mode+"/finalize", got, want)
+
+		gotW, err := snap.QueryByExamplesCtx(ctx, examples, 21, weights)
+		if err != nil {
+			t.Fatalf("weighted finalize: %v", err)
+		}
+		wantW, err := refSnap.QueryByExamplesCtx(ctx, examples, 21, weights)
+		if err != nil {
+			t.Fatalf("ref weighted finalize: %v", err)
+		}
+		sameResult(t, mode+"/finalize-weighted", gotW, wantW)
+	}
+}
+
+func TestSegmentMergeEquivalence(t *testing.T) {
+	for _, mode := range []string{"f64", "sq8", "f32"} {
+		t.Run(mode, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			db, err := New(testConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			byID := populate(t, db, rng, 300)
+			st := db.Stats()
+			if st.Segments < 2 {
+				t.Fatalf("want multiple sealed segments, got %d", st.Segments)
+			}
+			if st.MemRows == 0 {
+				t.Fatal("want a non-empty memtable")
+			}
+			if st.Tombstones == 0 {
+				t.Fatal("want tombstones present")
+			}
+			checkEquivalence(t, mode, db, byID, rng)
+
+			// Compaction must not change any answer: same live set, same
+			// results, segments collapsed to one.
+			if err := db.Compact(context.Background()); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			if got := db.Stats().Segments; got != 1 {
+				t.Fatalf("after compact: %d segments, want 1", got)
+			}
+			checkEquivalence(t, mode+"/compacted", db, byID, rng)
+		})
+	}
+}

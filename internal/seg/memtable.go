@@ -1,0 +1,91 @@
+package seg
+
+import (
+	"qdcbir/internal/bitset"
+	"qdcbir/internal/vec"
+)
+
+// memtable is the mutable tail of the corpus: rows land here on Insert and
+// stay until sealed into an immutable segment. It is owned by the DB writer
+// lock; readers never touch it directly — they see a memView captured at
+// snapshot-publish time.
+//
+// Global IDs in the memtable are consecutive: row at slot i has global ID
+// baseID+i, because IDs are allocated monotonically and every seal starts a
+// fresh memtable. That keeps the reader-side mapping arithmetic-only.
+//
+// Race-freedom without copying: Insert appends to data (and data32 in
+// float32 mode) and only then publishes a new snapshot whose memView holds
+// the NEW slice headers and row count. A reader working from an older
+// memView sees the old headers and the old row count, and never indexes
+// past rows*dim, so even when append grows in place the writer only writes
+// beyond every published reader's range. When append reallocates, old
+// readers keep the old array entirely. Either way reader and writer memory
+// never overlap, which `go test -race` verifies in race_test.go.
+type memtable struct {
+	dim    int
+	f32    bool
+	baseID int
+	rows   int
+	data   []float64 // rows*dim, row-major
+	data32 []float32 // narrowed copy, only in float32 mode
+	tomb   *bitset.Set
+	nTomb  int
+}
+
+func newMemtable(dim int, f32 bool, baseID int) *memtable {
+	return &memtable{dim: dim, f32: f32, baseID: baseID}
+}
+
+// add appends v (copying it) and returns the new row's global ID. In
+// float32 mode the row is also narrowed immediately, so a memtable scan
+// uses exactly the float32 values a sealed segment's MaterializeFloat32
+// would produce for the same row.
+func (m *memtable) add(v vec.Vector) int {
+	m.data = append(m.data, v...)
+	if m.f32 {
+		m.data32 = append(m.data32, vec.Narrow32(v, nil)...)
+	}
+	id := m.baseID + m.rows
+	m.rows++
+	return id
+}
+
+// view captures the memtable's current published state: slice headers and
+// the row count, plus the tombstone set (copy-on-write — deletes clone it).
+func (m *memtable) view() memView {
+	return memView{
+		dim:    m.dim,
+		baseID: m.baseID,
+		rows:   m.rows,
+		data:   m.data,
+		data32: m.data32,
+		tomb:   m.tomb,
+		nTomb:  m.nTomb,
+	}
+}
+
+// memView is the reader-side, immutable capture of a memtable prefix.
+type memView struct {
+	dim    int
+	baseID int
+	rows   int
+	data   []float64
+	data32 []float32
+	tomb   *bitset.Set
+	nTomb  int
+}
+
+// live reports the number of non-tombstoned rows in the view.
+func (v memView) live() int { return v.rows - v.nTomb }
+
+// row returns the float64 vector of slot i. The returned slice aliases the
+// memtable backing; callers must not mutate it.
+func (v memView) row(i int) vec.Vector {
+	return vec.Vector(v.data[i*v.dim : (i+1)*v.dim])
+}
+
+// row32 returns the narrowed vector of slot i (float32 mode only).
+func (v memView) row32(i int) []float32 {
+	return v.data32[i*v.dim : (i+1)*v.dim]
+}

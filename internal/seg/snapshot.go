@@ -1,0 +1,125 @@
+package seg
+
+import (
+	"sync/atomic"
+
+	"qdcbir/internal/bitset"
+	"qdcbir/internal/vec"
+)
+
+// segView is one sealed segment as a snapshot sees it: the immutable
+// segment plus the tombstone set that was current when the snapshot was
+// published. Tombstone sets are copy-on-write (deletes clone, set one bit,
+// and publish), so a pinned segView never changes underneath a reader.
+type segView struct {
+	seg   *segment
+	tomb  *bitset.Set
+	nTomb int
+}
+
+func (sv segView) liveLen() int { return sv.seg.len() - sv.nTomb }
+
+// Snapshot is a consistent, immutable view of the corpus at one epoch:
+// the sealed segment set, per-segment tombstones, and a memtable prefix.
+// Queries pin a snapshot with DB.Acquire and work against it for as long
+// as they like — concurrent inserts, deletes, seals, and compactions
+// publish NEW snapshots and never mutate a pinned one. Release the pin
+// when done; sessions (session.go) hold one for their whole feedback loop.
+type Snapshot struct {
+	epoch uint64
+	segs  []segView
+	mem   memView
+	live  int
+
+	refs atomic.Int64
+	db   *DB
+}
+
+// Epoch identifies this snapshot's position in the publish order. Strictly
+// increasing: every published write (insert, delete, seal, compaction)
+// bumps it by one.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Live is the number of non-tombstoned images visible in this snapshot.
+func (s *Snapshot) Live() int { return s.live }
+
+// Segments reports the sealed-segment count (excludes the memtable).
+func (s *Snapshot) Segments() int { return len(s.segs) }
+
+// MemRows reports the memtable rows visible to this snapshot, including
+// tombstoned ones.
+func (s *Snapshot) MemRows() int { return s.mem.rows }
+
+// Tombstones reports tombstoned rows still physically present.
+func (s *Snapshot) Tombstones() int {
+	n := s.mem.nTomb
+	for _, sv := range s.segs {
+		n += sv.nTomb
+	}
+	return n
+}
+
+// Release drops the pin. The snapshot must not be used afterwards.
+func (s *Snapshot) Release() { s.release() }
+
+func (s *Snapshot) release() {
+	if s.refs.Add(-1) == 0 && s.db != nil {
+		s.db.metrics.SnapshotDelta(-1)
+	}
+}
+
+// deleted reports whether global ID id is tombstoned in this snapshot.
+// IDs never allocated (or beyond the snapshot's memtable prefix) read as
+// not present rather than deleted; use VectorOf for existence.
+func (s *Snapshot) isTombstoned(id int) bool {
+	if id >= s.mem.baseID {
+		return s.mem.tomb.Get(id - s.mem.baseID)
+	}
+	for _, sv := range s.segs {
+		if local := sv.seg.localOf(id); local >= 0 {
+			return sv.tomb.Get(local)
+		}
+	}
+	return false
+}
+
+// VectorOf returns the float64 feature vector of a live image, or
+// (nil, false) if the ID is unknown or tombstoned in this snapshot. The
+// returned slice aliases engine memory; callers must not mutate it.
+func (s *Snapshot) VectorOf(id int) (vec.Vector, bool) {
+	if id >= s.mem.baseID {
+		slot := id - s.mem.baseID
+		if slot >= s.mem.rows || s.mem.tomb.Get(slot) {
+			return nil, false
+		}
+		return s.mem.row(slot), true
+	}
+	for _, sv := range s.segs {
+		if local := sv.seg.localOf(id); local >= 0 {
+			if sv.tomb.Get(local) {
+				return nil, false
+			}
+			return sv.seg.st.At(local), true
+		}
+	}
+	return nil, false
+}
+
+// LiveIDs appends the snapshot's live global IDs to dst, ascending.
+// Segments hold disjoint, ordered ID ranges below the memtable's baseID,
+// so a single pass is already sorted.
+func (s *Snapshot) LiveIDs(dst []int) []int {
+	for _, sv := range s.segs {
+		for local, id := range sv.seg.ids {
+			if !sv.tomb.Get(local) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	for slot := 0; slot < s.mem.rows; slot++ {
+		if !s.mem.tomb.Get(slot) {
+			dst = append(dst, s.mem.baseID+slot)
+		}
+	}
+	return dst
+}

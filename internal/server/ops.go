@@ -42,6 +42,16 @@ type BuildInfoResponse struct {
 	Quantized      bool   `json:"quantized,omitempty"`
 	ShardIndex     *int   `json:"shard_index,omitempty"`
 	ShardCount     int    `json:"shard_count,omitempty"`
+
+	// Dynamic-mode fields: the current epoch and segment shape of an
+	// online-ingest corpus (absent on static servers).
+	Dynamic     bool   `json:"dynamic,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	Segments    int    `json:"segments,omitempty"`
+	MemRows     int    `json:"mem_rows,omitempty"`
+	Tombstones  int    `json:"tombstones,omitempty"`
+	Seals       uint64 `json:"seals,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
 }
 
 // SetArchiveInfo records the provenance of the loaded corpus for
@@ -56,12 +66,24 @@ func (s *Server) SetArchiveInfo(version int, precision string, quantized bool) {
 // log the same facts at startup).
 func (s *Server) buildInfo() BuildInfoResponse {
 	out := BuildInfoResponse{
-		Images:         s.engine.RFS().Len(),
-		TreeHeight:     s.engine.RFS().Tree().Height(),
 		ArchiveVersion: s.archiveVersion,
 		Precision:      s.archivePrecision,
 		Quantized:      s.archiveQuantized,
 	}
+	if s.dyn != nil {
+		st := s.dyn.Stats()
+		out.Dynamic = true
+		out.Images = st.Live
+		out.Epoch = st.Epoch
+		out.Segments = st.Segments
+		out.MemRows = st.MemRows
+		out.Tombstones = st.Tombstones
+		out.Seals = st.Seals
+		out.Compactions = st.Compactions
+		return withDebugBuildInfo(out)
+	}
+	out.Images = s.engine.RFS().Len()
+	out.TreeHeight = s.engine.RFS().Tree().Height()
 	if s.shard != nil {
 		m := s.shard.Meta()
 		idx := m.ShardIndex
@@ -71,6 +93,12 @@ func (s *Server) buildInfo() BuildInfoResponse {
 		// lives in the shard meta. Report the corpus so fleets look uniform.
 		out.Images = m.Images
 	}
+	return withDebugBuildInfo(out)
+}
+
+// withDebugBuildInfo stamps the binary's VCS identification onto the
+// response.
+func withDebugBuildInfo(out BuildInfoResponse) BuildInfoResponse {
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		out.GoVersion = bi.GoVersion
 		for _, kv := range bi.Settings {

@@ -39,6 +39,7 @@ import (
 	"qdcbir/internal/img"
 	"qdcbir/internal/obs"
 	"qdcbir/internal/rstar"
+	"qdcbir/internal/seg"
 	"qdcbir/internal/shard"
 	"qdcbir/internal/vec"
 )
@@ -91,7 +92,12 @@ type Server struct {
 	// SetShard in shard.go); hosted sessions then run over the full-corpus
 	// topology and the scatter-gather endpoints come alive.
 	shard        *shard.Replica
-	displayCount int // shard-session display budget (from the shard meta)
+	displayCount int // shard/dynamic session display budget
+
+	// dyn, when set, switches the server into dynamic mode (see NewDynamic in
+	// dynamic.go): engine is nil, queries pin engine snapshots, and the
+	// /v1/images write endpoints come alive.
+	dyn DynamicStore
 
 	// queryTimeout, when positive, bounds every request's context; clients may
 	// tighten (never widen) it per request with the X-Qd-Deadline-Ms header.
@@ -105,11 +111,13 @@ type Server struct {
 }
 
 // hostedSession is one thin-client feedback session. Exactly one of sess
-// (single-node mode) and ssess (shard-replica mode) is non-nil.
+// (single-node mode), ssess (shard-replica mode), and dsess (dynamic mode,
+// pinning one engine snapshot for its lifetime) is non-nil.
 type hostedSession struct {
 	mu    sync.Mutex
 	sess  *core.Session
 	ssess *shard.Session
+	dsess *seg.Session
 	seed  int64 // display RNG seed, reported by /export for reproducibility
 
 	el *list.Element // position in Server.lru; guarded by Server.mu
@@ -275,6 +283,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/sessions/", s.handleSessionOp)
 	mux.HandleFunc("/v1/image/", s.handleImage)
+	mux.HandleFunc("/v1/images", s.handleImages)
+	mux.HandleFunc("/v1/images/", s.handleImageOp)
+	mux.HandleFunc("/v1/compact", s.handleCompact)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/latency", s.handleLatency)
@@ -319,6 +330,8 @@ func endpointOf(path string) string {
 		return "/v1/sessions/{id}"
 	case strings.HasPrefix(path, "/v1/image/"):
 		return "/v1/image/{id}"
+	case strings.HasPrefix(path, "/v1/images/"):
+		return "/v1/images/{id}"
 	default:
 		return path
 	}
@@ -493,6 +506,10 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	if s.dyn != nil {
+		writeJSON(w, http.StatusOK, InfoResponse{Images: s.dyn.Stats().Live})
+		return
+	}
 	writeJSON(w, http.StatusOK, InfoResponse{
 		Images:          s.engine.RFS().Len(),
 		TreeHeight:      s.engine.RFS().Tree().Height(),
@@ -503,6 +520,13 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.dyn != nil {
+		// The payload is a one-shot export of a frozen structure; a dynamic
+		// corpus changes under it. Smart clients of a dynamic server use
+		// hosted sessions instead.
+		writeError(w, http.StatusNotImplemented, "payload not available for a dynamic corpus: use hosted sessions")
 		return
 	}
 	s.payloadGen.Do(func() { s.payload, s.payloadErr = BuildPayload(s.engine, s.label) })
@@ -522,6 +546,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if s.dyn != nil {
+		res, err := s.dynQuery(r.Context(), req)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	ids := make([]rstar.ItemID, len(req.Relevant))
@@ -602,19 +635,33 @@ func (s *Server) addSession(seed int64, st *core.SessionState) (string, error) {
 		seed = int64(s.nextID) * 7919
 	}
 	// Evict the longest-idle sessions past the cap so abandoned clients
-	// cannot exhaust memory.
+	// cannot exhaust memory. Evicted dynamic sessions must drop their
+	// snapshot pins, else abandoned clients would pin old epochs forever.
+	var evicted []*hostedSession
 	for len(s.sessions) >= s.maxSessions && s.lru.Len() > 0 {
 		front := s.lru.Front()
 		s.lru.Remove(front)
-		delete(s.sessions, front.Value.(string))
+		eid := front.Value.(string)
+		evicted = append(evicted, s.sessions[eid])
+		delete(s.sessions, eid)
 		s.obs.SessionEvicted()
 	}
 	s.mu.Unlock()
+	for _, ev := range evicted {
+		if ev != nil && ev.dsess != nil {
+			ev.dsess.Release()
+		}
+	}
 
 	hs := &hostedSession{seed: seed}
 	rng := rand.New(rand.NewSource(seed))
 	var err error
-	if s.shard != nil {
+	if s.dyn != nil {
+		if st != nil {
+			return "", fmt.Errorf("dynamic sessions cannot be imported: their snapshot pin is not serializable")
+		}
+		hs.dsess = s.dyn.NewSession(seed)
+	} else if s.shard != nil {
 		dc := s.displayCount
 		if dc <= 0 {
 			dc = 20
@@ -678,7 +725,9 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
 }
 
-// release drops a hosted session (client delete or finalize).
+// release drops a hosted session (client delete or finalize). A dynamic
+// session's snapshot pin is released here, so compaction can reclaim the
+// segments it was reading.
 func (s *Server) release(id string) {
 	s.mu.Lock()
 	hs, ok := s.sessions[id]
@@ -688,6 +737,9 @@ func (s *Server) release(id string) {
 	}
 	s.mu.Unlock()
 	if ok {
+		if hs.dsess != nil {
+			hs.dsess.Release()
+		}
 		s.obs.SessionReleased()
 	}
 }
@@ -730,7 +782,13 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	case op == "candidates" && r.Method == http.MethodGet:
 		var out []CandidateJSON
 		hs.mu.Lock()
-		if hs.ssess != nil {
+		if hs.dsess != nil {
+			cands := hs.dsess.Candidates(s.displayCount)
+			out = make([]CandidateJSON, len(cands))
+			for i, c := range cands {
+				out[i] = CandidateJSON{ID: c.ID, Label: s.label(c.ID)}
+			}
+		} else if hs.ssess != nil {
 			ids := hs.ssess.Candidates()
 			out = make([]CandidateJSON, len(ids))
 			for i, cid := range ids {
@@ -757,7 +815,11 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		var err error
 		var nsub, nrel int
 		hs.mu.Lock()
-		if hs.ssess != nil {
+		if hs.dsess != nil {
+			err = hs.dsess.Feedback(req.Relevant)
+			nsub = hs.dsess.Subqueries()
+			nrel = len(hs.dsess.Relevant())
+		} else if hs.ssess != nil {
 			err = hs.ssess.Feedback(req.Relevant)
 			nsub = hs.ssess.Subqueries()
 			nrel = len(hs.ssess.Relevant())
@@ -785,6 +847,11 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		}
 		var nrel int
 		hs.mu.Lock()
+		if hs.dsess != nil {
+			hs.mu.Unlock()
+			writeError(w, http.StatusNotImplemented, "dynamic sessions do not support retract")
+			return
+		}
 		if hs.ssess != nil {
 			hs.ssess.Retract(req.Relevant)
 			nrel = len(hs.ssess.Relevant())
@@ -801,6 +868,11 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 
 	case op == "export" && r.Method == http.MethodGet:
 		hs.mu.Lock()
+		if hs.dsess != nil {
+			hs.mu.Unlock()
+			writeError(w, http.StatusNotImplemented, "dynamic sessions cannot be exported: their snapshot pin is not serializable")
+			return
+		}
 		var st *core.SessionState
 		if hs.ssess != nil {
 			st = hs.ssess.ExportState()
@@ -825,6 +897,18 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			// this session's state and runs the distributed finalize itself.
 			writeErrorCode(w, http.StatusConflict, ErrCodeShardFinalize,
 				"shard-hosted sessions finalize via the router (export the state and scatter)")
+			return
+		}
+		if hs.dsess != nil {
+			hs.mu.Lock()
+			res, err := hs.dsess.FinalizeCtx(r.Context(), req.K)
+			hs.mu.Unlock()
+			if err != nil {
+				writeQueryError(w, err)
+				return
+			}
+			s.release(id) // finalized sessions are done (this drops the pin)
+			writeJSON(w, http.StatusOK, s.toDynQueryResponse(res))
 			return
 		}
 		hs.mu.Lock()

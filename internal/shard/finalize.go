@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
+	"qdcbir/internal/core"
 	"qdcbir/internal/par"
 	"qdcbir/internal/vec"
 )
@@ -140,45 +140,18 @@ func FinalizeScatter(ctx context.Context, topo *Topology, s Searcher, rel []RelP
 		}
 	}
 
-	// Proportional allocation (§3.4) with capacity caps, round-robin
-	// leftovers, and the same overshoot walk core runs.
-	totalRel := 0
-	for _, nodeID := range order {
-		totalRel += len(byNode[nodeID].ids)
+	// Proportional allocation (§3.4): the shared core arithmetic, so the
+	// scatter path allocates bit-identically to the single-node finalize.
+	counts := make([]int, len(order))
+	caps := make([]int, len(order))
+	for i, nodeID := range order {
+		counts[i] = len(byNode[nodeID].ids)
+		caps[i] = preps[nodeID].cap
 	}
+	allocs := core.ProportionalAlloc(k, counts, caps)
 	alloc := make(map[uint64]int, len(order))
-	assigned := 0
-	for _, nodeID := range order {
-		p := preps[nodeID]
-		share := int(math.Floor(float64(k) * float64(len(p.l.ids)) / float64(totalRel)))
-		if share < 1 {
-			share = 1
-		}
-		if share > p.cap {
-			share = p.cap
-		}
-		alloc[nodeID] = share
-		assigned += share
-	}
-	for moved := true; moved && assigned < k; {
-		moved = false
-		for _, nodeID := range order {
-			if assigned >= k {
-				break
-			}
-			if alloc[nodeID] < preps[nodeID].cap {
-				alloc[nodeID]++
-				assigned++
-				moved = true
-			}
-		}
-	}
-	for i := 0; assigned > k; i = (i + 1) % len(order) {
-		id := order[len(order)-1-i%len(order)]
-		if alloc[id] > 1 {
-			alloc[id]--
-			assigned--
-		}
+	for i, nodeID := range order {
+		alloc[nodeID] = allocs[i]
 	}
 
 	// Scatter the subqueries (each asks for alloc+k, a prefix-consistent

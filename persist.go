@@ -30,11 +30,19 @@ const (
 	archiveVersionV1  = 1 // flat feature store, point-free RFS topology
 	archiveVersionV2  = 2 // v1 plus the optional SQ8 quantizer sidecar
 	archiveVersionV3  = 3 // v2 plus the store precision and a native float32 backing
+	archiveVersionV4  = 4 // dynamic segmented archive (Dynamic.Save / LoadDynamic)
 	archiveVersionMax = archiveVersionV3
 )
 
 // ArchiveVersionCurrent is the archive format version Save writes.
 const ArchiveVersionCurrent = archiveVersionMax
+
+// DynamicArchiveVersion is the archive format version Dynamic.Save writes.
+// Dynamic archives share the 4-byte header family with static archives but
+// are a distinct kind: LoadDynamic reads every version (wrapping static
+// archives as a single sealed segment), while the static Load rejects
+// version 4 with a pointer to LoadDynamic.
+const DynamicArchiveVersion = archiveVersionV4
 
 // ArchiveHeaderVersion inspects the first bytes of an archive stream: it
 // returns (version, true) when head begins with the versioned-family 4-byte
@@ -224,6 +232,9 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("qdcbir: corrupt archive header % x: want prefix % x", head, archivePrefix)
 	}
 	version := head[3]
+	if version == archiveVersionV4 {
+		return nil, fmt.Errorf("qdcbir: archive version %d is a dynamic segmented archive: load it with LoadDynamic", version)
+	}
 	if version < archiveVersionV1 || version > archiveVersionMax {
 		return nil, fmt.Errorf("qdcbir: archive version %d unsupported: this build reads versions 0 through %d (version 0 archives are header-less)",
 			version, archiveVersionMax)

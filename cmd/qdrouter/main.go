@@ -65,6 +65,7 @@ func main() {
 		health   = flag.Duration("health-interval", 2*time.Second, "health probe interval")
 		wait     = flag.Duration("wait", 0, "keep retrying fleet verification this long before giving up (for fleets still booting)")
 		parallel = flag.Int("parallelism", 0, "concurrent shard legs per scatter (0 = one per shard)")
+		scrape   = flag.Duration("scrape-interval", 5*time.Second, "fleet telemetry scrape interval for /v1/fleet/* (negative disables the loop; the endpoints then scrape on demand)")
 	)
 	flag.Var(&replicas, "replica", "backend as shard=url (repeatable)")
 	flag.Parse()
@@ -75,6 +76,7 @@ func main() {
 		RequestTimeout: *timeout,
 		HealthInterval: *health,
 		Parallelism:    *parallel,
+		ScrapeInterval: *scrape,
 		Logger:         log,
 	})
 	if err != nil {

@@ -120,7 +120,8 @@ func main() {
 		"go", bi.GoVersion, "revision", bi.Revision, "vcs_modified", bi.VCSModified)
 	log.Info("observability endpoints",
 		"metrics", "/metrics", "stats", "/v1/stats", "traces", "/v1/traces",
-		"latency", "/v1/latency", "buildinfo", "/v1/buildinfo", "health", "/healthz")
+		"latency", "/v1/latency", "slow", "/v1/slow",
+		"buildinfo", "/v1/buildinfo", "health", "/healthz")
 
 	// SIGINT/SIGTERM drain in-flight requests (whose contexts cancel any
 	// running localized subqueries) before exiting; the timeouts cap how long

@@ -134,3 +134,68 @@ func WritePerfetto(w io.Writer, traces []*Trace) error {
 	}
 	return json.NewEncoder(w).Encode(TraceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
+
+// PerfettoStitchedEvents converts stitched cross-process traces to
+// trace-event records. Each trace is one process (pid = trace ID) whose
+// threads are the participating processes: tid 0 is the router's track, tid
+// s+1 is shard s's. Span offsets are already on one clock (the router's), so
+// nesting within a track is plain time containment, as in the single-node
+// export.
+func PerfettoStitchedEvents(traces []*Stitched) []TraceEvent {
+	var events []TraceEvent
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		base := t.Start.UnixNano()
+		label := "routed " + t.Kind + " (" + t.RequestID + ")"
+		events = append(events, TraceEvent{
+			Name: "process_name", Ph: "M", PID: t.ID, TID: mainTID,
+			Args: map[string]any{"name": label},
+		})
+		rootArgs := map[string]any{"request_id": t.RequestID, "shards": t.Shards}
+		if t.Error != "" {
+			rootArgs["error"] = t.Error
+		}
+		events = append(events, TraceEvent{
+			Name: "routed " + t.Kind, Cat: "router", Ph: "X",
+			TS: us(base), Dur: us(t.DurationNS), PID: t.ID, TID: mainTID,
+			Args: rootArgs,
+		})
+		named := map[int]bool{0: true}
+		events = append(events, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: t.ID, TID: mainTID,
+			Args: map[string]any{"name": trackName(0)},
+		})
+		for _, sp := range t.Spans {
+			tid := uint64(sp.Track)
+			if !named[sp.Track] {
+				named[sp.Track] = true
+				events = append(events, TraceEvent{
+					Name: "thread_name", Ph: "M", PID: t.ID, TID: tid,
+					Args: map[string]any{"name": trackName(sp.Track)},
+				})
+			}
+			cat := "router"
+			if sp.Track > 0 {
+				cat = "shard"
+			}
+			events = append(events, TraceEvent{
+				Name: sp.Name, Cat: cat, Ph: "X",
+				TS: us(base + sp.OffsetNS), Dur: us(sp.DurationNS), PID: t.ID, TID: tid,
+				Args: sp.Args,
+			})
+		}
+	}
+	return events
+}
+
+// WritePerfettoStitched writes stitched traces in the Chrome/Perfetto
+// trace-event JSON form.
+func WritePerfettoStitched(w io.Writer, traces []*Stitched) error {
+	events := PerfettoStitchedEvents(traces)
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.NewEncoder(w).Encode(TraceEventFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -5,6 +5,16 @@ package obs
 // /metrics, so a streaming deployment sees write rates, segment counts, and
 // compaction cost next to the query-side telemetry.
 
+// Windowed-digest names the segmented engine feeds: sliding-window latency
+// histograms per write-path phase, surfaced via /v1/latency on dynamic
+// servers (and mergeable fleet-wide like every other digest).
+const (
+	DigestSegInsert  = "seg:insert"
+	DigestSegDelete  = "seg:delete"
+	DigestSegSeal    = "seg:seal"
+	DigestSegCompact = "seg:compact"
+)
+
 // SegMetrics is the metric set the segmented engine reports into. All
 // methods on a nil *SegMetrics are no-ops, preserving the observability
 // layer's zero-cost-when-absent contract.
@@ -22,12 +32,19 @@ type SegMetrics struct {
 	Tombstones *Gauge
 	Live       *Gauge
 	Snapshots  *Gauge
+
+	// windows receives per-operation latency samples (insert/delete/seal/
+	// compact) as sliding-window digests; nil disables the digests while the
+	// counters keep running.
+	windows *WindowSet
 }
 
 // NewSegMetrics registers (or re-binds, names are idempotent per Registry)
-// the segmented-engine metric set.
-func NewSegMetrics(reg *Registry) *SegMetrics {
+// the segmented-engine metric set. ws, usually the owning Observer's
+// WindowSet, receives the write-path latency digests (nil disables them).
+func NewSegMetrics(reg *Registry, ws *WindowSet) *SegMetrics {
 	return &SegMetrics{
+		windows:     ws,
 		Inserts:     reg.Counter("qd_seg_inserts_total", "Images inserted into the segmented engine."),
 		Deletes:     reg.Counter("qd_seg_deletes_total", "Images tombstoned in the segmented engine."),
 		Seals:       reg.Counter("qd_seg_seals_total", "Memtables sealed into immutable segments."),
@@ -43,20 +60,22 @@ func NewSegMetrics(reg *Registry) *SegMetrics {
 	}
 }
 
-// InsertDone records one insert. Nil-safe.
-func (m *SegMetrics) InsertDone() {
+// InsertDone records one insert and its wall time. Nil-safe.
+func (m *SegMetrics) InsertDone(ns int64) {
 	if m == nil {
 		return
 	}
 	m.Inserts.Inc()
+	m.windows.Observe(DigestSegInsert, float64(ns)/1e9)
 }
 
-// DeleteDone records one delete. Nil-safe.
-func (m *SegMetrics) DeleteDone() {
+// DeleteDone records one delete and its wall time. Nil-safe.
+func (m *SegMetrics) DeleteDone(ns int64) {
 	if m == nil {
 		return
 	}
 	m.Deletes.Inc()
+	m.windows.Observe(DigestSegDelete, float64(ns)/1e9)
 }
 
 // SealDone records one memtable seal and its wall time. Nil-safe.
@@ -66,6 +85,7 @@ func (m *SegMetrics) SealDone(ns int64) {
 	}
 	m.Seals.Inc()
 	m.SealNS.Add(uint64(ns))
+	m.windows.Observe(DigestSegSeal, float64(ns)/1e9)
 }
 
 // CompactDone records one completed compaction and its wall time. Nil-safe.
@@ -75,6 +95,7 @@ func (m *SegMetrics) CompactDone(ns int64) {
 	}
 	m.Compactions.Inc()
 	m.CompactNS.Add(uint64(ns))
+	m.windows.Observe(DigestSegCompact, float64(ns)/1e9)
 }
 
 // State publishes the current snapshot's shape. Nil-safe.

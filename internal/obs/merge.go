@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file makes the latency instruments wire-mergeable, which is what turns
+// per-node digests into fleet-level ones: a router scrapes every replica's
+// windowed HistogramSnapshots (already JSON-shaped for /v1/latency) and folds
+// them with Merge, and because the merge is an exact bucket-wise sum the
+// fleet quantiles are precisely what a single process observing the union of
+// all samples would have reported. Merge is associative and commutative with
+// the empty snapshot as identity, so scrape order, replica count, and
+// partial-fleet retries cannot change the answer.
+
+// sameBounds reports whether two snapshots use identical bucket geometry.
+func sameBounds(a, b HistogramSnapshot) bool {
+	if len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].UpperBound != b.Buckets[i].UpperBound {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge combines two histogram snapshots observed over disjoint sample
+// streams. Cumulative bucket counts, total count, and sum add bucket-wise,
+// so the result is bit-identical to a single histogram that observed both
+// streams. A snapshot with no buckets (the zero value) is the identity.
+// Merging snapshots with different bucket bounds fails: their mass cannot be
+// re-binned without inventing samples.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(h.Buckets) == 0 {
+		return o.clone(), nil
+	}
+	if len(o.Buckets) == 0 {
+		return h.clone(), nil
+	}
+	if !sameBounds(h, o) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: cannot merge histograms with different bucket bounds (%d vs %d buckets)", len(h.Buckets), len(o.Buckets))
+	}
+	out := HistogramSnapshot{
+		Count:   h.Count + o.Count,
+		Sum:     h.Sum + o.Sum,
+		Buckets: make([]Bucket, len(h.Buckets)),
+	}
+	for i := range h.Buckets {
+		out.Buckets[i] = Bucket{
+			UpperBound: h.Buckets[i].UpperBound,
+			Count:      h.Buckets[i].Count + o.Buckets[i].Count,
+		}
+	}
+	return out, nil
+}
+
+// clone deep-copies a snapshot so merges never alias a caller's buckets.
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	out := h
+	out.Buckets = make([]Bucket, len(h.Buckets))
+	copy(out.Buckets, h.Buckets)
+	return out
+}
+
+// MergeSnapshots folds any number of snapshots left to right (associativity
+// makes the order irrelevant). The zero-value snapshot is returned for an
+// empty input.
+func MergeSnapshots(snaps ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var acc HistogramSnapshot
+	var err error
+	for _, s := range snaps {
+		acc, err = acc.Merge(s)
+		if err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	return acc, nil
+}
+
+// DigestDetail is the wire form of a WindowSet: digest name -> window label
+// ("1m", "5m", "15m") -> full histogram snapshot. Unlike LatencyReport it
+// keeps the buckets, so a scraper can Merge matching digests across processes
+// and compute fleet quantiles with the exact per-node geometry.
+type DigestDetail map[string]map[string]HistogramSnapshot
+
+// ReportDetail snapshots every digest over the given windows (nil selects
+// DefaultWindows), keeping the full bucket vectors for wire merging.
+func (ws *WindowSet) ReportDetail(windows []time.Duration) DigestDetail {
+	if ws == nil {
+		return DigestDetail{}
+	}
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	ws.mu.Lock()
+	names := make([]string, len(ws.order))
+	copy(names, ws.order)
+	digests := make([]*WindowedHistogram, len(names))
+	for i, n := range names {
+		digests[i] = ws.byName[n]
+	}
+	ws.mu.Unlock()
+	out := make(DigestDetail, len(names))
+	for i, name := range names {
+		per := make(map[string]HistogramSnapshot, len(windows))
+		for _, win := range windows {
+			per[WindowLabel(win)] = digests[i].Snapshot(win)
+		}
+		out[name] = per
+	}
+	return out
+}
+
+// MergeDetails folds many per-process digest details into one: digests sharing
+// a name merge window-by-window. Digests that exist on only some processes
+// pass through unchanged — a quiet replica must not erase a busy one's mass.
+func MergeDetails(details ...DigestDetail) (DigestDetail, error) {
+	out := DigestDetail{}
+	for _, d := range details {
+		for name, wins := range d {
+			acc, ok := out[name]
+			if !ok {
+				acc = make(map[string]HistogramSnapshot, len(wins))
+				out[name] = acc
+			}
+			for label, hs := range wins {
+				merged, err := acc[label].Merge(hs)
+				if err != nil {
+					return nil, fmt.Errorf("obs: digest %q window %q: %w", name, label, err)
+				}
+				acc[label] = merged
+			}
+		}
+	}
+	return out, nil
+}
+
+// StatsReport reduces a merged digest detail to the headline-quantile report
+// shape /v1/latency uses, so fleet and single-node summaries read alike.
+func (d DigestDetail) StatsReport() LatencyReport {
+	out := make(LatencyReport, len(d))
+	for name, wins := range d {
+		per := make(map[string]LatencyStats, len(wins))
+		for label, hs := range wins {
+			per[label] = statsFor(hs)
+		}
+		out[name] = per
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// quantize snaps a sample onto a 2^-20 grid so float64 summation is exact
+// regardless of addition order: the merge-equals-single-stream properties can
+// then demand bit equality on Sum, not just on counts.
+func quantize(v float64) float64 {
+	const grid = 1 << 20
+	return float64(int64(v*grid)) / grid
+}
+
+// TestMergeEqualsSingleStream is the core fleet-aggregation property: sharding
+// a sample stream across N histograms and merging their snapshots yields
+// exactly the snapshot a single histogram observing the whole stream reports —
+// count, sum, and every cumulative bucket.
+func TestMergeEqualsSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nShards = 4
+	now := time.Now()
+	clock := func() time.Time { return now }
+	shards := make([]*WindowedHistogram, nShards)
+	for i := range shards {
+		shards[i] = NewWindowedHistogram(nil, time.Second, 90)
+		shards[i].SetClock(clock)
+	}
+	single := NewWindowedHistogram(nil, time.Second, 90)
+	single.SetClock(clock)
+
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over ~25µs..2.5s, spanning every default bucket.
+		v := quantize(0.000025 * float64(int64(1)<<uint(rng.Intn(17))) * (1 + rng.Float64()))
+		shards[rng.Intn(nShards)].Observe(v)
+		single.Observe(v)
+	}
+
+	snaps := make([]HistogramSnapshot, nShards)
+	for i, sh := range shards {
+		snaps[i] = sh.Snapshot(time.Minute)
+	}
+	merged, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	want := single.Snapshot(time.Minute)
+	if merged.Count != want.Count {
+		t.Fatalf("count: merged %d, single-stream %d", merged.Count, want.Count)
+	}
+	if merged.Sum != want.Sum {
+		t.Fatalf("sum: merged %v, single-stream %v", merged.Sum, want.Sum)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("bucket count: merged %d, single-stream %d", len(merged.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %+v, single-stream %+v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := merged.Quantile(q), want.Quantile(q); got != want {
+			t.Fatalf("q%.2f: merged %v, single-stream %v", q, got, want)
+		}
+	}
+}
+
+// TestMergeAlgebra checks the scrape-robustness properties: associativity,
+// commutativity, and the zero-value identity. These are what make the fleet
+// view independent of scrape order and partial-fleet retries.
+func TestMergeAlgebra(t *testing.T) {
+	mk := func(seed int64, n int) HistogramSnapshot {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewWindowedHistogram(nil, time.Second, 90)
+		for i := 0; i < n; i++ {
+			h.Observe(quantize(rng.Float64()))
+		}
+		return h.Snapshot(time.Minute)
+	}
+	a, b, c := mk(1, 100), mk(2, 250), mk(3, 17)
+
+	eq := func(x, y HistogramSnapshot) bool {
+		if x.Count != y.Count || x.Sum != y.Sum || len(x.Buckets) != len(y.Buckets) {
+			return false
+		}
+		for i := range x.Buckets {
+			if x.Buckets[i] != y.Buckets[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	ab, _ := a.Merge(b)
+	abc1, _ := ab.Merge(c)
+	bc, _ := b.Merge(c)
+	abc2, _ := a.Merge(bc)
+	if !eq(abc1, abc2) {
+		t.Fatal("merge is not associative")
+	}
+	ba, _ := b.Merge(a)
+	if !eq(ab, ba) {
+		t.Fatal("merge is not commutative")
+	}
+	var zero HistogramSnapshot
+	za, err := zero.Merge(a)
+	if err != nil || !eq(za, a) {
+		t.Fatalf("zero is not a left identity: %v", err)
+	}
+	az, err := a.Merge(zero)
+	if err != nil || !eq(az, a) {
+		t.Fatalf("zero is not a right identity: %v", err)
+	}
+	if s, err := MergeSnapshots(); err != nil || s.Count != 0 {
+		t.Fatalf("empty fold: %+v, %v", s, err)
+	}
+}
+
+func TestMergeBoundMismatch(t *testing.T) {
+	a := NewWindowedHistogram([]float64{0.1, 1}, time.Second, 90)
+	b := NewWindowedHistogram([]float64{0.2, 2}, time.Second, 90)
+	a.Observe(0.05)
+	b.Observe(0.05)
+	if _, err := a.Snapshot(time.Minute).Merge(b.Snapshot(time.Minute)); err == nil {
+		t.Fatal("merging different bucket geometries must fail")
+	}
+	c := NewWindowedHistogram([]float64{0.1}, time.Second, 90)
+	c.Observe(0.05)
+	if _, err := a.Snapshot(time.Minute).Merge(c.Snapshot(time.Minute)); err == nil {
+		t.Fatal("merging different bucket counts must fail")
+	}
+}
+
+// TestMergeQuantilesUnderSkew puts almost all mass on one shard and the tail
+// on another — the shape that breaks quantile *averaging* — and checks the
+// merged quantile stays within the bucket bracketing the true empirical
+// quantile (the best any bucketed histogram can promise), and is identical to
+// the single-stream answer.
+func TestMergeQuantilesUnderSkew(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	fast := NewWindowedHistogram(nil, time.Second, 90)
+	slow := NewWindowedHistogram(nil, time.Second, 90)
+	single := NewWindowedHistogram(nil, time.Second, 90)
+	for _, h := range []*WindowedHistogram{fast, slow, single} {
+		h.SetClock(clock)
+	}
+
+	var samples []float64
+	for i := 0; i < 980; i++ {
+		v := quantize(0.0008 + 0.0000001*float64(i)) // ~0.8ms cluster
+		fast.Observe(v)
+		single.Observe(v)
+		samples = append(samples, v)
+	}
+	for i := 0; i < 20; i++ {
+		v := quantize(1.8 + 0.01*float64(i)) // ~1.8s tail, all on one shard
+		slow.Observe(v)
+		single.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Float64s(samples)
+
+	merged, err := fast.Snapshot(time.Minute).Merge(slow.Snapshot(time.Minute))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	want := single.Snapshot(time.Minute)
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got := merged.Quantile(q)
+		if direct := want.Quantile(q); got != direct {
+			t.Fatalf("q%v: merged %v != single-stream %v", q, got, direct)
+		}
+		// Bucket-resolution error bound around the true empirical quantile.
+		trueQ := samples[int(q*float64(len(samples)-1))]
+		lo, hi := 0.0, DefBuckets[len(DefBuckets)-1]
+		for _, bound := range DefBuckets {
+			if bound < trueQ {
+				lo = bound
+			}
+			if bound >= trueQ {
+				hi = bound
+				break
+			}
+		}
+		if got < lo || got > hi {
+			t.Fatalf("q%v: merged %v outside bucket [%v, %v] containing true quantile %v", q, got, lo, hi, trueQ)
+		}
+	}
+	// The p99 must sit in the tail the slow shard contributed, not in the fast
+	// cluster — the failure mode quantile averaging would produce.
+	if merged.Quantile(0.99) < 1.0 {
+		t.Fatalf("p99 %v lost the slow shard's tail", merged.Quantile(0.99))
+	}
+}
+
+// TestMergeDetails exercises the wire-level WindowSet path the router uses:
+// per-replica ReportDetail → MergeDetails → StatsReport, with a digest that
+// exists on only one replica passing through unchanged.
+func TestMergeDetails(t *testing.T) {
+	a := NewWindowSet(time.Second, 90)
+	b := NewWindowSet(time.Second, 90)
+	both := NewWindowSet(time.Second, 90)
+	// Binary-exact sample values: merged Sum must equal the single-stream Sum
+	// bit for bit, so the samples must add exactly in any order.
+	for i := 0; i < 40; i++ {
+		a.Observe("endpoint:/v1/query", 0.015625)
+		both.Observe("endpoint:/v1/query", 0.015625)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe("endpoint:/v1/query", 0.25)
+		both.Observe("endpoint:/v1/query", 0.25)
+	}
+	b.Observe("seg:insert", 0.0009765625)
+	both.Observe("seg:insert", 0.0009765625)
+
+	merged, err := MergeDetails(a.ReportDetail(nil), b.ReportDetail(nil))
+	if err != nil {
+		t.Fatalf("merge details: %v", err)
+	}
+	wantDetail := both.ReportDetail(nil)
+	for name, wins := range wantDetail {
+		for label, want := range wins {
+			got := merged[name][label]
+			if got.Count != want.Count || got.Sum != want.Sum {
+				t.Fatalf("%s %s: got count=%d sum=%v, want count=%d sum=%v",
+					name, label, got.Count, got.Sum, want.Count, want.Sum)
+			}
+		}
+	}
+	rep := merged.StatsReport()
+	direct := both.Report(nil)
+	for name, wins := range direct {
+		for label, want := range wins {
+			got := rep[name][label]
+			if got != want {
+				t.Fatalf("%s %s: fleet stats %+v != direct observation %+v", name, label, got, want)
+			}
+		}
+	}
+	if rep["seg:insert"]["1m"].Count != 1 {
+		t.Fatalf("single-replica digest lost in merge: %+v", rep["seg:insert"]["1m"])
+	}
+}

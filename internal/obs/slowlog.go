@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// The slow-query log keeps the N slowest requests seen by a process as
+// exemplars: when a fleet p99 moves, the operator's first question is "show
+// me one", and an aggregate histogram cannot answer it. Each entry carries
+// the correlation id (joinable against logs and the trace rings), the
+// endpoint, and — on the router — the per-shard time breakdown and the
+// stitched-trace reference.
+
+// DefaultSlowLogCap bounds the slow-query ring.
+const DefaultSlowLogCap = 32
+
+// ShardLeg is one shard's share of a routed request: how many backend calls
+// it served and how much wall time they took.
+type ShardLeg struct {
+	Shard     int   `json:"shard"`
+	Calls     int   `json:"calls"`
+	SlowestNS int64 `json:"slowest_ns"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// SlowQuery is one retained exemplar.
+type SlowQuery struct {
+	RequestID  string    `json:"request_id"`
+	Endpoint   string    `json:"endpoint"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	// TraceID references a retained trace — a stitched trace on the router,
+	// an engine trace on a replica — when one was kept (0 = none).
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Shards is the router's per-shard breakdown (absent on replicas).
+	Shards []ShardLeg `json:"shards,omitempty"`
+}
+
+// SlowLog retains the cap slowest queries, sorted slowest first. All methods
+// are safe for concurrent use and on a nil receiver.
+type SlowLog struct {
+	mu      sync.Mutex
+	entries []SlowQuery // sorted descending by DurationNS
+	cap     int
+}
+
+// NewSlowLog returns a log retaining up to cap entries (cap <= 0 selects
+// DefaultSlowLogCap).
+func NewSlowLog(cap int) *SlowLog {
+	if cap <= 0 {
+		cap = DefaultSlowLogCap
+	}
+	return &SlowLog{cap: cap}
+}
+
+// Record offers one finished query to the log; it is kept only while it ranks
+// among the cap slowest. Nil-safe.
+func (l *SlowLog) Record(q SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= l.cap {
+		if q.DurationNS <= l.entries[len(l.entries)-1].DurationNS {
+			return // faster than every retained entry
+		}
+		l.entries = l.entries[:len(l.entries)-1]
+	}
+	at := sort.Search(len(l.entries), func(i int) bool {
+		return l.entries[i].DurationNS < q.DurationNS
+	})
+	l.entries = append(l.entries, SlowQuery{})
+	copy(l.entries[at+1:], l.entries[at:])
+	l.entries[at] = q
+}
+
+// Slowest returns the retained entries, slowest first (a copy).
+func (l *SlowLog) Slowest() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, len(l.entries))
+	copy(out, l.entries)
+	return out
+}

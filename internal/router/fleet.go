@@ -1,0 +1,180 @@
+package router
+
+// Fleet-wide telemetry aggregation. Each replica serves its own
+// sliding-window latency digests (/v1/latency) and cumulative metrics
+// (/v1/stats); the router periodically scrapes them and *merges* the digests
+// — bucket-wise histogram addition, which is exact — rather than averaging
+// quantiles, which is statistically meaningless. The result is one place
+// answering "what is the fleet's /v1/query p99 over the last minute, and
+// which shard drags it": /v1/fleet/latency and /v1/fleet/stats.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"qdcbir/internal/obs"
+	"qdcbir/internal/server"
+)
+
+// fleetView is one completed scrape pass over the fleet.
+type fleetView struct {
+	at       time.Time
+	replicas int      // replicas scraped successfully
+	errors   []string // per-replica scrape failures, at most one line each
+
+	detail   obs.DigestDetail         // merged across every scraped replica
+	byShard  map[int]obs.DigestDetail // merged per shard
+	counters map[string]uint64        // summed across replicas
+	gauges   map[string]int64         // summed across replicas
+}
+
+// refreshFleet runs one scrape pass and publishes the view (also the
+// synchronous fallback when a fleet endpoint is hit before the loop's first
+// tick). Partial scrapes publish what they got: a dead replica must not blind
+// the operator to the live ones.
+func (rt *Router) refreshFleet(ctx context.Context) *fleetView {
+	view := &fleetView{
+		at:       time.Now(),
+		detail:   obs.DigestDetail{},
+		byShard:  make(map[int]obs.DigestDetail),
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]int64),
+	}
+	for _, rep := range rt.all {
+		var lat server.LatencyResponse
+		if _, err := rt.call(ctx, rep, http.MethodGet, "/v1/latency?detail=1", nil, &lat); err != nil {
+			view.errors = append(view.errors, fmt.Sprintf("%s: latency: %v", rep.url, err))
+			continue
+		}
+		var stats server.StatsResponse
+		if _, err := rt.call(ctx, rep, http.MethodGet, "/v1/stats", nil, &stats); err != nil {
+			view.errors = append(view.errors, fmt.Sprintf("%s: stats: %v", rep.url, err))
+			continue
+		}
+		merged, err := obs.MergeDetails(view.detail, lat.Detail)
+		if err != nil {
+			view.errors = append(view.errors, fmt.Sprintf("%s: merge: %v", rep.url, err))
+			continue
+		}
+		view.detail = merged
+		shardMerged, err := obs.MergeDetails(view.byShard[rep.shard], lat.Detail)
+		if err != nil {
+			view.errors = append(view.errors, fmt.Sprintf("%s: merge shard %d: %v", rep.url, rep.shard, err))
+			continue
+		}
+		view.byShard[rep.shard] = shardMerged
+		for name, v := range stats.Metrics.Counters {
+			view.counters[name] += v
+		}
+		for name, v := range stats.Metrics.Gauges {
+			view.gauges[name] += v
+		}
+		view.replicas++
+	}
+	rt.fleetMu.Lock()
+	rt.fleet = view
+	rt.fleetMu.Unlock()
+	return view
+}
+
+// currentFleet returns the latest scrape, running one synchronously when none
+// has completed yet (first request before the loop ticks, or loop disabled).
+func (rt *Router) currentFleet(ctx context.Context) *fleetView {
+	rt.fleetMu.Lock()
+	view := rt.fleet
+	rt.fleetMu.Unlock()
+	if view != nil {
+		return view
+	}
+	return rt.refreshFleet(ctx)
+}
+
+// ShardLatency is one shard's merged digests (all its replicas combined).
+type ShardLatency struct {
+	Shard   int               `json:"shard"`
+	Digests obs.LatencyReport `json:"digests"`
+}
+
+// FleetLatencyResponse is the /v1/fleet/latency body: quantile summaries of
+// the fleet-merged replica digests, overall and per shard.
+type FleetLatencyResponse struct {
+	ScrapedAt time.Time         `json:"scraped_at"`
+	Replicas  int               `json:"replicas"`
+	Errors    []string          `json:"errors,omitempty"`
+	Windows   []string          `json:"windows"`
+	Fleet     obs.LatencyReport `json:"fleet"`
+	Shards    []ShardLatency    `json:"shards"`
+}
+
+// handleFleetLatency serves the fleet-merged latency digests. ?refresh=1
+// forces a synchronous scrape instead of the cached loop result.
+func (rt *Router) handleFleetLatency(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "", "GET only")
+		return
+	}
+	var view *fleetView
+	if r.URL.Query().Get("refresh") == "1" {
+		view = rt.refreshFleet(r.Context())
+	} else {
+		view = rt.currentFleet(r.Context())
+	}
+	labels := make([]string, len(obs.DefaultWindows))
+	for i, win := range obs.DefaultWindows {
+		labels[i] = obs.WindowLabel(win)
+	}
+	resp := FleetLatencyResponse{
+		ScrapedAt: view.at,
+		Replicas:  view.replicas,
+		Errors:    view.errors,
+		Windows:   labels,
+		Fleet:     view.detail.StatsReport(),
+		Shards:    make([]ShardLatency, 0, len(view.byShard)),
+	}
+	shards := make([]int, 0, len(view.byShard))
+	for sh := range view.byShard {
+		shards = append(shards, sh)
+	}
+	sort.Ints(shards)
+	for _, sh := range shards {
+		resp.Shards = append(resp.Shards, ShardLatency{Shard: sh, Digests: view.byShard[sh].StatsReport()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FleetStatsResponse is the /v1/fleet/stats body: replica counters and gauges
+// summed fleet-wide, plus the router's own liveness/traffic view per shard.
+type FleetStatsResponse struct {
+	ScrapedAt time.Time         `json:"scraped_at"`
+	Replicas  int               `json:"replicas"`
+	Errors    []string          `json:"errors,omitempty"`
+	Counters  map[string]uint64 `json:"counters"`
+	Gauges    map[string]int64  `json:"gauges"`
+	Shards    []ShardStatus     `json:"shards"`
+}
+
+// handleFleetStats serves the fleet-aggregated counters. ?refresh=1 forces a
+// synchronous scrape.
+func (rt *Router) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "", "GET only")
+		return
+	}
+	var view *fleetView
+	if r.URL.Query().Get("refresh") == "1" {
+		view = rt.refreshFleet(r.Context())
+	} else {
+		view = rt.currentFleet(r.Context())
+	}
+	writeJSON(w, http.StatusOK, FleetStatsResponse{
+		ScrapedAt: view.at,
+		Replicas:  view.replicas,
+		Errors:    view.errors,
+		Counters:  view.counters,
+		Gauges:    view.gauges,
+		Shards:    rt.shardStatus(),
+	})
+}

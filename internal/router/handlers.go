@@ -31,8 +31,13 @@ type scatterSearcher struct{ rt *Router }
 func (s scatterSearcher) SearchNode(ctx context.Context, nodeID uint64, q vec.Vector, weights []float64, k int) ([]shard.Neighbor, error) {
 	rt := s.rt
 	rt.scatters.Inc()
+	st := stitchFrom(ctx)
+	fanOff := st.Since()
+	fanStart := time.Now()
 	lists := make([][]shard.Neighbor, len(rt.shards))
+	legNS := make([]int64, len(rt.shards))
 	err := par.Do(ctx, len(rt.shards), rt.parallelism, func(i int) error {
+		legStart := time.Now()
 		var resp server.ShardSearchResponse
 		req := server.ShardSearchRequest{NodeID: nodeID, Query: q, Weights: weights, K: k}
 		if err := rt.doShard(ctx, i, http.MethodPost, "/v1/shard/search", req, &resp); err != nil {
@@ -43,12 +48,47 @@ func (s scatterSearcher) SearchNode(ctx context.Context, nodeID uint64, q vec.Ve
 			ns[j] = shard.Neighbor{ID: n.ID, Dist: n.Dist}
 		}
 		lists[i] = ns
+		legNS[i] = time.Since(legStart).Nanoseconds()
 		return nil
 	})
+	fanDur := time.Since(fanStart)
+	rt.fanoutHist.Observe(fanDur.Seconds())
+	rt.obs.Windows().Observe("router:fanout", fanDur.Seconds())
+	st.Span("fan-out", fanOff, fanDur.Nanoseconds(), map[string]any{
+		"node": nodeID, "k": k, "shards": len(rt.shards),
+	})
+	// Straggler wait: once the fastest shard answered, the merge is blocked
+	// on the slowest — that gap is what replication or hedging would buy back.
+	var fastest, slowest int64 = -1, -1
+	for _, ns := range legNS {
+		if ns == 0 {
+			continue // leg failed or never ran
+		}
+		if fastest < 0 || ns < fastest {
+			fastest = ns
+		}
+		if ns > slowest {
+			slowest = ns
+		}
+	}
+	if fastest >= 0 && slowest > fastest {
+		wait := float64(slowest-fastest) / 1e9
+		rt.stragglerHist.Observe(wait)
+		rt.obs.Windows().Observe("router:straggler_wait", wait)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return shard.MergeNeighbors(lists, k), nil
+	mergeOff := st.Since()
+	mergeStart := time.Now()
+	merged := shard.MergeNeighbors(lists, k)
+	mergeDur := time.Since(mergeStart)
+	rt.mergeHist.Observe(mergeDur.Seconds())
+	rt.obs.Windows().Observe("router:merge", mergeDur.Seconds())
+	st.Span("merge", mergeOff, mergeDur.Nanoseconds(), map[string]any{
+		"lists": len(lists), "k": k,
+	})
+	return merged, nil
 }
 
 // fetchPoints resolves image IDs to their exact vectors, full-tree leaves,
@@ -65,11 +105,17 @@ func (rt *Router) fetchPoints(ctx context.Context, ids []int) (map[int]server.Sh
 		shardsList = append(shardsList, sh)
 	}
 	sort.Ints(shardsList)
+	st := stitchFrom(ctx)
+	off := st.Since()
+	fetchStart := time.Now()
 	results := make([]server.ShardPointsResponse, len(shardsList))
 	err := par.Do(ctx, len(shardsList), rt.parallelism, func(i int) error {
 		sh := shardsList[i]
 		return rt.doShard(ctx, sh, http.MethodPost, "/v1/shard/points",
 			server.ShardPointsRequest{IDs: byShard[sh]}, &results[i])
+	})
+	st.Span("fetch-points", off, time.Since(fetchStart).Nanoseconds(), map[string]any{
+		"ids": len(ids), "shards": len(shardsList),
 	})
 	if err != nil {
 		return nil, err
@@ -104,6 +150,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions/", rt.handleSessionOp)
 	mux.HandleFunc("/v1/stats", rt.handleStats)
 	mux.HandleFunc("/v1/buildinfo", rt.handleBuildInfo)
+	mux.HandleFunc("/v1/latency", rt.handleLatency)
+	mux.HandleFunc("/v1/traces", rt.handleTraces)
+	mux.HandleFunc("/v1/slow", rt.handleSlow)
+	mux.HandleFunc("/v1/fleet/latency", rt.handleFleetLatency)
+	mux.HandleFunc("/v1/fleet/stats", rt.handleFleetStats)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -118,11 +169,43 @@ func (rt *Router) Handler() http.Handler {
 			endpoint = "/v1/sessions/{id}"
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Routed retrieval requests get a cross-process trace: the stitch
+		// rides the context, collecting router-side spans from the scatter
+		// primitives and shard child spans from the transport.
+		var st *obs.Stitch
+		if kind := traceKind(r); kind != "" {
+			st = obs.NewStitch(rt.stitchSeq.Add(1), reqID, kind, len(rt.shards))
+			r = r.WithContext(withStitch(r.Context(), st))
+		}
 		start := time.Now()
 		mux.ServeHTTP(sw, r)
-		rt.obs.Windows().Observe("endpoint:"+endpoint, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		rt.obs.Windows().Observe("endpoint:"+endpoint, elapsed.Seconds())
 		if sw.status >= 400 {
 			rt.errs.Inc()
+		}
+		var traceID uint64
+		var legs []obs.ShardLeg
+		if st != nil {
+			var ferr error
+			if sw.status >= 400 {
+				ferr = fmt.Errorf("HTTP %d", sw.status)
+			}
+			legs = st.ShardBreakdown()
+			stitched := st.Finish(ferr)
+			rt.stitches.Add(stitched)
+			traceID = stitched.ID
+		}
+		if slowWorthy(endpoint) {
+			rt.slow.Record(obs.SlowQuery{
+				RequestID:  reqID,
+				Endpoint:   endpoint,
+				Status:     sw.status,
+				Start:      start,
+				DurationNS: elapsed.Nanoseconds(),
+				TraceID:    traceID,
+				Shards:     legs,
+			})
 		}
 	})
 }
@@ -272,7 +355,13 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rel = append(rel, shard.RelPoint{ID: id, NodeID: p.Leaf, Vec: p.Vec})
 	}
+	st := stitchFrom(r.Context())
+	off := st.Since()
+	fsStart := time.Now()
 	res, err := shard.FinalizeScatter(r.Context(), rt.topo, scatterSearcher{rt}, rel, req.K, req.Weights, rt.meta.Boundary, rt.parallelism)
+	st.Span("finalize-scatter", off, time.Since(fsStart).Nanoseconds(), map[string]any{
+		"k": req.K, "relevant": len(rel),
+	})
 	if err != nil {
 		writeBackendError(w, err)
 		return
@@ -540,7 +629,14 @@ func (rt *Router) finalizeState(ctx context.Context, st *core.SessionState, k in
 		}
 		rel = append(rel, shard.RelPoint{ID: id, NodeID: st.Assign[id], Vec: p.Vec})
 	}
-	return shard.FinalizeScatter(ctx, rt.topo, scatterSearcher{rt}, rel, k, st.Weights, rt.meta.Boundary, rt.parallelism)
+	stitch := stitchFrom(ctx)
+	off := stitch.Since()
+	fsStart := time.Now()
+	res, err := shard.FinalizeScatter(ctx, rt.topo, scatterSearcher{rt}, rel, k, st.Weights, rt.meta.Boundary, rt.parallelism)
+	stitch.Span("finalize-scatter", off, time.Since(fsStart).Nanoseconds(), map[string]any{
+		"k": k, "relevant": len(rel),
+	})
+	return res, err
 }
 
 // ---- operations endpoints ----

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,10 @@ type Config struct {
 	// Parallelism bounds concurrent shard legs per scatter (default: number
 	// of shards).
 	Parallelism int
+	// ScrapeInterval paces the fleet telemetry scrape loop feeding
+	// /v1/fleet/latency and /v1/fleet/stats (default 5s; negative disables
+	// the loop, leaving those endpoints to scrape synchronously on demand).
+	ScrapeInterval time.Duration
 	// Logger receives one line per fleet event (nil disables logging).
 	Logger *slog.Logger
 }
@@ -94,6 +99,24 @@ type Router struct {
 	// Per-shard request/error counters, indexed by shard.
 	shardReqs []*obs.Counter
 	shardErrs []*obs.Counter
+	// Router-local overhead histograms: what the router itself adds on top of
+	// shard time — dispatching the fan-out, merging the per-shard lists, and
+	// waiting for the slowest shard after the fastest answered.
+	fanoutHist    *obs.Histogram
+	mergeHist     *obs.Histogram
+	stragglerHist *obs.Histogram
+
+	// stitches retains completed cross-process traces (router spans + shard
+	// child spans under one request id); slow retains the slowest routed
+	// requests as exemplars referencing them.
+	stitches  *obs.StitchRing
+	slow      *obs.SlowLog
+	stitchSeq atomic.Uint64
+
+	// Fleet telemetry scrape state (see fleet.go).
+	scrapeEvery time.Duration
+	fleetMu     sync.Mutex
+	fleet       *fleetView
 
 	rr      []atomic.Uint64 // per-shard round-robin cursor
 	sessSeq atomic.Uint64   // spreads new sessions across shards
@@ -124,9 +147,12 @@ func New(cfg Config) (*Router, error) {
 		timeout:     cfg.RequestTimeout,
 		healthEvery: cfg.HealthInterval,
 		parallelism: cfg.Parallelism,
+		scrapeEvery: cfg.ScrapeInterval,
 		log:         cfg.Logger,
 		shards:      make([][]*replica, nShards),
 		rr:          make([]atomic.Uint64, nShards),
+		stitches:    obs.NewStitchRing(0),
+		slow:        obs.NewSlowLog(0),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{}
@@ -136,6 +162,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if rt.healthEvery <= 0 {
 		rt.healthEvery = 2 * time.Second
+	}
+	if rt.scrapeEvery == 0 {
+		rt.scrapeEvery = 5 * time.Second
 	}
 	if rt.parallelism <= 0 {
 		rt.parallelism = nShards
@@ -157,6 +186,12 @@ func New(cfg Config) (*Router, error) {
 	rt.errs = reg.Counter("qd_router_errors_total", "Router responses with status >= 400.")
 	rt.scatters = reg.Counter("qd_router_scatters_total", "Scatter-gather fan-outs executed.")
 	rt.failover = reg.Counter("qd_router_failovers_total", "Per-shard retries on another replica.")
+	rt.fanoutHist = reg.Histogram("qd_router_fanout_seconds",
+		"Wall time of one scatter fan-out: dispatch to last shard list received.", nil)
+	rt.mergeHist = reg.Histogram("qd_router_merge_seconds",
+		"Wall time merging per-shard top-k lists into the fleet ranking.", nil)
+	rt.stragglerHist = reg.Histogram("qd_router_straggler_wait_seconds",
+		"Per fan-out: slowest shard leg minus fastest — time spent waiting on the straggler.", nil)
 	rt.shardReqs = make([]*obs.Counter, nShards)
 	rt.shardErrs = make([]*obs.Counter, nShards)
 	for i := range rt.shards {
@@ -262,7 +297,8 @@ func (rt *Router) VerifyFleet(ctx context.Context) error {
 	return nil
 }
 
-// Start launches the background health loop; it stops when ctx is done.
+// Start launches the background loops — health probing and fleet telemetry
+// scraping; both stop when ctx is done.
 func (rt *Router) Start(ctx context.Context) {
 	go func() {
 		t := time.NewTicker(rt.healthEvery)
@@ -276,6 +312,20 @@ func (rt *Router) Start(ctx context.Context) {
 			}
 		}
 	}()
+	if rt.scrapeEvery > 0 {
+		go func() {
+			t := time.NewTicker(rt.scrapeEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rt.refreshFleet(ctx)
+				}
+			}
+		}()
+	}
 }
 
 // CheckHealth probes every replica's /healthz once and updates liveness.
@@ -346,6 +396,19 @@ func (rt *Router) call(ctx context.Context, rep *replica, method, path string, i
 		}
 		req.Header.Set("X-Qd-Deadline-Ms", strconv.FormatInt(ms, 10))
 	}
+	// Cross-process tracing: a stitch on the context stamps the trace header
+	// (the shard's opt-in to record and return its spans) and receives this
+	// RPC as a span on the shard's track. st may be nil; every stitch method
+	// no-ops then.
+	st := stitchFrom(ctx)
+	rpcName := method + " " + path
+	if st != nil {
+		req.Header.Set(obs.TraceHeader, st.RequestID())
+		if q := strings.IndexByte(rpcName, '?'); q >= 0 {
+			rpcName = rpcName[:q]
+		}
+	}
+	rpcOff := st.Since()
 	rep.reqs.Add(1)
 	if rep.shard >= 0 && rep.shard < len(rt.shardReqs) {
 		rt.shardReqs[rep.shard].Inc()
@@ -357,6 +420,7 @@ func (rt *Router) call(ctx context.Context, rep *replica, method, path string, i
 		if rep.shard >= 0 && rep.shard < len(rt.shardErrs) {
 			rt.shardErrs[rep.shard].Inc()
 		}
+		st.RPC(rep.shard, rpcName, rpcOff, st.Since()-rpcOff, nil)
 		return 0, err
 	}
 	defer resp.Body.Close()
@@ -371,14 +435,23 @@ func (rt *Router) call(ctx context.Context, rep *replica, method, path string, i
 			Code  string `json:"code"`
 		}
 		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		st.RPC(rep.shard, rpcName, rpcOff, st.Since()-rpcOff, nil)
 		return resp.StatusCode, &backendError{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error, URL: rep.url + path}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			rep.errs.Add(1)
+			st.RPC(rep.shard, rpcName, rpcOff, st.Since()-rpcOff, nil)
 			return resp.StatusCode, fmt.Errorf("%s: decode: %w", rep.url+path, err)
 		}
 	}
+	// The RPC span covers send through decode; a traced response carries the
+	// shard's child spans, re-based into this window by the stitch.
+	var remote *obs.RemoteTrace
+	if traced, ok := out.(obs.RemoteTraced); ok {
+		remote = traced.TraceData()
+	}
+	st.RPC(rep.shard, rpcName, rpcOff, st.Since()-rpcOff, remote)
 	return resp.StatusCode, nil
 }
 

@@ -1,0 +1,146 @@
+package router
+
+// Cross-process trace plumbing on the router side. The HTTP front opens one
+// obs.Stitch per routed retrieval request and threads it through the request
+// context; the scatter primitives record router-side spans (fan-out, merge,
+// finalize-scatter) and the transport records one RPC span per backend call,
+// folding in the shard's reported child spans (see internal/obs/stitch.go for
+// the clock-skew argument). Completed traces land in a bounded ring served by
+// /v1/traces — as JSON, or as a Perfetto/Chrome trace-event file with
+// ?format=perfetto.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"qdcbir/internal/obs"
+)
+
+// stitchCtxKey carries the in-flight *obs.Stitch through a request context.
+type stitchCtxKey struct{}
+
+// withStitch attaches an in-flight cross-process trace to the context.
+func withStitch(ctx context.Context, st *obs.Stitch) context.Context {
+	return context.WithValue(ctx, stitchCtxKey{}, st)
+}
+
+// stitchFrom returns the context's in-flight trace, or nil (every *obs.Stitch
+// method no-ops on nil, so callers never branch).
+func stitchFrom(ctx context.Context) *obs.Stitch {
+	st, _ := ctx.Value(stitchCtxKey{}).(*obs.Stitch)
+	return st
+}
+
+// traceKind maps a routed endpoint to its stitched-trace kind; "" means the
+// request is not traced (proxies and operational endpoints fan out at most
+// once, so a stitched trace would add nothing over the access log).
+func traceKind(r *http.Request) string {
+	if r.Method != http.MethodPost {
+		return ""
+	}
+	switch {
+	case r.URL.Path == "/v1/knn":
+		return "knn"
+	case r.URL.Path == "/v1/query":
+		return "query"
+	case strings.HasPrefix(r.URL.Path, "/v1/sessions/") && strings.HasSuffix(r.URL.Path, "/finalize"):
+		return "finalize"
+	}
+	return ""
+}
+
+// TracesResponse is the router's JSON /v1/traces body.
+type TracesResponse struct {
+	Traces []*obs.Stitched `json:"traces"`
+}
+
+// handleTraces serves the retained stitched traces: newest first as JSON, or
+// a Perfetto-loadable trace-event file with ?format=perfetto. ?limit=N bounds
+// the count.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "", "GET only")
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "", "bad limit %q", raw)
+			return
+		}
+		limit = n
+	}
+	traces := rt.stitches.Snapshot(limit)
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WritePerfettoStitched(w, traces)
+		return
+	}
+	if traces == nil {
+		traces = []*obs.Stitched{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: traces})
+}
+
+// SlowResponse is the router's /v1/slow body.
+type SlowResponse struct {
+	Slowest []obs.SlowQuery `json:"slowest"`
+}
+
+// handleSlow serves the slow-query exemplar log: the slowest routed requests,
+// each with its per-shard time breakdown and stitched-trace reference.
+func (rt *Router) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "", "GET only")
+		return
+	}
+	slowest := rt.slow.Slowest()
+	if slowest == nil {
+		slowest = []obs.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, SlowResponse{Slowest: slowest})
+}
+
+// LatencyResponse is the router's /v1/latency body: the router's own
+// sliding-window digests (per endpoint, per shard, and the router-overhead
+// phases). Fleet-merged replica digests live at /v1/fleet/latency.
+type LatencyResponse struct {
+	Windows []string          `json:"windows"`
+	Digests obs.LatencyReport `json:"digests"`
+	Detail  obs.DigestDetail  `json:"detail,omitempty"`
+}
+
+// handleLatency serves the router's own sliding-window latency digests.
+func (rt *Router) handleLatency(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "", "GET only")
+		return
+	}
+	labels := make([]string, len(obs.DefaultWindows))
+	for i, win := range obs.DefaultWindows {
+		labels[i] = obs.WindowLabel(win)
+	}
+	resp := LatencyResponse{
+		Windows: labels,
+		Digests: rt.obs.Windows().Report(nil),
+	}
+	if r.URL.Query().Get("detail") == "1" {
+		resp.Detail = rt.obs.Windows().ReportDetail(nil)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// slowWorthy selects the endpoints the router's slow log tracks: routed
+// retrieval and session work, not monitoring scrapes.
+func slowWorthy(endpoint string) bool {
+	switch endpoint {
+	case "/healthz", "/metrics",
+		"/v1/stats", "/v1/buildinfo", "/v1/latency",
+		"/v1/traces", "/v1/slow", "/v1/fleet/latency", "/v1/fleet/stats":
+		return false
+	}
+	return true
+}

@@ -54,7 +54,7 @@ func New(cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
 	db := &DB{cfg: cfg}
 	if cfg.Observer != nil {
-		db.metrics = obs.NewSegMetrics(cfg.Observer.Registry())
+		db.metrics = obs.NewSegMetrics(cfg.Observer.Registry(), cfg.Observer.Windows())
 	}
 	db.mt = newMemtable(cfg.Dim, cfg.Float32, 0)
 	db.publishLocked(nil, 0)
@@ -92,7 +92,7 @@ func Restore(cfg Config, sealed []SealedInput, mem MemInput, nextID int, epoch u
 	cfg = cfg.withDefaults()
 	db := &DB{cfg: cfg}
 	if cfg.Observer != nil {
-		db.metrics = obs.NewSegMetrics(cfg.Observer.Registry())
+		db.metrics = obs.NewSegMetrics(cfg.Observer.Registry(), cfg.Observer.Windows())
 	}
 
 	segs := make([]segView, 0, len(sealed))
@@ -240,6 +240,7 @@ func (db *DB) Insert(v vec.Vector) (int, error) {
 			return 0, fmt.Errorf("seg: vector has non-finite component")
 		}
 	}
+	start := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -255,7 +256,7 @@ func (db *DB) Insert(v vec.Vector) (int, error) {
 	} else {
 		db.publishLocked(cur.segs, cur.epoch+1)
 	}
-	db.metrics.InsertDone()
+	db.metrics.InsertDone(time.Since(start).Nanoseconds())
 	db.maybeCompactLocked()
 	return id, nil
 }
@@ -264,6 +265,7 @@ func (db *DB) Insert(v vec.Vector) (int, error) {
 // memtable seals or a compaction rewrites its segment; queries filter it
 // immediately from the next epoch on.
 func (db *DB) Delete(id int) error {
+	start := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -280,7 +282,7 @@ func (db *DB) Delete(id int) error {
 		db.mt.tomb = t
 		db.mt.nTomb++
 		db.publishLocked(cur.segs, cur.epoch+1)
-		db.metrics.DeleteDone()
+		db.metrics.DeleteDone(time.Since(start).Nanoseconds())
 		return nil
 	}
 	for i, sv := range cur.segs {
@@ -297,7 +299,7 @@ func (db *DB) Delete(id int) error {
 		t.Set(local)
 		segs[i] = segView{seg: sv.seg, tomb: t, nTomb: sv.nTomb + 1}
 		db.publishLocked(segs, cur.epoch+1)
-		db.metrics.DeleteDone()
+		db.metrics.DeleteDone(time.Since(start).Nanoseconds())
 		db.maybeCompactLocked()
 		return nil
 	}

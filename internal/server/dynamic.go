@@ -58,6 +58,7 @@ func NewDynamic(ds DynamicStore, o *obs.Observer) *Server {
 		obs:          o,
 		httpReqs:     o.Registry().Counter("qd_http_requests_total", "HTTP requests served."),
 		httpErrs:     o.Registry().Counter("qd_http_errors_total", "HTTP responses with status >= 400."),
+		slow:         obs.NewSlowLog(0),
 		sessions:     make(map[string]*hostedSession),
 		lru:          list.New(),
 	}

@@ -129,10 +129,14 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // LatencyResponse is the /v1/latency body: for every digest (engine phases
-// and HTTP endpoints), quantile summaries over each lookback window.
+// and HTTP endpoints), quantile summaries over each lookback window. With
+// ?detail=1 the full per-window bucket vectors ride along so a router can
+// merge digests across replicas instead of averaging quantiles (which is
+// statistically meaningless).
 type LatencyResponse struct {
 	Windows []string          `json:"windows"`
 	Digests obs.LatencyReport `json:"digests"`
+	Detail  obs.DigestDetail  `json:"detail,omitempty"`
 }
 
 // handleLatency serves the sliding-window latency digests.
@@ -145,8 +149,31 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 	for i, win := range obs.DefaultWindows {
 		labels[i] = obs.WindowLabel(win)
 	}
-	writeJSON(w, http.StatusOK, LatencyResponse{
+	resp := LatencyResponse{
 		Windows: labels,
 		Digests: s.obs.Windows().Report(nil),
-	})
+	}
+	if r.URL.Query().Get("detail") == "1" {
+		resp.Detail = s.obs.Windows().ReportDetail(nil)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SlowResponse is the /v1/slow body: the retained slow-query exemplars,
+// slowest first.
+type SlowResponse struct {
+	Slowest []obs.SlowQuery `json:"slowest"`
+}
+
+// handleSlow serves the slow-query exemplar log.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	slowest := s.slow.Slowest()
+	if slowest == nil {
+		slowest = []obs.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, SlowResponse{Slowest: slowest})
 }

@@ -67,6 +67,10 @@ type Server struct {
 	httpReqs *obs.Counter
 	httpErrs *obs.Counter
 
+	// slow retains the slowest requests as exemplars (GET /v1/slow); the
+	// request id joins an entry to its log lines and retained trace.
+	slow *obs.SlowLog
+
 	// log receives one structured line per request, keyed by request id (nil
 	// disables request logging; telemetry counters still run).
 	log *slog.Logger
@@ -139,6 +143,7 @@ func New(engine *core.Engine, label Labeler) *Server {
 		obs:         o,
 		httpReqs:    o.Registry().Counter("qd_http_requests_total", "HTTP requests served."),
 		httpErrs:    o.Registry().Counter("qd_http_errors_total", "HTTP responses with status >= 400."),
+		slow:        obs.NewSlowLog(0),
 		sessions:    make(map[string]*hostedSession),
 		lru:         list.New(),
 	}
@@ -289,6 +294,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/latency", s.handleLatency)
+	mux.HandleFunc("/v1/slow", s.handleSlow)
 	mux.HandleFunc("/v1/buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("/v1/shard/meta", s.handleShardMeta)
 	mux.HandleFunc("/v1/shard/topology", s.handleShardTopology)
@@ -315,6 +321,20 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// slowWorthy selects the endpoints the slow-query log tracks: the ones that
+// do retrieval or write work. Monitoring endpoints are excluded — a scrape
+// storm must not evict the exemplars operators came to see.
+func slowWorthy(endpoint string) bool {
+	switch endpoint {
+	case "/healthz", "/metrics", "/ui",
+		"/v1/slow", "/v1/stats", "/v1/latency", "/v1/traces",
+		"/v1/buildinfo", "/v1/info", "/v1/shard/meta", "/v1/shard/topology",
+		"/v1/fleet/latency", "/v1/fleet/stats":
+		return false
+	}
+	return true
 }
 
 // endpointOf collapses a request path to its route template so per-endpoint
@@ -378,6 +398,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.obs.Windows().Observe("endpoint:"+endpoint, elapsed.Seconds())
 		if sw.status >= 400 {
 			s.httpErrs.Inc()
+		}
+		if slowWorthy(endpoint) {
+			s.slow.Record(obs.SlowQuery{
+				RequestID:  reqID,
+				Endpoint:   endpoint,
+				Status:     sw.status,
+				Start:      start,
+				DurationNS: elapsed.Nanoseconds(),
+			})
 		}
 		if s.log != nil {
 			s.log.LogAttrs(ctx, slog.LevelInfo, "request",

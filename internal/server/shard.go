@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
+	"qdcbir/internal/obs"
 	"qdcbir/internal/shard"
 	"qdcbir/internal/vec"
 )
@@ -46,10 +48,17 @@ type NeighborJSON struct {
 	Dist float64 `json:"dist"`
 }
 
-// ShardSearchResponse lists the local top-k ascending by (dist, id).
+// ShardSearchResponse lists the local top-k ascending by (dist, id). When the
+// router asked for tracing (X-Qd-Trace header), Trace carries the shard-side
+// spans back for cross-process stitching.
 type ShardSearchResponse struct {
-	Neighbors []NeighborJSON `json:"neighbors"`
+	Neighbors []NeighborJSON   `json:"neighbors"`
+	Trace     *obs.RemoteTrace `json:"trace,omitempty"`
 }
+
+// TraceData satisfies obs.RemoteTraced so the router's generic call path can
+// lift the shard-side spans without knowing the response shape.
+func (r *ShardSearchResponse) TraceData() *obs.RemoteTrace { return r.Trace }
 
 // ShardPointsRequest asks the replica for the feature vectors of the listed
 // images. IDs the replica does not own are silently omitted — the router
@@ -71,7 +80,11 @@ type ShardPointJSON struct {
 // ShardPointsResponse lists the owned subset of the requested IDs.
 type ShardPointsResponse struct {
 	Points []ShardPointJSON `json:"points"`
+	Trace  *obs.RemoteTrace `json:"trace,omitempty"`
 }
+
+// TraceData satisfies obs.RemoteTraced.
+func (r *ShardPointsResponse) TraceData() *obs.RemoteTrace { return r.Trace }
 
 func (s *Server) requireShard(w http.ResponseWriter) bool {
 	if s.shard == nil {
@@ -119,16 +132,31 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Weights != nil {
 		weights = req.Weights
 	}
+	rec := shardRecorder(r)
+	searchStart := time.Now()
 	ns, err := s.shard.SearchNode(r.Context(), req.NodeID, vec.Vector(req.Query), weights, req.K)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	resp := ShardSearchResponse{Neighbors: make([]NeighborJSON, len(ns))}
+	rec.Span("search", searchStart, map[string]any{
+		"node": req.NodeID, "k": req.K, "neighbors": len(ns),
+	})
+	resp := ShardSearchResponse{Neighbors: make([]NeighborJSON, len(ns)), Trace: rec.Trace()}
 	for i, n := range ns {
 		resp.Neighbors[i] = NeighborJSON{ID: n.ID, Dist: n.Dist}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardRecorder starts a shard-side span recorder when the caller asked for
+// one via the X-Qd-Trace header; otherwise returns nil, on which every
+// recorder method is a no-op and Trace() yields nil (no response field).
+func shardRecorder(r *http.Request) *obs.RemoteRecorder {
+	if r.Header.Get(obs.TraceHeader) == "" {
+		return nil
+	}
+	return obs.NewRemoteRecorder()
 }
 
 func (s *Server) handleShardPoints(w http.ResponseWriter, r *http.Request) {
@@ -143,6 +171,8 @@ func (s *Server) handleShardPoints(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
 	}
+	rec := shardRecorder(r)
+	lookupStart := time.Now()
 	resp := ShardPointsResponse{Points: []ShardPointJSON{}}
 	for _, id := range req.IDs {
 		p, ok := s.shard.PointInfo(id)
@@ -151,6 +181,10 @@ func (s *Server) handleShardPoints(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Points = append(resp.Points, ShardPointJSON{ID: p.ID, Leaf: p.Leaf, Vec: p.Vec, Label: p.Label})
 	}
+	rec.Span("points", lookupStart, map[string]any{
+		"requested": len(req.IDs), "owned": len(resp.Points),
+	})
+	resp.Trace = rec.Trace()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -103,8 +103,68 @@ diff -u "$WORK/single_final.json" "$WORK/router_final.json" \
 jq -e '.groups | length > 0' "$WORK/router_final.json" >/dev/null \
   || { echo "cluster_smoke: finalize returned no groups" >&2; exit 1; }
 
-say "router counters moved"
-curl -sf "http://localhost:$ROUTER/metrics" | grep -q '^qd_router_scatters_total' \
-  || { echo "cluster_smoke: router /metrics missing scatter counter" >&2; exit 1; }
+say "sweeping the fleet observability surface"
+
+# check_prom: every non-comment line of a Prometheus text exposition must be
+# `name[{labels}] value` — one malformed line fails the scrape wholesale.
+check_prom() {
+  awk '
+    /^#/ || /^$/ { next }
+    !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.][-+0-9.eE]*)$/ {
+      print "unparseable metric line: " $0 > "/dev/stderr"; bad = 1
+    }
+    END { exit bad }
+  '
+}
+
+curl -sf "http://localhost:$ROUTER/metrics" > "$WORK/router_metrics.txt"
+check_prom < "$WORK/router_metrics.txt" \
+  || { echo "cluster_smoke: router /metrics not valid Prometheus text" >&2; exit 1; }
+for fam in qd_router_scatters_total qd_router_requests_total \
+           qd_router_fanout_seconds qd_router_merge_seconds \
+           qd_router_straggler_wait_seconds; do
+  grep -q "^$fam" "$WORK/router_metrics.txt" \
+    || { echo "cluster_smoke: router /metrics missing family $fam" >&2; exit 1; }
+done
+curl -sf "http://localhost:$SHARD0/metrics" > "$WORK/replica_metrics.txt"
+check_prom < "$WORK/replica_metrics.txt" \
+  || { echo "cluster_smoke: replica /metrics not valid Prometheus text" >&2; exit 1; }
+grep -q '^qd_http_requests_total' "$WORK/replica_metrics.txt" \
+  || { echo "cluster_smoke: replica /metrics missing qd_http_requests_total" >&2; exit 1; }
+
+# Fleet-merged latency digests: all three replicas scraped, the shard search
+# endpoint visible fleet-wide and per shard.
+curl -sf "http://localhost:$ROUTER/v1/fleet/latency?refresh=1" > "$WORK/fleet_latency.json"
+jq -e '.replicas == 3 and (.errors // [] | length == 0)
+       and (.fleet | has("endpoint:/v1/shard/search"))
+       and (.shards | length == 3)' "$WORK/fleet_latency.json" >/dev/null \
+  || { echo "cluster_smoke: fleet latency malformed: $(cat "$WORK/fleet_latency.json")" >&2; exit 1; }
+curl -sf "http://localhost:$ROUTER/v1/fleet/stats?refresh=1" \
+  | jq -e '.counters.qd_http_requests_total > 0' >/dev/null \
+  || { echo "cluster_smoke: fleet stats missing aggregated counters" >&2; exit 1; }
+
+# Slow-query exemplars on both tiers: entries with shard breakdowns and a
+# stitched-trace reference on the router side.
+curl -sf "http://localhost:$ROUTER/v1/slow" | jq -e \
+  '.slowest | length > 0 and (.[0].shards | length == 3) and .[0].trace_id > 0' >/dev/null \
+  || { echo "cluster_smoke: router /v1/slow empty or missing breakdowns" >&2; exit 1; }
+curl -sf "http://localhost:$SHARD0/v1/slow" | jq -e '.slowest | length > 0' >/dev/null \
+  || { echo "cluster_smoke: replica /v1/slow empty" >&2; exit 1; }
+
+# Stitched cross-process trace: the routed queries above must have left
+# Perfetto-loadable traces with router and shard tracks. Kept as a CI
+# artifact when ARTIFACT_DIR is set.
+curl -sf "http://localhost:$ROUTER/v1/traces?format=perfetto" > "$WORK/stitched_trace.json"
+jq -e '.traceEvents | length > 0' "$WORK/stitched_trace.json" >/dev/null \
+  || { echo "cluster_smoke: stitched Perfetto export empty" >&2; exit 1; }
+jq -e '[.traceEvents[] | select(.ph == "M" and .name == "thread_name") | .args.name]
+       | (index("router") != null) and (index("shard 0") != null)' \
+  "$WORK/stitched_trace.json" >/dev/null \
+  || { echo "cluster_smoke: stitched trace missing router/shard tracks" >&2; exit 1; }
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp "$WORK/stitched_trace.json" "$WORK/fleet_latency.json" "$ARTIFACT_DIR/"
+  say "kept stitched trace + fleet digests in $ARTIFACT_DIR"
+fi
 
 say "OK: sharded results are bit-identical to single node"

@@ -150,4 +150,43 @@ curl -sf -X POST -d "$QUERY" "http://localhost:$SOAK/v1/query" | jq -S "$NORM" >
 diff -u "$WORK/ref.json" "$WORK/soak_compacted.json" \
   || { echo "ingest_soak: post-compaction results diverge from clean rebuild" >&2; exit 1; }
 
+say "sweeping the soak server's observability surface"
+
+# check_prom: every non-comment line of a Prometheus text exposition must be
+# `name[{labels}] value` — one malformed line fails the scrape wholesale.
+check_prom() {
+  awk '
+    /^#/ || /^$/ { next }
+    !/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.][-+0-9.eE]*)$/ {
+      print "unparseable metric line: " $0 > "/dev/stderr"; bad = 1
+    }
+    END { exit bad }
+  '
+}
+
+curl -sf "http://localhost:$SOAK/metrics" > "$WORK/soak_metrics.txt"
+check_prom < "$WORK/soak_metrics.txt" \
+  || { echo "ingest_soak: /metrics not valid Prometheus text" >&2; exit 1; }
+for fam in qd_http_requests_total qd_seg_inserts_total qd_seg_deletes_total \
+           qd_seg_seals_total qd_seg_compactions_total qd_seg_epoch; do
+  grep -q "^$fam" "$WORK/soak_metrics.txt" \
+    || { echo "ingest_soak: /metrics missing family $fam" >&2; exit 1; }
+done
+
+# The windowed ingest digests: the churn above must have left insert and
+# delete samples, and the seal/compact phases at least one each.
+curl -sf "http://localhost:$SOAK/v1/latency" > "$WORK/soak_latency.json"
+jq -e '.digests | has("seg:insert") and has("seg:delete") and has("seg:seal") and has("seg:compact")' \
+  "$WORK/soak_latency.json" >/dev/null \
+  || { echo "ingest_soak: /v1/latency missing seg digests: $(cat "$WORK/soak_latency.json")" >&2; exit 1; }
+
+curl -sf "http://localhost:$SOAK/v1/slow" | jq -e '.slowest | length > 0' >/dev/null \
+  || { echo "ingest_soak: /v1/slow empty after the soak" >&2; exit 1; }
+
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp "$WORK/soak_metrics.txt" "$WORK/soak_latency.json" "$ARTIFACT_DIR/"
+  say "kept soak metrics + latency digests in $ARTIFACT_DIR"
+fi
+
 say "OK: churned and compacted states are bit-identical to the clean rebuild"

@@ -2,8 +2,11 @@
 // qdrouter fleet front: it polls the target's observability endpoints and
 // renders one terminal frame per interval — request rate, per-endpoint
 // p50/p95/p99 over the sliding windows, per-shard health and latency (router
-// targets), and the segmented engine's shape (dynamic servers): epoch,
-// segment count, memtable rows, tombstone ratio, and compaction activity.
+// targets), the segmented engine's shape (dynamic servers): epoch, segment
+// count, memtable rows, tombstone ratio, and compaction activity — and, when
+// the target runs the admission scheduler, the load-shedding state: queue
+// depth, shed counts, coalesced batches, and an [OVERLOAD] flag while load
+// is actively being refused.
 //
 // Usage:
 //
@@ -245,6 +248,46 @@ func digestRows(b *strings.Builder, rep obs.LatencyReport, window, indent string
 	}
 }
 
+// admissionLine renders the load-shedding view: a replica's scheduler state
+// (queue depth, inflight, shed counts, coalesced batches) or the router's
+// fleet-facing view (single-flight joins, shard sheds observed). Targets
+// without the scheduler metrics render nothing. The [OVERLOAD] flag fires
+// while load is actively being refused — sheds advanced since the previous
+// sample, or requests are queued right now.
+func admissionLine(b *strings.Builder, s, prev *sample) {
+	ctrs := s.stats.Metrics.Counters
+	if s.kind == kindRouter {
+		joins, okJ := ctrs["qd_router_singleflight_total"]
+		sheds, okS := ctrs["qd_router_sheds_total"]
+		if !okJ && !okS {
+			return
+		}
+		flag := ""
+		if prev != nil && sheds > prev.stats.Metrics.Counters["qd_router_sheds_total"] {
+			flag = "  [OVERLOAD]"
+		}
+		fmt.Fprintf(b, "admission: %d knn single-flight joins, %d shard sheds observed%s\n", joins, sheds, flag)
+		return
+	}
+	sheds, ok := ctrs["qd_sched_shed_total"]
+	if !ok {
+		return
+	}
+	gs := s.stats.Metrics.Gauges
+	depth := gs["qd_sched_queue_depth"]
+	overload := depth > 0
+	if prev != nil && sheds > prev.stats.Metrics.Counters["qd_sched_shed_total"] {
+		overload = true
+	}
+	flag := ""
+	if overload {
+		flag = "  [OVERLOAD]"
+	}
+	fmt.Fprintf(b, "admission: queue %d, inflight %d, %d shed, %d queued-deadline, %d batches (%d coalesced queries)%s\n",
+		depth, gs["qd_sched_inflight"], sheds, ctrs["qd_sched_deadline_queued_total"],
+		ctrs["qd_sched_batches_total"], ctrs["qd_sched_batched_queries_total"], flag)
+}
+
 // render lays out one frame. prev (the previous sample) turns cumulative
 // request counters into a rate; nil renders "-" for QPS.
 func render(s *sample, prev *sample, window string) string {
@@ -283,6 +326,8 @@ func render(s *sample, prev *sample, window string) string {
 			s.build.Epoch, s.build.Segments, s.build.MemRows, tombRatio*100,
 			s.build.Seals, s.build.Compactions, compacting)
 	}
+
+	admissionLine(&b, s, prev)
 
 	fmt.Fprintf(&b, "\nlatency (%s window)\n", window)
 	fmt.Fprintf(&b, "  %-28s %8s  %9s %9s %9s\n", "digest", "count", "p50", "p95", "p99")

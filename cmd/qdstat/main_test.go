@@ -17,7 +17,11 @@ func routerSample(at time.Time, requests uint64) *sample {
 		},
 		stats: statsBody{
 			Metrics: obs.Snapshot{
-				Counters: map[string]uint64{"qd_router_requests_total": requests},
+				Counters: map[string]uint64{
+					"qd_router_requests_total":     requests,
+					"qd_router_singleflight_total": 12,
+					"qd_router_sheds_total":        requests / 50, // advances with load
+				},
 			},
 			Shards: []shardStatus{
 				{Shard: 0, Replicas: []struct {
@@ -86,6 +90,7 @@ func TestRenderRouterFrame(t *testing.T) {
 		"fleet: 3 shards, 4 replicas, 600 images (float32)   qps 25.0",
 		"endpoint:/v1/knn",
 		"router:fanout",
+		"admission: 12 knn single-flight joins, 3 shard sheds observed  [OVERLOAD]",
 		"shard 0   degraded  1/2 replicas",
 		"search p99 4.2ms",
 		"shard 1   up        1/1 replicas",
@@ -140,6 +145,53 @@ func TestRenderDynamicEngineLine(t *testing.T) {
 	// No compaction delta → flag absent.
 	if steady := render(cur, mk(4), "1m"); strings.Contains(steady, "[compacting]") {
 		t.Fatalf("steady frame flagged compacting:\n%s", steady)
+	}
+}
+
+// TestRenderAdmissionLine pins the replica-side scheduler view: queue depth
+// and inflight gauges, shed/deadline/batch counters, and the [OVERLOAD] flag
+// raised by a shed delta or a non-empty queue — and absent entirely on
+// replicas without a scheduler.
+func TestRenderAdmissionLine(t *testing.T) {
+	mk := func(sheds uint64, depth int64) *sample {
+		return &sample{
+			kind:  kindServer,
+			at:    time.Now(),
+			build: buildInfoBody{Images: 500, Precision: "f64"},
+			stats: statsBody{Metrics: obs.Snapshot{
+				Counters: map[string]uint64{
+					"qd_http_requests_total":         10,
+					"qd_sched_shed_total":            sheds,
+					"qd_sched_deadline_queued_total": 2,
+					"qd_sched_batches_total":         30,
+					"qd_sched_batched_queries_total": 96,
+				},
+				Gauges: map[string]int64{
+					"qd_sched_queue_depth": depth,
+					"qd_sched_inflight":    4,
+				},
+			}},
+		}
+	}
+	frame := render(mk(8, 0), mk(5, 0), "1m")
+	want := "admission: queue 0, inflight 4, 8 shed, 2 queued-deadline, 30 batches (96 coalesced queries)  [OVERLOAD]"
+	if !strings.Contains(frame, want) {
+		t.Fatalf("frame missing %q:\n%s", want, frame)
+	}
+	// Steady state (no shed delta, empty queue): no flag.
+	if steady := render(mk(8, 0), mk(8, 0), "1m"); strings.Contains(steady, "[OVERLOAD]") {
+		t.Fatalf("steady frame flagged overload:\n%s", steady)
+	}
+	// A non-empty queue alone raises the flag.
+	if queued := render(mk(8, 3), mk(8, 0), "1m"); !strings.Contains(queued, "queue 3") || !strings.Contains(queued, "[OVERLOAD]") {
+		t.Fatalf("queued frame missing flag:\n%s", queued)
+	}
+	// No scheduler metrics → no admission line.
+	plain := &sample{kind: kindServer, at: time.Now(), stats: statsBody{Metrics: obs.Snapshot{
+		Counters: map[string]uint64{"qd_http_requests_total": 10},
+	}}}
+	if f := render(plain, nil, "1m"); strings.Contains(f, "admission:") {
+		t.Fatalf("scheduler-less frame rendered admission line:\n%s", f)
 	}
 }
 

@@ -253,6 +253,12 @@ func (d *Dynamic) NewSession(seed int64) *seg.Session {
 	return d.db.NewSession(rand.New(rand.NewSource(seed)))
 }
 
+// RestoreSession resumes an exported session state against the current
+// snapshot (see seg.SessionState for what survives the trip).
+func (d *Dynamic) RestoreSession(st *seg.SessionState, seed int64) (*seg.Session, error) {
+	return d.db.RestoreSession(st, rand.New(rand.NewSource(seed)))
+}
+
 // Compact merges all sealed segments into one, inline. Background
 // auto-compaction runs regardless unless DisableAutoCompact is set.
 func (d *Dynamic) Compact(ctx context.Context) error { return d.db.Compact(ctx) }

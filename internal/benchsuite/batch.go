@@ -1,0 +1,169 @@
+package benchsuite
+
+// Multi-query (M×N) leaf-sweep benchmarks: the throughput-vs-latency curves
+// behind BENCH_batch.json. For each scan mode and each width M, the suite
+// prices the same work two ways — one coalesced multi-query dispatch
+// (SquaredDistsToMulti and friends: every slab row loaded once, amortized
+// across all M queries) against M independent single-query sweeps (the slab
+// streamed M times). One op covers M×leafScanRows distances in both shapes,
+// so serial ns_per_op ÷ coalesced ns_per_op at a width is exactly the
+// aggregate throughput gain the coalescing scheduler buys when it merges M
+// co-resident leaf sweeps into one dispatch.
+//
+// The float64 pair is the control: its multi kernel is the generic rows-outer
+// loop (no accelerated multi variant), so its curve shows cache reuse only.
+// The float32 pair runs at embedDim, where the slab (8 MB) exceeds L2 and the
+// sweep is memory-bound — the regime the multi kernel targets. The SQ8 pair
+// runs at the paper's featureDim over the same codes the quantized scan mode
+// sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	"qdcbir/internal/store"
+	"qdcbir/internal/vec"
+)
+
+// batchWidths are the multi-query widths the batch curves sweep.
+var batchWidths = []int{1, 4, 8, 16}
+
+// batchEntries generates the coalesced/serial pair for every mode and width.
+func batchEntries() []entry {
+	var es []entry
+	for _, m := range batchWidths {
+		m := m
+		es = append(es,
+			entry{fmt.Sprintf("BenchmarkLeafScanMulti/f64/m=%d", m), benchLeafMultiF64(featureDim, m)},
+			entry{fmt.Sprintf("BenchmarkLeafScanMultiSerial/f64/m=%d", m), benchLeafSerialF64(featureDim, m)},
+			entry{fmt.Sprintf("BenchmarkLeafScanMulti/f32/m=%d", m), benchLeafMultiF32(embedDim, m)},
+			entry{fmt.Sprintf("BenchmarkLeafScanMultiSerial/f32/m=%d", m), benchLeafSerialF32(embedDim, m)},
+			entry{fmt.Sprintf("BenchmarkLeafScanMulti/sq8/m=%d", m), benchLeafMultiSQ8(m)},
+			entry{fmt.Sprintf("BenchmarkLeafScanMultiSerial/sq8/m=%d", m), benchLeafSerialSQ8(m)},
+		)
+	}
+	return es
+}
+
+func init() {
+	for _, e := range batchEntries() {
+		fixtureFree[e.name] = true
+	}
+}
+
+// leafScanQueries builds the slab plus m packed query rows drawn from the
+// same deterministic distribution (query j occupies qs[j*dim:(j+1)*dim]).
+func leafScanQueries(dim, m int) (data []float64, qs []float64) {
+	data, _ = leafScanBlock(dim)
+	qs = make([]float64, m*dim)
+	state := uint64(0xD1B54A32D192ED03)
+	for i := range qs {
+		state = state*6364136223846793005 + 1442695040888963407
+		qs[i] = float64(state>>11) / float64(1<<53)
+	}
+	return data, qs
+}
+
+func benchLeafMultiF64(dim, m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, qs := leafScanQueries(dim, m)
+		out := make([]float64, m*leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec.SquaredDistsToMulti(qs, m, data, out)
+		}
+	}
+}
+
+func benchLeafSerialF64(dim, m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, qs := leafScanQueries(dim, m)
+		out := make([]float64, leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				vec.SquaredDistsTo(qs[j*dim:(j+1)*dim], data, out)
+			}
+		}
+	}
+}
+
+func benchLeafMultiF32(dim, m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, qs := leafScanQueries(dim, m)
+		data32 := vec.Narrow32(data, nil)
+		qs32 := vec.Narrow32(qs, nil)
+		out := make([]float32, m*leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec.SquaredDistsToMulti32(qs32, m, data32, out)
+		}
+	}
+}
+
+func benchLeafSerialF32(dim, m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		data, qs := leafScanQueries(dim, m)
+		data32 := vec.Narrow32(data, nil)
+		qs32 := vec.Narrow32(qs, nil)
+		out := make([]float32, leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				vec.SquaredDistsTo32(qs32[j*dim:(j+1)*dim], data32, out)
+			}
+		}
+	}
+}
+
+// sq8Queries quantizes the slab and encodes the m query rows against its
+// trained quantizer, packed like the float layouts.
+func sq8Queries(m int) (codes []uint8, qcs []uint8, err error) {
+	data, qs := leafScanQueries(featureDim, m)
+	qz, err := store.QuantizeBacking(featureDim, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	qcs = make([]uint8, 0, m*featureDim)
+	for j := 0; j < m; j++ {
+		qc, _ := qz.EncodeQuery(vec.Vector(qs[j*featureDim:(j+1)*featureDim]), nil)
+		qcs = append(qcs, qc...)
+	}
+	return qz.Codes(), qcs, nil
+}
+
+func benchLeafMultiSQ8(m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		codes, qcs, err := sq8Queries(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]int32, m*leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vec.Uint8SquaredDistsToMulti(qcs, m, codes, out)
+		}
+	}
+}
+
+func benchLeafSerialSQ8(m int) func(b *testing.B, _ *fixture) {
+	return func(b *testing.B, _ *fixture) {
+		codes, qcs, err := sq8Queries(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]int32, leafScanRows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				vec.Uint8SquaredDistsTo(qcs[j*featureDim:(j+1)*featureDim], codes, out)
+			}
+		}
+	}
+}

@@ -7,7 +7,8 @@
 // The suite prices the paths this repository's PRs have promised to keep
 // fast: the global k-NN read path with and without an Observer (the
 // zero-cost-when-nil contract), the full feedback-session finalize fan-out,
-// and the sliding-window digest's observe and rotate operations.
+// the multi-query batch kernels against M independent single-query sweeps
+// (batch.go), and the sliding-window digest's observe and rotate operations.
 package benchsuite
 
 import (
@@ -101,9 +102,10 @@ func benchKNN(sys *qdcbir.System) func(b *testing.B, fix *fixture) {
 	}
 }
 
-// suite returns the benchmark list over the given fixture-backed systems.
+// suite returns the benchmark list over the given fixture-backed systems
+// (the static list plus the generated multi-query batch curves, batch.go).
 func suite(fix *fixture) []entry {
-	return []entry{
+	es := []entry{
 		{"BenchmarkSystemKNNObserver/none", benchKNN(fix.plain)},
 		{"BenchmarkSystemKNNObserver/live", benchKNN(fix.observed)},
 		{"BenchmarkSystemKNNScan/exact", benchKNN(fix.plain)},
@@ -125,6 +127,7 @@ func suite(fix *fixture) []entry {
 		{"BenchmarkWindowedDigestRotate", benchDigestRotate},
 		{"BenchmarkPerfettoExport", benchPerfettoExport},
 	}
+	return append(es, batchEntries()...)
 }
 
 // benchFinalize prices the localized finalize fan-out via the engine's

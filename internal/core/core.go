@@ -759,8 +759,72 @@ func finalizeGroups(ctx context.Context, eng *Engine, relevant []rstar.ItemID, a
 		recorders[i] = rec
 		return nil
 	}
+	// Coalesce subqueries whose boundary-expanded search areas resolved to the
+	// SAME node: their sweeps cover identical leaves, so the engine answers
+	// each such bundle with one multi-query batch search, amortizing every
+	// leaf-block load across the bundle. The batch paths are bit-identical per
+	// subquery to the independent calls — results, stats, and recorder traces
+	// alike (rstar/batch.go) — so grouping changes throughput only. Weighted
+	// queries keep the single-query path (there is no weighted multi kernel).
+	var batches [][]int
+	if weights == nil {
+		batchOf := make(map[*rstar.Node]int, len(order))
+		for i, nodeID := range order {
+			search := preps[nodeID].search
+			if b, ok := batchOf[search]; ok {
+				batches[b] = append(batches[b], i)
+				continue
+			}
+			batchOf[search] = len(batches)
+			batches = append(batches, []int{i})
+		}
+	} else {
+		for i := range order {
+			batches = append(batches, []int{i})
+		}
+	}
+	batchBody := func(b int) error {
+		idxs := batches[b]
+		if len(idxs) == 1 {
+			return subqueryBody(idxs[0])
+		}
+		qs := make([]vec.Vector, len(idxs))
+		ks := make([]int, len(idxs))
+		accs := make([]disk.Accounter, len(idxs))
+		var sts []*rstar.SearchStats
+		if o != nil {
+			sts = make([]*rstar.SearchStats, len(idxs))
+		}
+		for bi, i := range idxs {
+			p := preps[order[i]]
+			qs[bi] = p.centroid
+			ks[bi] = alloc[order[i]] + k
+			rec := &disk.Recorder{}
+			accs[bi] = rec
+			recorders[i] = rec
+			if o != nil {
+				sts[bi] = &sqStats[i]
+				sqOff[i] = trace.SinceStart()
+			}
+		}
+		var start time.Time
+		if o != nil {
+			start = time.Now()
+		}
+		lists, err := localKNNBatch(ctx, eng, preps[order[idxs[0]]].search, qs, ks, accs, sts)
+		if err != nil {
+			return err
+		}
+		for bi, i := range idxs {
+			neighborLists[i] = lists[bi]
+			if o != nil {
+				sqDur[i] = time.Since(start).Nanoseconds()
+			}
+		}
+		return nil
+	}
 	runSubqueries := func() error {
-		return par.Do(ctx, len(order), eng.cfg.Parallelism, subqueryBody)
+		return par.Do(ctx, len(batches), eng.cfg.Parallelism, batchBody)
 	}
 	if o != nil {
 		// Tag the subquery pool so CPU profiles attribute samples to the
@@ -901,4 +965,17 @@ func localKNN(ctx context.Context, eng *Engine, weights vec.Vector, acc disk.Acc
 		return eng.rfs.Tree().KNNQuantFromStatsCtx(ctx, n, q, k, eng.cfg.RerankFactor, acc, st)
 	}
 	return eng.rfs.Tree().KNNFromStatsCtx(ctx, n, q, k, acc, st)
+}
+
+// localKNNBatch answers several coalesced subqueries over the same search node
+// with one multi-query batch search in the configured scan mode. Per query it
+// is bit-identical to localKNN; weighted queries never reach here.
+func localKNNBatch(ctx context.Context, eng *Engine, n *rstar.Node, qs []vec.Vector, ks []int, accs []disk.Accounter, sts []*rstar.SearchStats) ([][]rstar.Neighbor, error) {
+	if eng.cfg.Float32 {
+		return eng.rfs.Tree().KNNF32BatchFromStatsCtx(ctx, n, qs, ks, accs, sts)
+	}
+	if eng.cfg.Quantized {
+		return eng.rfs.Tree().KNNQuantBatchFromStatsCtx(ctx, n, qs, ks, eng.cfg.RerankFactor, accs, sts)
+	}
+	return eng.rfs.Tree().KNNBatchFromStatsCtx(ctx, n, qs, ks, accs, sts)
 }

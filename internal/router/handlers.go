@@ -281,7 +281,10 @@ func (rt *Router) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "", "query dim %d != corpus dim %d", len(req.Query), rt.meta.Dim)
 		return
 	}
-	ns, err := scatterSearcher{rt}.SearchNode(r.Context(), rt.topo.RootID(), vec.Vector(req.Query), nil, req.K)
+	// Identical concurrent requests share one scatter (see singleflight.go).
+	ns, _, err := rt.knnSingleFlight(r.Context(), knnKey(req.Query, req.K), func() ([]shard.Neighbor, error) {
+		return scatterSearcher{rt}.SearchNode(r.Context(), rt.topo.RootID(), vec.Vector(req.Query), nil, req.K)
+	})
 	if err != nil {
 		writeBackendError(w, err)
 		return

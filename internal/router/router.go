@@ -91,11 +91,13 @@ type Router struct {
 	topo *shard.Topology
 	meta shard.Meta // canonical fleet metadata (shard-0 copy, index cleared)
 
-	obs      *obs.Observer
-	reqs     *obs.Counter
-	errs     *obs.Counter
-	scatters *obs.Counter
-	failover *obs.Counter
+	obs          *obs.Observer
+	reqs         *obs.Counter
+	errs         *obs.Counter
+	scatters     *obs.Counter
+	failover     *obs.Counter
+	singleflight *obs.Counter
+	sheds        *obs.Counter
 	// Per-shard request/error counters, indexed by shard.
 	shardReqs []*obs.Counter
 	shardErrs []*obs.Counter
@@ -117,6 +119,11 @@ type Router struct {
 	scrapeEvery time.Duration
 	fleetMu     sync.Mutex
 	fleet       *fleetView
+
+	// Single-flight table for identical concurrent KNN requests (see
+	// singleflight.go).
+	sfMu sync.Mutex
+	sf   map[string]*sfCall
 
 	rr      []atomic.Uint64 // per-shard round-robin cursor
 	sessSeq atomic.Uint64   // spreads new sessions across shards
@@ -153,6 +160,7 @@ func New(cfg Config) (*Router, error) {
 		rr:          make([]atomic.Uint64, nShards),
 		stitches:    obs.NewStitchRing(0),
 		slow:        obs.NewSlowLog(0),
+		sf:          make(map[string]*sfCall),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{}
@@ -186,6 +194,10 @@ func New(cfg Config) (*Router, error) {
 	rt.errs = reg.Counter("qd_router_errors_total", "Router responses with status >= 400.")
 	rt.scatters = reg.Counter("qd_router_scatters_total", "Scatter-gather fan-outs executed.")
 	rt.failover = reg.Counter("qd_router_failovers_total", "Per-shard retries on another replica.")
+	rt.singleflight = reg.Counter("qd_router_singleflight_total",
+		"KNN requests answered by joining an identical in-flight scatter instead of fanning out again.")
+	rt.sheds = reg.Counter("qd_router_sheds_total",
+		"Shard 503 replies (admission sheds or deadline expiries) observed during fan-out.")
 	rt.fanoutHist = reg.Histogram("qd_router_fanout_seconds",
 		"Wall time of one scatter fan-out: dispatch to last shard list received.", nil)
 	rt.mergeHist = reg.Histogram("qd_router_merge_seconds",
@@ -498,6 +510,9 @@ func (rt *Router) doShard(ctx context.Context, shardIdx int, method, path string
 		}
 		var be *backendError
 		if errors.As(err, &be) {
+			if be.Status == http.StatusServiceUnavailable {
+				rt.sheds.Inc()
+			}
 			if !be.retryable() {
 				return err
 			}

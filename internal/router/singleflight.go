@@ -1,0 +1,80 @@
+package router
+
+// Router-side single-flight for the stateless /v1/knn endpoint: identical
+// concurrent requests (same query bits, same k) collapse into one scatter.
+// A thundering herd of clients refreshing the same popular query then costs
+// the fleet one fan-out instead of N — and since the merged ranking is a
+// pure function of (query, k) over an immutable shard archive, every joined
+// caller's response is byte-identical to the one it would have computed
+// itself.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"qdcbir/internal/shard"
+)
+
+// sfCall is one in-flight deduplicated KNN scatter. done closes after ns/err
+// are written; both are immutable afterwards, so joined callers may share
+// the neighbor slice without copying (handlers only read it).
+type sfCall struct {
+	done chan struct{}
+	ns   []shard.Neighbor
+	err  error
+}
+
+// knnKey serializes (query, k) into a map key. Exact float bits: two
+// requests dedupe only when every dimension is bit-identical, which is
+// precisely the condition under which their scatters would merge to the
+// same ranking.
+func knnKey(q []float64, k int) string {
+	b := make([]byte, 8*(len(q)+1))
+	binary.LittleEndian.PutUint64(b, uint64(k))
+	for i, v := range q {
+		binary.LittleEndian.PutUint64(b[8*(i+1):], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// knnSingleFlight runs fn once per key: the first caller (the leader)
+// executes the scatter on its own context, concurrent callers with the same
+// key wait for it and share the result. shared reports whether this caller
+// joined an existing flight rather than fanning out itself.
+//
+// Two context subtleties: a joined caller whose own deadline expires stops
+// waiting and returns its ctx error (the flight keeps running for the
+// others), and a joined caller that outlives a leader killed by the
+// *leader's* deadline or cancellation retries as the new leader instead of
+// inheriting a failure that says nothing about its own time budget.
+func (rt *Router) knnSingleFlight(ctx context.Context, key string, fn func() ([]shard.Neighbor, error)) (ns []shard.Neighbor, shared bool, err error) {
+	for {
+		rt.sfMu.Lock()
+		if c, ok := rt.sf[key]; ok {
+			rt.sfMu.Unlock()
+			rt.singleflight.Inc()
+			shared = true
+			select {
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			case <-c.done:
+			}
+			if c.err != nil && ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue // leader died of its own deadline; take over
+			}
+			return c.ns, true, c.err
+		}
+		c := &sfCall{done: make(chan struct{})}
+		rt.sf[key] = c
+		rt.sfMu.Unlock()
+		c.ns, c.err = fn()
+		rt.sfMu.Lock()
+		delete(rt.sf, key)
+		rt.sfMu.Unlock()
+		close(c.done)
+		return c.ns, shared, c.err
+	}
+}

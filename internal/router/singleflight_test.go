@@ -1,0 +1,214 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qdcbir/internal/shard"
+)
+
+func sfRouter(t *testing.T) *Router {
+	t.Helper()
+	rt, err := New(Config{Replicas: []ReplicaConfig{{Shard: 0, URL: "http://unused"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestKNNSingleFlightDedup pins the dedup contract at the unit level: while a
+// leader's scatter is in flight, identical-key callers never run their own fn,
+// share the leader's exact result, and bump the singleflight counter; a
+// different key runs independently.
+func TestKNNSingleFlightDedup(t *testing.T) {
+	rt := sfRouter(t)
+	key := knnKey([]float64{1.5, -2.25, 0}, 10)
+	want := []shard.Neighbor{{ID: 7, Dist: 0.5}, {ID: 3, Dist: 1.25}}
+
+	block := make(chan struct{})
+	var calls atomic.Int32
+	leaderDone := make(chan struct{})
+	var leaderNS []shard.Neighbor
+	var leaderShared bool
+	go func() {
+		defer close(leaderDone)
+		leaderNS, leaderShared, _ = rt.knnSingleFlight(context.Background(), key, func() ([]shard.Neighbor, error) {
+			calls.Add(1)
+			<-block
+			return want, nil
+		})
+	}()
+	// Wait until the leader has registered its flight.
+	for {
+		rt.sfMu.Lock()
+		_, ok := rt.sf[key]
+		rt.sfMu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const followers = 3
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ns, shared, err := rt.knnSingleFlight(context.Background(), key, func() ([]shard.Neighbor, error) {
+				t.Error("follower executed its own scatter")
+				return nil, nil
+			})
+			if err != nil || !shared || !reflect.DeepEqual(ns, want) {
+				t.Errorf("follower: ns=%v shared=%v err=%v", ns, shared, err)
+			}
+		}()
+	}
+	// Followers must be waiting before the leader finishes; give them a beat.
+	time.Sleep(20 * time.Millisecond)
+
+	// A different key is its own flight, even while the first is blocked.
+	other, shared, err := rt.knnSingleFlight(context.Background(), knnKey([]float64{1.5, -2.25, 0}, 11), func() ([]shard.Neighbor, error) {
+		return []shard.Neighbor{{ID: 1, Dist: 2}}, nil
+	})
+	if err != nil || shared || len(other) != 1 {
+		t.Fatalf("distinct key: ns=%v shared=%v err=%v", other, shared, err)
+	}
+
+	close(block)
+	<-leaderDone
+	wg.Wait()
+	if leaderShared || !reflect.DeepEqual(leaderNS, want) {
+		t.Fatalf("leader: ns=%v shared=%v", leaderNS, leaderShared)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("scatter ran %d times, want 1", n)
+	}
+	if n := rt.obs.Registry().Snapshot().Counters["qd_router_singleflight_total"]; n != followers {
+		t.Fatalf("singleflight_total = %d, want %d", n, followers)
+	}
+	rt.sfMu.Lock()
+	if len(rt.sf) != 0 {
+		t.Fatalf("flight table not drained: %d entries", len(rt.sf))
+	}
+	rt.sfMu.Unlock()
+}
+
+// TestKNNSingleFlightFollowerDeadline: a joined caller whose own context dies
+// stops waiting with its ctx error while the flight keeps running for the
+// leader.
+func TestKNNSingleFlightFollowerDeadline(t *testing.T) {
+	rt := sfRouter(t)
+	key := knnKey([]float64{4}, 5)
+	block := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := rt.knnSingleFlight(context.Background(), key, func() ([]shard.Neighbor, error) {
+			<-block
+			return []shard.Neighbor{{ID: 9, Dist: 1}}, nil
+		})
+		leaderDone <- err
+	}()
+	for {
+		rt.sfMu.Lock()
+		_, ok := rt.sf[key]
+		rt.sfMu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := rt.knnSingleFlight(ctx, key, func() ([]shard.Neighbor, error) {
+		t.Error("follower executed its own scatter")
+		return nil, nil
+	})
+	if !shared || err != context.DeadlineExceeded {
+		t.Fatalf("expired follower: shared=%v err=%v", shared, err)
+	}
+	close(block)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+}
+
+// TestRouterKNNSingleFlightIntegration drives a herd of identical concurrent
+// /v1/knn requests through a fleet whose shard-0 replica answers searches
+// slowly (guaranteeing the requests overlap) and demands (a) every response is
+// bit-identical to the single-node reference, and (b) the router fanned out
+// fewer times than it answered, with the joins visible on the counter.
+func TestRouterKNNSingleFlightIntegration(t *testing.T) {
+	f := fixture(t)
+	// Shard 0 sits behind a delaying proxy so every scatter takes >= slowdown;
+	// concurrent identical requests therefore join the first one's flight.
+	const slowdown = 150 * time.Millisecond
+	target, err := url.Parse(startReplica(t, f.blobs[0]).URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(target)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard/search" {
+			time.Sleep(slowdown)
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(slow.Close)
+	cfgs := []ReplicaConfig{
+		{Shard: 0, URL: slow.URL},
+		{Shard: 1, URL: startReplica(t, f.blobs[1]).URL},
+		{Shard: 2, URL: startReplica(t, f.blobs[2]).URL},
+	}
+	rt, rts := startRouter(t, cfgs)
+
+	const k, herd = 10, 6
+	want, err := f.sys.KNN(42, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := KNNRequest{Query: f.sys.Corpus().Vectors[42], K: k}
+
+	scattersBefore := rt.obs.Registry().Snapshot().Counters["qd_router_scatters_total"]
+	got := make([]KNNResponse, herd)
+	var wg sync.WaitGroup
+	for j := 0; j < herd; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			mustJSON(t, http.MethodPost, rts.URL+"/v1/knn", req, &got[j])
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < herd; j++ {
+		if len(got[j].Neighbors) != len(want) {
+			t.Fatalf("herd %d: %d neighbors, want %d", j, len(got[j].Neighbors), len(want))
+		}
+		for i, n := range got[j].Neighbors {
+			if n.ID != want[i].ID || n.Dist != want[i].Score {
+				t.Fatalf("herd %d rank %d: (%d, %v) vs single-node (%d, %v)",
+					j, i, n.ID, n.Dist, want[i].ID, want[i].Score)
+			}
+		}
+	}
+	snap := rt.obs.Registry().Snapshot()
+	scatters := snap.Counters["qd_router_scatters_total"] - scattersBefore
+	joins := snap.Counters["qd_router_singleflight_total"]
+	if scatters >= herd {
+		t.Errorf("scatters = %d for %d identical requests, want < %d", scatters, herd, herd)
+	}
+	if joins < 1 {
+		t.Errorf("singleflight_total = %d, want >= 1", joins)
+	}
+	if scatters+joins < herd {
+		t.Errorf("scatters (%d) + joins (%d) < herd (%d)", scatters, joins, herd)
+	}
+}

@@ -300,6 +300,57 @@ func (s *Session) rebuildFrontier() {
 	})
 }
 
+// SessionState is the wire-portable slice of a dynamic session: everything
+// Finalize needs (the relevant panel and feature weights) plus the round
+// count. Snapshot pins and per-segment frontier nodes are process-local —
+// segment identity changes under sealing and compaction — so a restored
+// session re-pins the restoring process's CURRENT snapshot and resumes
+// browsing from the segment roots; the finalize answer is preserved exactly
+// because FinalizeCtx derives everything from the panel and weights.
+type SessionState struct {
+	Relevant []int     `json:"relevant,omitempty"`
+	Weights  []float64 `json:"weights,omitempty"`
+	Rounds   int       `json:"rounds"`
+}
+
+// ExportState snapshots the session for transport. The session remains
+// usable; the state shares nothing with it.
+func (s *Session) ExportState() *SessionState {
+	st := &SessionState{
+		Relevant: append([]int(nil), s.relevant...),
+		Rounds:   s.rounds,
+	}
+	if s.weights != nil {
+		st.Weights = append([]float64(nil), s.weights...)
+	}
+	return st
+}
+
+// RestoreSession resumes an exported session over the current snapshot.
+// Every relevant image must be live in that snapshot (an image inserted
+// after the export is fine; a tombstoned one is not).
+func (db *DB) RestoreSession(st *SessionState, rng *rand.Rand) (*Session, error) {
+	s := db.NewSession(rng)
+	if st.Weights != nil {
+		if err := s.SetFeatureWeights(vec.Vector(st.Weights)); err != nil {
+			s.Release()
+			return nil, err
+		}
+	}
+	for _, gid := range st.Relevant {
+		if _, ok := s.snap.VectorOf(gid); !ok {
+			s.Release()
+			return nil, fmt.Errorf("seg: relevant image %d is not live in the current snapshot", gid)
+		}
+		if !s.relSet[gid] {
+			s.relSet[gid] = true
+			s.relevant = append(s.relevant, gid)
+		}
+	}
+	s.rounds = st.Rounds
+	return s, nil
+}
+
 // FinalizeCtx runs the final corpus-wide decomposition round over the
 // pinned snapshot (QueryByExamplesCtx) with the session's panel and
 // weights. The session stops accepting feedback afterwards but stays

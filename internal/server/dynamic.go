@@ -32,6 +32,7 @@ type DynamicStore interface {
 	Delete(id int) error
 	LabelOf(id int) string
 	NewSession(seed int64) *seg.Session
+	RestoreSession(st *seg.SessionState, seed int64) (*seg.Session, error)
 	Compact(ctx context.Context) error
 	Stats() seg.Stats
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -54,6 +55,10 @@ func (s *testDynStore) LabelOf(id int) string {
 
 func (s *testDynStore) NewSession(seed int64) *seg.Session {
 	return s.db.NewSession(rand.New(rand.NewSource(seed)))
+}
+
+func (s *testDynStore) RestoreSession(st *seg.SessionState, seed int64) (*seg.Session, error) {
+	return s.db.RestoreSession(st, rand.New(rand.NewSource(seed)))
 }
 
 func (s *testDynStore) Compact(ctx context.Context) error { return s.db.Compact(ctx) }
@@ -241,10 +246,20 @@ func TestDynamicHostedSessions(t *testing.T) {
 		t.Fatalf("feedback: %+v", fr)
 	}
 
-	// Export and retract are static-mode concepts.
-	if code := dynGet(t, base+"/export", nil); code != http.StatusNotImplemented {
-		t.Fatalf("export: %d", code)
+	// Export carries the snapshot-independent state; import re-pins the
+	// importing server's current snapshot.
+	var ex SessionExport
+	if code := dynGet(t, base+"/export", &ex); code != http.StatusOK || ex.State == nil {
+		t.Fatalf("export: code %d, state %v", code, ex.State)
 	}
+	if len(ex.State.Relevant) != 2 || ex.State.Rounds != 1 {
+		t.Fatalf("exported state: %+v", ex.State)
+	}
+	var sr2 SessionResponse
+	if code, _ := dynPost(t, ts.URL+"/v1/sessions/import", ex, &sr2); code != http.StatusOK {
+		t.Fatalf("import: %d", code)
+	}
+	// Retract remains unimplemented for dynamic sessions.
 	if code, _ := dynPost(t, base+"/retract", FeedbackRequest{Relevant: marked[:1]}, nil); code != http.StatusNotImplemented {
 		t.Fatalf("retract: %d", code)
 	}
@@ -259,6 +274,24 @@ func TestDynamicHostedSessions(t *testing.T) {
 	}
 	if n != 12 {
 		t.Fatalf("finalize returned %d images", n)
+	}
+
+	// The imported session finalizes identically: same panel, same snapshot
+	// contents (nothing was written in between).
+	var qr2 QueryResponse
+	if code, _ := dynPost(t, ts.URL+"/v1/sessions/"+sr2.SessionID+"/finalize", map[string]int{"k": 12}, &qr2); code != http.StatusOK {
+		t.Fatalf("imported finalize: %d", code)
+	}
+	if !reflect.DeepEqual(qr, qr2) {
+		t.Fatalf("imported finalize diverges:\n  orig %+v\n  imported %+v", qr, qr2)
+	}
+
+	// Importing a panel containing a tombstoned image is rejected.
+	if err := ds.Delete(marked[0]); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := dynPost(t, ts.URL+"/v1/sessions/import", ex, nil); code != http.StatusBadRequest {
+		t.Fatalf("import with tombstoned relevant: %d", code)
 	}
 	// Finalized sessions are released (and their snapshot pin dropped).
 	if code := dynGet(t, base+"/candidates", nil); code != http.StatusNotFound {

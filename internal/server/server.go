@@ -107,6 +107,10 @@ type Server struct {
 	// tighten (never widen) it per request with the X-Qd-Deadline-Ms header.
 	queryTimeout time.Duration
 
+	// sched, when set, applies admission control to the search endpoints and
+	// coalesces concurrent shard-search legs (see SetScheduler in sched.go).
+	sched *scheduler
+
 	// Archive provenance, surfaced in /v1/buildinfo so operators (and the
 	// router's fleet verification) can see what is actually loaded.
 	archiveVersion   int
@@ -517,9 +521,14 @@ func writeErrorCode(w http.ResponseWriter, status int, code, format string, args
 //     overloaded, not broken, and the same request may succeed shortly.
 //   - Cancellation (the client went away or the server is draining): 503
 //     with code "cancelled", no Retry-After.
+//   - Admission-control shed (the wait queue is full): 503 with Retry-After
+//     and code "overloaded" — nothing was searched; retry elsewhere or later.
 //   - Anything else is a bad query: 400.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeOverloaded, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		w.Header().Set("Retry-After", "1")
 		writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeDeadline, "query deadline exceeded: %v", err)
@@ -577,6 +586,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	release, err := s.sched.admit(r.Context(), "/v1/query")
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	defer release()
 	if s.dyn != nil {
 		res, err := s.dynQuery(r.Context(), req)
 		if err != nil {
@@ -687,9 +702,17 @@ func (s *Server) addSession(seed int64, st *core.SessionState) (string, error) {
 	var err error
 	if s.dyn != nil {
 		if st != nil {
-			return "", fmt.Errorf("dynamic sessions cannot be imported: their snapshot pin is not serializable")
+			// The snapshot pin itself is not serializable; the restore re-pins
+			// this server's current snapshot and carries over the panel,
+			// weights, and round count — all Finalize needs.
+			hs.dsess, err = s.dyn.RestoreSession(&seg.SessionState{
+				Relevant: st.Relevant,
+				Weights:  st.Weights,
+				Rounds:   st.Rounds,
+			}, seed)
+		} else {
+			hs.dsess = s.dyn.NewSession(seed)
 		}
-		hs.dsess = s.dyn.NewSession(seed)
 	} else if s.shard != nil {
 		dc := s.displayCount
 		if dc <= 0 {
@@ -897,13 +920,18 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 
 	case op == "export" && r.Method == http.MethodGet:
 		hs.mu.Lock()
-		if hs.dsess != nil {
-			hs.mu.Unlock()
-			writeError(w, http.StatusNotImplemented, "dynamic sessions cannot be exported: their snapshot pin is not serializable")
-			return
-		}
 		var st *core.SessionState
-		if hs.ssess != nil {
+		if hs.dsess != nil {
+			// Dynamic sessions export the snapshot-independent slice of their
+			// state; import re-pins the importing server's current snapshot.
+			dst := hs.dsess.ExportState()
+			st = &core.SessionState{
+				Version:  core.SessionStateVersion,
+				Relevant: dst.Relevant,
+				Weights:  dst.Weights,
+				Rounds:   dst.Rounds,
+			}
+		} else if hs.ssess != nil {
 			st = hs.ssess.ExportState()
 		} else {
 			st = hs.sess.ExportState()
@@ -928,6 +956,12 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 				"shard-hosted sessions finalize via the router (export the state and scatter)")
 			return
 		}
+		release, err := s.sched.admit(r.Context(), "/v1/sessions/{id}/finalize")
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		defer release()
 		if hs.dsess != nil {
 			hs.mu.Lock()
 			res, err := hs.dsess.FinalizeCtx(r.Context(), req.K)

@@ -132,9 +132,15 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Weights != nil {
 		weights = req.Weights
 	}
+	release, err := s.sched.admit(r.Context(), "/v1/shard/search")
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	defer release()
 	rec := shardRecorder(r)
 	searchStart := time.Now()
-	ns, err := s.shard.SearchNode(r.Context(), req.NodeID, vec.Vector(req.Query), weights, req.K)
+	ns, err := s.sched.searchShard(r.Context(), s.shard, req.NodeID, vec.Vector(req.Query), weights, req.K)
 	if err != nil {
 		writeQueryError(w, err)
 		return

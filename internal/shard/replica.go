@@ -268,6 +268,98 @@ func (r *Replica) SearchNode(ctx context.Context, nodeID uint64, q vec.Vector, w
 	return ns, nil
 }
 
+// SearchNodeBatch answers several k-NN searches restricted to the SAME
+// single-node subtree in one pass over the shard's rows: each slab chunk is
+// loaded once and scored against every query by the multi-query kernels, with
+// one independent bounded selector per query. Per query the result is
+// bit-identical to SearchNode — same kernels, same admission order, same
+// (distance, global ID) total order — so coalescing concurrent sweeps changes
+// throughput, never answers. Weighted searches have no multi kernel and must
+// stay on SearchNode.
+func (r *Replica) SearchNodeBatch(ctx context.Context, nodeID uint64, qs []vec.Vector, ks []int) ([][]Neighbor, error) {
+	if len(qs) != len(ks) {
+		return nil, fmt.Errorf("shard: %d queries but %d ks", len(qs), len(ks))
+	}
+	sels := make([]*topSelect, len(qs))
+	for j, q := range qs {
+		if ks[j] <= 0 {
+			return nil, fmt.Errorf("shard: invalid k=%d", ks[j])
+		}
+		if len(q) != r.dim {
+			return nil, fmt.Errorf("shard: query dim %d != corpus dim %d", len(q), r.dim)
+		}
+		sels[j] = newTopSelect(ks[j])
+	}
+	idx, ok := r.topo.IdxOf(nodeID)
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown search node %d", nodeID)
+	}
+	out := make([][]Neighbor, len(qs))
+	lo, hi := r.ranges[idx][0], r.ranges[idx][1]
+	m := len(qs)
+	if lo != hi && m > 0 {
+		const chunk = 1024
+		if r.f32 {
+			qbuf := make([]float32, m*r.dim)
+			for j, q := range qs {
+				vec.Narrow32(q, qbuf[j*r.dim:(j+1)*r.dim:(j+1)*r.dim])
+			}
+			scratch := make([]float32, m*chunk)
+			for base := lo; base < hi; base += chunk {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				end := base + chunk
+				if end > hi {
+					end = hi
+				}
+				rows := end - base
+				db := scratch[:m*rows]
+				vec.SquaredDistsToMulti32(qbuf, m, r.slab32[base*r.dim:end*r.dim], db)
+				for j := 0; j < m; j++ {
+					col := db[j*rows : (j+1)*rows]
+					for i, d := range col {
+						sels[j].add(float64(d), r.slabGID[base+i])
+					}
+				}
+			}
+		} else {
+			qbuf := make([]float64, m*r.dim)
+			for j, q := range qs {
+				copy(qbuf[j*r.dim:(j+1)*r.dim], q)
+			}
+			scratch := make([]float64, m*chunk)
+			for base := lo; base < hi; base += chunk {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				end := base + chunk
+				if end > hi {
+					end = hi
+				}
+				rows := end - base
+				db := scratch[:m*rows]
+				vec.SquaredDistsToMulti(qbuf, m, r.slab[base*r.dim:end*r.dim], db)
+				for j := 0; j < m; j++ {
+					col := db[j*rows : (j+1)*rows]
+					for i, d := range col {
+						sels[j].add(d, r.slabGID[base+i])
+					}
+				}
+			}
+		}
+	}
+	for j := range sels {
+		cands := sels[j].sorted()
+		ns := make([]Neighbor, len(cands))
+		for i, c := range cands {
+			ns[i] = Neighbor{ID: c.gid, Dist: math.Sqrt(c.d)}
+		}
+		out[j] = ns
+	}
+	return out, nil
+}
+
 // MergeNeighbors merges per-shard restricted-search results into the global
 // top-k under the canonical (distance, ID) order. Shards hold disjoint rows,
 // so no deduplication is needed; because every list is itself the k smallest

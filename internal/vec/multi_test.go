@@ -1,0 +1,194 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The multi-query kernels' whole contract is bit-identity: for every scan
+// mode, every M, and every implementation (portable and accelerated), the
+// query-major output block must equal M independent single-query kernel
+// calls exactly — float comparisons below are == on the bits, never a
+// tolerance.
+
+var multiMs = []int{1, 2, 3, 4, 5, 7, 8, 16}
+
+func randFloats64(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 3
+	}
+	return out
+}
+
+// TestSquaredDistsToMultiMatchesSingle pins the f64 multi kernel to M
+// independent SquaredDistsTo sweeps, bit for bit.
+func TestSquaredDistsToMultiMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{0, 1, 3, 7, 8, 9, 16, 37, 64} {
+		for _, rows := range []int{0, 1, 5, 33} {
+			for _, m := range multiMs {
+				qs := randFloats64(rng, m*dim)
+				block := randFloats64(rng, rows*dim)
+				got := make([]float64, m*rows)
+				SquaredDistsToMulti(qs, m, block, got)
+				want := make([]float64, rows)
+				for j := 0; j < m; j++ {
+					SquaredDistsTo(qs[j*dim:(j+1)*dim], block, want)
+					for r := 0; r < rows; r++ {
+						if g := got[j*rows+r]; g != want[r] {
+							t.Fatalf("dim %d rows %d m %d query %d row %d: multi %v, single %v",
+								dim, rows, m, j, r, g, want[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSquaredDistsToMulti32MatchesSingle pins the f32 multi kernel — whatever
+// implementation is installed — to M independent SquaredDistsTo32 sweeps.
+func TestSquaredDistsToMulti32MatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dim := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 37, 64} {
+		for _, rows := range []int{0, 1, 5, 33} {
+			for _, m := range multiMs {
+				qs := randFloats32(rng, m*dim)
+				block := randFloats32(rng, rows*dim)
+				got := make([]float32, m*rows)
+				SquaredDistsToMulti32(qs, m, block, got)
+				want := make([]float32, rows)
+				for j := 0; j < m; j++ {
+					SquaredDistsTo32(qs[j*dim:(j+1)*dim], block, want)
+					for r := 0; r < rows; r++ {
+						if g := got[j*rows+r]; math.Float32bits(g) != math.Float32bits(want[r]) {
+							t.Fatalf("dim %d rows %d m %d query %d row %d: multi %v (%#x), single %v (%#x)",
+								dim, rows, m, j, r, g, math.Float32bits(g), want[r], math.Float32bits(want[r]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUint8SquaredDistsToMultiMatchesSingle pins the SQ8 multi kernel to M
+// independent Uint8SquaredDistsTo sweeps (exact integers).
+func TestUint8SquaredDistsToMultiMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{0, 1, 3, 8, 15, 16, 17, 31, 32, 37, 64} {
+		for _, rows := range []int{0, 1, 5, 33} {
+			for _, m := range multiMs {
+				qs := randCodes(rng, m*dim)
+				block := randCodes(rng, rows*dim)
+				got := make([]int32, m*rows)
+				Uint8SquaredDistsToMulti(qs, m, block, got)
+				want := make([]int32, rows)
+				for j := 0; j < m; j++ {
+					Uint8SquaredDistsTo(qs[j*dim:(j+1)*dim], block, want)
+					for r := 0; r < rows; r++ {
+						if g := got[j*rows+r]; g != want[r] {
+							t.Fatalf("dim %d rows %d m %d query %d row %d: multi %d, single %d",
+								dim, rows, m, j, r, g, want[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiGenericMatchesInstalled cross-checks the portable multi kernels
+// against the installed (possibly accelerated) dispatch: on an AVX2 host this
+// is the portable==asm equivalence pin for the multi kernels; on other hosts
+// it degenerates to self-consistency and the accelerated half is vacuous.
+func TestMultiGenericMatchesInstalled(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dim := range []int{8, 9, 16, 23, 37, 64} {
+		for _, m := range multiMs {
+			rows := 29
+			q32 := randFloats32(rng, m*dim)
+			b32 := randFloats32(rng, rows*dim)
+			got32 := make([]float32, m*rows)
+			want32 := make([]float32, m*rows)
+			SquaredDistsToMulti32(q32, m, b32, got32)
+			float32SquaredDistsToMultiGeneric(q32, m, dim, rows, b32, want32)
+			for i := range got32 {
+				if math.Float32bits(got32[i]) != math.Float32bits(want32[i]) {
+					t.Fatalf("f32 dim %d m %d out[%d]: installed %v, generic %v",
+						dim, m, i, got32[i], want32[i])
+				}
+			}
+
+			q8 := randCodes(rng, m*dim)
+			b8 := randCodes(rng, rows*dim)
+			got8 := make([]int32, m*rows)
+			want8 := make([]int32, m*rows)
+			Uint8SquaredDistsToMulti(q8, m, b8, got8)
+			uint8SquaredDistsToMultiGeneric(q8, m, dim, rows, b8, want8)
+			for i := range got8 {
+				if got8[i] != want8[i] {
+					t.Fatalf("sq8 dim %d m %d out[%d]: installed %d, generic %d",
+						dim, m, i, got8[i], want8[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiTopKMatchesSingle runs per-query TopK selection over multi-kernel
+// output and over single-query output: identical distances must select
+// identical candidate sets in identical order.
+func TestMultiTopKMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim, rows, m, k = 37, 64, 8, 10
+	qs := randFloats64(rng, m*dim)
+	block := randFloats64(rng, rows*dim)
+	multi := make([]float64, m*rows)
+	SquaredDistsToMulti(qs, m, block, multi)
+	single := make([]float64, rows)
+	for j := 0; j < m; j++ {
+		SquaredDistsTo(qs[j*dim:(j+1)*dim], block, single)
+		a, b := NewTopK(k), NewTopK(k)
+		for r := 0; r < rows; r++ {
+			a.Add(multi[j*rows+r], r)
+			b.Add(single[r], r)
+		}
+		ids1 := a.AppendIDs(nil)
+		ids2 := b.AppendIDs(nil)
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				t.Fatalf("query %d rank %d: multi-fed TopK %d, single-fed %d", j, i, ids1[i], ids2[i])
+			}
+		}
+	}
+}
+
+// TestMultiDimsValidation pins the panic behaviour for malformed layouts.
+func TestMultiDimsValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ragged qs", func() {
+		SquaredDistsToMulti(make([]float64, 7), 2, nil, make([]float64, 2))
+	})
+	mustPanic("ragged out", func() {
+		SquaredDistsToMulti(make([]float64, 8), 2, make([]float64, 12), make([]float64, 5))
+	})
+	mustPanic("block mismatch", func() {
+		SquaredDistsToMulti32(make([]float32, 8), 2, make([]float32, 13), make([]float32, 6))
+	})
+	mustPanic("negative m", func() {
+		Uint8SquaredDistsToMulti(nil, -1, nil, nil)
+	})
+	// m == 0 with empty qs/out is a no-op, not a panic.
+	SquaredDistsToMulti(nil, 0, nil, nil)
+}

@@ -5,7 +5,9 @@
 # shard replicas plus an unsharded reference qdserve, fronts the shards with
 # qdrouter, drives a scripted feedback session through both stacks, and diffs
 # the results. The sharded tier's contract is bit-exactness, so the diff is
-# literal: same JSON groups, same IDs, same distances, same displays.
+# literal: same JSON groups, same IDs, same distances, same displays. A final
+# stanza saturates an admission-controlled replica and checks overload is
+# shed as structured 503s with Retry-After while answers stay bit-correct.
 #
 # Usage: scripts/cluster_smoke.sh [port-base]   (default 18400)
 set -euo pipefail
@@ -166,5 +168,72 @@ if [ -n "${ARTIFACT_DIR:-}" ]; then
   cp "$WORK/stitched_trace.json" "$WORK/fleet_latency.json" "$ARTIFACT_DIR/"
   say "kept stitched trace + fleet digests in $ARTIFACT_DIR"
 fi
+
+say "saturating an admission-controlled replica (max-concurrent 1, queue-bound 0)"
+SAT=$((BASE + 5))
+"$WORK/qdserve" -db "$WORK/db.shard0.gob" -addr ":$SAT" \
+  -max-concurrent 1 -queue-bound 0 -coalesce-window 750ms 2>/dev/null & PIDS+=($!)
+wait_for "http://localhost:$SAT/healthz"
+
+# Deterministic saturation: a shard-search leg against the root opens a
+# coalescing batch and dallies the full 750ms window for company, holding the
+# replica's only execution slot the whole time. With queue-bound 0, every
+# /v1/query that lands during the window must shed — no timing luck needed.
+curl -sf "http://localhost:$SAT/v1/shard/topology" \
+  | jq -c '{node_id: .nodes[0].id, k: 10, query: .nodes[0].center}' > "$WORK/sat_root_req.json"
+curl -s -X POST -d @"$WORK/sat_root_req.json" \
+  "http://localhost:$SAT/v1/shard/search" -o "$WORK/sat_holder.json" &
+HOLDER=$!
+for _ in $(seq 1 200); do
+  curl -s "http://localhost:$SAT/metrics" | grep -q '^qd_sched_inflight 1$' && break
+  sleep 0.01
+done
+
+# One curl process with --parallel starts all 20 transfers inside the window
+# (separate curl processes spawn slower than a 503 is written and would
+# serialize). Multiple -o flags pair with URLs one-to-one; -D does not, so
+# statuses and Retry-After come from the per-transfer write-out.
+FLOOD=()
+for i in $(seq 1 20); do
+  FLOOD+=(-o "$WORK/sat_body_$i" "http://localhost:$SAT/v1/query")
+done
+curl -s --parallel --parallel-immediate --parallel-max 20 -X POST -d "$QUERY" \
+  -w '%{http_code} %header{retry-after}\n' "${FLOOD[@]}" \
+  > "$WORK/sat_codes.txt" 2>/dev/null || true
+wait "$HOLDER" \
+  || { echo "cluster_smoke: slot-holding shard search failed" >&2; exit 1; }
+
+SHED=$(grep -c '^503 ' "$WORK/sat_codes.txt" || true)
+[ "$SHED" -ge 1 ] \
+  || { echo "cluster_smoke: 20-way flood against a held slot shed nothing" >&2; exit 1; }
+if grep '^503' "$WORK/sat_codes.txt" | grep -vq '^503 [0-9]'; then
+  echo "cluster_smoke: shed 503 missing Retry-After: $(cat "$WORK/sat_codes.txt")" >&2; exit 1
+fi
+OVER=0
+for i in $(seq 1 20); do
+  jq -e '.code == "overloaded"' "$WORK/sat_body_$i" >/dev/null 2>&1 && OVER=$((OVER + 1))
+done
+[ "$OVER" -eq "$SHED" ] \
+  || { echo "cluster_smoke: $SHED sheds but $OVER code=overloaded bodies" >&2; exit 1; }
+say "flood shed $SHED of 20 requests, all with Retry-After + code=overloaded"
+
+grep -q '^qd_sched_shed_total [1-9]' <(curl -sf "http://localhost:$SAT/metrics") \
+  || { echo "cluster_smoke: saturated replica /metrics missing qd_sched_shed_total" >&2; exit 1; }
+
+# After the storm the fleet still answers bit-correct: the held leg resolved
+# through the coalescing path, the saturated replica answers a fresh shard
+# search byte-identically to the untouched shard-0 replica, and the routed
+# query still matches the single-node reference.
+curl -sf -X POST -d @"$WORK/sat_root_req.json" "http://localhost:$SHARD0/v1/shard/search" \
+  | jq -S . > "$WORK/ref_shard_search.json"
+diff -u "$WORK/ref_shard_search.json" <(jq -S . "$WORK/sat_holder.json") \
+  || { echo "cluster_smoke: slot-holding search diverges from untouched replica" >&2; exit 1; }
+curl -sf -X POST -d @"$WORK/sat_root_req.json" "http://localhost:$SAT/v1/shard/search" \
+  | jq -S . > "$WORK/sat_shard_search.json"
+diff -u "$WORK/ref_shard_search.json" "$WORK/sat_shard_search.json" \
+  || { echo "cluster_smoke: saturated replica diverges after the flood" >&2; exit 1; }
+curl -sf -X POST -d "$QUERY" "http://localhost:$ROUTER/v1/query" | jq -S "$NORM" > "$WORK/router_query2.json"
+diff -u "$WORK/single_query.json" "$WORK/router_query2.json" \
+  || { echo "cluster_smoke: routed query diverges after the flood" >&2; exit 1; }
 
 say "OK: sharded results are bit-identical to single node"

@@ -257,6 +257,77 @@ func TestShardMergeEquivalenceWeighted(t *testing.T) {
 	assertResultsEqual(t, "weighted", want, got)
 }
 
+// TestShardSearchNodeBatchEquivalence pins the coalesced multi-query shard
+// sweep to per-query SearchNode calls, bit for bit, in both slab precisions,
+// across batch widths and subtree restrictions.
+func TestShardSearchNodeBatchEquivalence(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"f64", nil},
+		{"f32", func(c *Config) { c.Float32 = true }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := shardTestConfig()
+			if mode.mutate != nil {
+				mode.mutate(&cfg)
+			}
+			sys, err := Build(cfg)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			fleet := buildFleet(t, sys, 2)
+			ctx := context.Background()
+			rep := fleet[1]
+			topo := rep.Topo()
+			nodes := []uint64{topo.RootID()}
+			if cs := topo.Children(topo.Root()); len(cs) > 0 {
+				nodes = append(nodes, topo.Nodes[cs[0]].ID)
+			}
+			for _, nodeID := range nodes {
+				for _, m := range []int{1, 2, 4, 5, 8} {
+					qs := make([]vec.Vector, m)
+					ks := make([]int, m)
+					for j := range qs {
+						qs[j] = sys.Corpus().Vectors[(j*97+13)%sys.Len()]
+						ks[j] = []int{1, 7, 25, 400}[j%4]
+					}
+					got, err := rep.SearchNodeBatch(ctx, nodeID, qs, ks)
+					if err != nil {
+						t.Fatalf("m=%d batch: %v", m, err)
+					}
+					for j := range qs {
+						want, err := rep.SearchNode(ctx, nodeID, qs[j], nil, ks[j])
+						if err != nil {
+							t.Fatalf("single: %v", err)
+						}
+						if len(got[j]) != len(want) {
+							t.Fatalf("node %d m=%d q=%d: %d results vs %d", nodeID, m, j, len(got[j]), len(want))
+						}
+						for i := range want {
+							if got[j][i].ID != want[i].ID || got[j][i].Dist != want[i].Dist {
+								t.Fatalf("node %d m=%d q=%d rank %d: (%d, %v) vs (%d, %v)",
+									nodeID, m, j, i, got[j][i].ID, got[j][i].Dist, want[i].ID, want[i].Dist)
+							}
+						}
+					}
+				}
+			}
+			// Shape and argument validation.
+			if _, err := rep.SearchNodeBatch(ctx, topo.RootID(), make([]vec.Vector, 2), []int{5}); err == nil {
+				t.Fatal("mismatched qs/ks accepted")
+			}
+			if _, err := rep.SearchNodeBatch(ctx, topo.RootID(), []vec.Vector{{1, 2}}, []int{5}); err == nil {
+				t.Fatal("wrong-dim query accepted")
+			}
+			if _, err := rep.SearchNodeBatch(ctx, 1<<60, nil, nil); err == nil {
+				t.Fatal("unknown node accepted")
+			}
+		})
+	}
+}
+
 // TestShardArchiveRejectsGarbage guards the sniffing contract between the
 // three on-disk formats.
 func TestShardArchiveRejectsGarbage(t *testing.T) {
